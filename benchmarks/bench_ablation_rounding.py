@@ -1,0 +1,62 @@
+"""Ablation: round-toward-zero vs round-to-nearest accumulation.
+
+Ootomo & Yokota identified the Tensor Core's RZ accumulator as a key
+accuracy-loss contributor (paper Figure 2).  This ablation isolates that
+factor on the matrix-shaped reduction: same TF32 operands, accumulator
+rounding switched between the hardware RZ and a hypothetical RN.
+
+Expected shape: with long accumulation chains, RZ drifts systematically
+(bias grows with chain length) while RN errors stay centred — RZ error is
+several times the RN error for positive-sum inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.reduction.tc_backend import tc_reduce_xyze
+
+
+def _sweep():
+    from repro.fpemu import quantize
+    from repro.reduction.matrices import build_p_matrix, pack_vectors
+    from repro.tensorcore import mma as tc_mma
+
+    rng = np.random.default_rng(42)
+    p = build_p_matrix()
+    rows = []
+    for n in (1024, 4096, 16384, 65536, 262144):
+        # positive-biased values ON THE TF32 LATTICE, so input truncation is
+        # zero; only the V accumulation chain (one rounding per 64-vector
+        # batch) distinguishes the modes.  The Q x V fold is skipped — its
+        # operand truncation would mask the accumulator effect.
+        vecs = quantize(
+            (np.abs(rng.normal(size=(n, 4))) + 0.1).astype(np.float32),
+            "tf32")
+        tiles = pack_vectors(vecs)
+        exact_v = tiles.astype(np.float64).sum(axis=0) @ p.astype(np.float64)
+        out = {"n_values": n}
+        for mode in ("rz", "rn"):
+            v = np.zeros((16, 16), dtype=np.float32)
+            for t in range(tiles.shape[0]):
+                v = tc_mma(tiles[t], p, v, in_format="tf32",
+                           accumulate=mode, quantize_inputs=False)
+            out[f"relerr_{mode}"] = float(
+                np.max(np.abs(v - exact_v) / np.abs(exact_v)))
+        out["rz/rn"] = out["relerr_rz"] / max(out["relerr_rn"], 1e-18)
+        rows.append(out)
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-rounding")
+def test_ablation_rz_vs_rn_accumulation(benchmark):
+    rows = benchmark(_sweep)
+    print()
+    print(format_table(rows, floatfmt="{:.3g}",
+                       title="Ablation: accumulator rounding "
+                             "(TF32 operands, FP32 accumulator)"))
+    # RZ bias dominates at long chains
+    long = rows[-1]
+    assert long["relerr_rz"] > 2 * long["relerr_rn"], rows
+    # and grows with the chain length
+    assert rows[-1]["relerr_rz"] > rows[0]["relerr_rz"]

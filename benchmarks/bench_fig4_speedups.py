@@ -1,0 +1,93 @@
+"""Figure 4: absolute and relative speedups over GPUs and block sizes.
+
+Reproduces the paper's headline performance figure: for three block sizes
+(64/128/256) and three GPUs (A100/H100/B200),
+
+* **absolute speedups** of every configuration relative to the A100
+  SM-only baseline at the same block size (bars in the paper), and
+* **relative speedups** of TCEC over its own same-GPU baseline (red
+  arrows).
+
+µs/eval per test case comes from the runtime model fed with the paper's
+nominal evaluation mix (LS-dominated, Section 2.1); aggregation is the
+geometric mean over the case set.
+
+Expected shape (paper): all relative speedups > 1; they grow with block
+size; H100 at 256 threads has the global maximum (1.63x in the paper);
+newer GPUs give higher absolute speedups.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.analysis import RuntimeModel, aggregate_speedups
+from repro.analysis.figures import ascii_bars
+from repro.analysis.speedup import ConfigKey
+from repro.analysis.tables import format_table
+from repro.testcases import get_test_case
+
+SCALE = bench_scale()
+DEVICES = ("A100", "H100", "B200")
+BLOCKS = (64, 128, 256)
+BACKENDS = ("baseline", "tcec-tf32")
+
+#: nominal per-case evaluation mix (the paper's defaults: 20 runs of up to
+#: 2.5M evals, >90% in the local search)
+N_RUNS, POP = 20, 150
+LS_EVALS, GA_EVALS, GENERATIONS = 2_250_000, 250_000, 28
+
+
+def _measure_all() -> dict:
+    us = {}
+    for device in DEVICES:
+        for block in BLOCKS:
+            for backend in BACKENDS:
+                cfg = ConfigKey(device, block, backend)
+                per_case = {}
+                for name in SCALE.speedup_cases:
+                    case = get_test_case(name)
+                    model = RuntimeModel(device, block, backend,
+                                         case.workload(N_RUNS * POP))
+                    per_case[name] = model.us_per_eval(
+                        LS_EVALS, GA_EVALS, GENERATIONS)
+                us[cfg] = per_case
+    return us
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_speedups(benchmark):
+    us = benchmark.pedantic(_measure_all, rounds=1, iterations=1)
+
+    print()
+    print(f"Figure 4: speedups over {len(SCALE.speedup_cases)} cases "
+          f"(geometric mean of per-case us/eval ratios)")
+    rel = {}
+    for block in BLOCKS:
+        reference = ConfigKey("A100", block, "baseline")
+        rows = aggregate_speedups(us, reference)
+        rows = [r for r in rows if r["block"] == block]
+        print()
+        print(format_table(
+            rows, ["device", "block", "backend", "absolute_speedup",
+                   "relative_speedup"],
+            title=f"--- block size {block} "
+                  f"(reference: A100 baseline @{block}) ---"))
+        for r in rows:
+            if "relative_speedup" in r:
+                rel[(r["device"], block)] = r["relative_speedup"]
+
+    print()
+    print(ascii_bars(
+        [(f"{d}/{b}", rel[(d, b)]) for d in DEVICES for b in BLOCKS],
+        title="relative speedup: TCEC vs same-GPU baseline "
+              "(the paper's red arrows)", unit="x"))
+
+    # paper shapes
+    for key, v in rel.items():
+        assert v > 1.0, f"TCEC must beat its baseline at {key}, got {v:.2f}"
+    assert max(rel, key=rel.get) == ("H100", 256), (
+        f"H100@256 should have the peak relative speedup, got {rel}")
+    for device in DEVICES:
+        assert rel[(device, 128)] >= rel[(device, 64)] - 0.02, (
+            f"relative speedup should grow 64->128 on {device}")
+    assert rel[("H100", 256)] > 1.4

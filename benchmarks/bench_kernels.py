@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the reproduction's hot kernels.
+
+Wall-clock timing (pytest-benchmark's bread and butter) for the simulated
+numerical kernels: the three reduction back-ends, the MMA unit, pose
+calculation and the fused gradient kernel.  These guard against
+performance regressions of the *simulator itself* — the paper-shape
+results live in the other bench files.
+"""
+
+import numpy as np
+import pytest
+
+from repro.docking.gradients import GradientCalculator
+from repro.docking.pose import calc_coords
+from repro.reduction import get_reduction_backend
+from repro.tensorcore import mma, tcec_mma
+from repro.testcases import get_test_case
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(64, 256, 4)).astype(np.float32)
+
+
+@pytest.mark.benchmark(group="kernel-reduction")
+@pytest.mark.parametrize("backend", ["baseline", "tc-fp16", "tcec-tf32",
+                                     "exact"])
+def test_reduce4_backends(benchmark, vectors, backend):
+    b = get_reduction_backend(backend)
+    out = benchmark(b.reduce4, vectors)
+    assert out.shape == (64, 4)
+
+
+@pytest.mark.benchmark(group="kernel-mma")
+def test_mma_batched(benchmark):
+    rng = np.random.default_rng(1)
+    a = rng.normal(size=(32, 16, 16)).astype(np.float32)
+    b = rng.normal(size=(32, 16, 16)).astype(np.float32)
+    c = np.zeros((32, 16, 16), dtype=np.float32)
+    out = benchmark(mma, a, b, c, in_format="tf32")
+    assert out.shape == (32, 16, 16)
+
+
+@pytest.mark.benchmark(group="kernel-mma")
+def test_tcec_mma_batched(benchmark):
+    rng = np.random.default_rng(2)
+    a = rng.normal(size=(32, 16, 16)).astype(np.float32)
+    b = rng.normal(size=(32, 16, 16)).astype(np.float32)
+    c = np.zeros((32, 16, 16), dtype=np.float32)
+    out = benchmark(tcec_mma, a, b, c)
+    assert out.shape == (32, 16, 16)
+
+
+@pytest.mark.benchmark(group="kernel-docking")
+def test_pose_calculation(benchmark):
+    case = get_test_case("7cpa")
+    rng = np.random.default_rng(3)
+    genotypes = case.native_genotype[None, :] + rng.normal(0, 0.3, (128, 21))
+    coords = benchmark(calc_coords, case.ligand, genotypes)
+    assert coords.shape == (128, case.ligand.n_atoms, 3)
+
+
+@pytest.mark.benchmark(group="kernel-docking")
+@pytest.mark.parametrize("backend", ["baseline", "tcec-tf32"])
+def test_gradient_kernel(benchmark, backend):
+    case = get_test_case("7cpa")
+    gc = GradientCalculator(case.scoring(), backend)
+    rng = np.random.default_rng(4)
+    genotypes = case.native_genotype[None, :] + rng.normal(0, 0.3, (64, 21))
+    e, g = benchmark(gc, genotypes)
+    assert e.shape == (64,) and g.shape == (64, 21)

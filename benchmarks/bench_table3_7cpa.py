@@ -1,0 +1,73 @@
+"""Table 3: full metrics for the 7cpa test case on the A100.
+
+Runs real docking (baseline and TCEC back-ends), collecting the paper's
+Table 3 columns: actual score evaluations, best score @ RMSD, best RMSD @
+score, and docking-runtime statistics over 100 samples.
+
+Expected shapes: both back-ends consume a similar number of evaluations
+(the budgets dominate), TCEC's runtime and µs/eval are lower, and runtime
+variability is ~1% (Table 3 reports std.dev 0.02 s on 2.3 s).
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, e50_lga_config
+from repro.analysis.tables import format_table
+from repro.core import DockingConfig, DockingEngine
+from repro.testcases import get_test_case
+
+SCALE = bench_scale()
+
+
+def _dock(backend: str):
+    case = get_test_case("7cpa")
+    cfg = DockingConfig(backend=backend, device="A100", block_size=64,
+                        lga=e50_lga_config(SCALE.e50_max_evals))
+    engine = DockingEngine(case, cfg)
+    result = engine.dock(n_runs=SCALE.table3_runs, seed=31)
+    stats = engine.runtime_statistics(result, n_samples=100, seed=1)
+    return result, stats
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_7cpa_metrics(benchmark):
+    def run():
+        return {b: _dock(b) for b in ("baseline", "tcec-tf32")}
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for backend, (res, stats) in out.items():
+        rows.append({
+            "impl": backend,
+            "N_evals": res.total_evals,
+            "best_score": res.best_score,
+            "@RMSD": res.rmsd_of_best,
+            "best_RMSD": res.best_rmsd,
+            "@score": res.score_of_best_rmsd,
+            "runtime_s": res.runtime_seconds,
+            "min": stats["min"], "max": stats["max"],
+            "avg": stats["avg"], "std": stats["std"],
+            "us/eval": res.us_per_eval,
+        })
+    print()
+    print(format_table(
+        rows, ["impl", "N_evals", "best_score", "@RMSD", "best_RMSD",
+               "@score", "runtime_s", "min", "max", "avg", "std",
+               "us/eval"],
+        title=f"Table 3: 7cpa on A100/64 ({SCALE.table3_runs} LGA runs, "
+              f"100 runtime samples)"))
+
+    base, tcec = out["baseline"][0], out["tcec-tf32"][0]
+    # TCEC needs less time per evaluation (paper: 0.911 -> 0.791 µs/eval)
+    assert tcec.us_per_eval < base.us_per_eval
+    ratio = base.us_per_eval / tcec.us_per_eval
+    assert 1.05 < ratio < 1.35
+    # runtime variability ~1%
+    for backend, (res, stats) in out.items():
+        assert stats["std"] / stats["avg"] < 0.03
+        assert stats["min"] <= stats["avg"] <= stats["max"]
+    # both implementations produce deep, near-native best poses
+    case = get_test_case("7cpa")
+    assert base.best_score < case.global_min_score + 3.0
+    assert tcec.best_score < case.global_min_score + 3.0

@@ -1,0 +1,78 @@
+"""Table 6: ADADELTA kernel profiling metrics (Nsight-Compute analogue).
+
+One simulated kernel execution per (GPU, block, implementation): execution
+time, operational intensity, achieved GFLOP/s, FMA/ALU/TC utilisation.
+
+Expected shapes: TCEC is faster and achieves higher GFLOP/s than its
+baseline everywhere; execution time drops on newer GPUs; TC utilisation is
+nonzero only for the TC build (plus the documented Nsight version quirk on
+A100/H100 baselines); B200 has the highest TC utilisation.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.simt.profiler import profile_kernel
+from repro.testcases import get_test_case
+
+DEVICES = ("A100", "H100", "B200")
+BLOCKS = (64, 128, 256)
+ITERATIONS = 300
+
+
+def _profile_all():
+    wl = get_test_case("7cpa").workload(20 * 150)
+    rows = []
+    for device in DEVICES:
+        for backend in ("baseline", "tcec-tf32"):
+            for block in BLOCKS:
+                rows.append(profile_kernel(device, block, backend, wl,
+                                           iterations=ITERATIONS))
+    return rows
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_kernel_profile(benchmark):
+    profiles = benchmark(_profile_all)
+    rows = [p.as_row() for p in profiles]
+    print()
+    print(format_table(
+        rows, ["device", "backend", "block", "time_ms", "OI", "GFLOP/s",
+               "FMA%", "ALU%", "TC%"],
+        title="Table 6: ADADELTA kernel profile (7cpa, one execution)"))
+
+    by = {(p.device, p.backend, p.block_size): p for p in profiles}
+
+    for d in DEVICES:
+        for b in BLOCKS:
+            base = by[(d, "baseline", b)]
+            tcec = by[(d, "tcec-tf32", b)]
+            # TCEC shortens the kernel and raises GFLOP/s (Table 6)
+            assert tcec.exec_time_ms < base.exec_time_ms
+            assert tcec.gflops > base.gflops
+            # TC pipe active only in the TC build
+            assert tcec.tc_util_pct > 0.05
+            # execution time grows with block size
+        t = [by[(d, "baseline", b)].exec_time_ms for b in BLOCKS]
+        assert t[0] < t[1] < t[2]
+
+    # newer GPUs are faster at fixed configuration
+    for b in BLOCKS:
+        times = [by[(d, "tcec-tf32", b)].exec_time_ms for d in DEVICES]
+        assert times[0] > times[1] > times[2]
+
+    # TC utilisation grows with block size (paper: e.g. B200 3.1 -> 4.7%);
+    # the paper's cross-device ordering (B200 highest in absolute %) is a
+    # Nsight counter detail the capacity-normalised model does not
+    # reproduce — see EXPERIMENTS.md "Known deviations"
+    for d in DEVICES:
+        u = [by[(d, "tcec-tf32", b)].tc_util_pct for b in BLOCKS]
+        assert u[0] < u[2], (d, u)
+
+    # A100 TCEC@64 lands near the paper's 72.8 ms (loose)
+    assert by[("A100", "tcec-tf32", 64)].exec_time_ms == \
+        pytest.approx(72.8, rel=0.25)
+
+    # Nsight version quirk: phantom baseline TC% on A100/H100, zero on B200
+    assert by[("A100", "baseline", 64)].tc_util_pct > 0.0
+    assert by[("B200", "baseline", 64)].tc_util_pct == 0.0

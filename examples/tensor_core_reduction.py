@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The matrix-shaped Tensor Core reduction, step by step (Listing 1).
+
+Walks through the Schieffer-Peng algorithm (Equations 1-4) on the
+simulated Tensor Core, in both flavours the paper compares:
+
+1. the FP16 WMMA version with the accumulator held in the Tensor Core
+   (the paper's Listing 1, bottom) — watch the rounding error grow, and
+   the saturation once values exceed FP16 range;
+2. the TCEC version (Listing 1, top): TF32 operands, error-corrected
+   products, FP32 round-to-nearest accumulation outside the Tensor Core.
+
+Run:  python examples/tensor_core_reduction.py
+"""
+
+import numpy as np
+
+from repro.reduction import (
+    build_p_matrix,
+    build_q_matrix,
+    get_reduction_backend,
+    pack_vectors,
+)
+from repro.tensorcore import wmma
+
+
+def listing1_single_tile(data: np.ndarray) -> np.ndarray:
+    """The literal Listing 1 code shape: V = A x P + V on fragments."""
+    frag_a = wmma.fragment(wmma.matrix_a, fmt="tf32")
+    frag_p = wmma.fragment(wmma.matrix_b, fmt="tf32")
+    frag_v = wmma.fragment(wmma.accumulator)
+    wmma.load_matrix_sync(frag_a, data, 16, wmma.col_major)
+    wmma.fill_fragment(frag_p, 1.0)
+    wmma.fill_fragment(frag_v, 0.0)
+    wmma.mma_sync(frag_v, frag_a, frag_p, frag_v)
+    tmp = np.zeros(256, dtype=np.float32)
+    wmma.store_matrix_sync(tmp, frag_v, 16, wmma.mem_col_major)
+    return tmp.reshape(16, 16).T
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    print("=== Equation (2): the A / P / Q matrices ===")
+    vectors = rng.normal(size=(64, 4)).astype(np.float32)
+    a = pack_vectors(vectors)[0]
+    print(f"A tile (64 {{x,y,z,e}} vectors, column-major): {a.shape}")
+    print(f"P = ones{build_p_matrix().shape}, "
+          f"Q = 4x4 grid of I_4 -> {build_q_matrix().shape}")
+
+    print("\n=== Listing 1: V = A x P + V on WMMA fragments ===")
+    v = listing1_single_tile(a.T.ravel())
+    exact_rows = a.astype(np.float64).sum(axis=1)
+    print(f"row-sum error after one mma: "
+          f"{np.max(np.abs(v[:, 0] - exact_rows)):.2e}")
+
+    print("\n=== Reducing many vectors: error accumulation ===")
+    n = 4096
+    big = (rng.normal(size=(n, 4)) * 3 + 1.0).astype(np.float32)
+    exact = big.astype(np.float64).sum(axis=0)
+    for name in ("baseline", "tc-fp16", "tcec-tf32"):
+        got = get_reduction_backend(name).reduce4(big[None])[0]
+        err = np.abs(got - exact) / np.abs(exact)
+        print(f"{name:10s}: sums {np.round(got, 2)}  "
+              f"max rel err {np.max(err):.2e}")
+
+    print("\n=== FP16 saturation: the docking failure mode ===")
+    spiky = big.copy()
+    spiky[:40, 0] = 9_000.0        # clash-like gradient spikes
+    exact = spiky.astype(np.float64).sum(axis=0)
+    for name in ("tc-fp16", "tcec-tf32"):
+        got = get_reduction_backend(name).reduce4(spiky[None])[0]
+        print(f"{name:10s}: x-sum = {got[0]:.6g} "
+              f"(exact {exact[0]:.6g})")
+    print("\nThe FP16 accumulator overflows at 65504 and the sum is lost;")
+    print("TCEC's TF32 range and external FP32 accumulation survive —")
+    print("this is why the paper's Figure 3 recovers Figure 1's accuracy.")
+
+
+if __name__ == "__main__":
+    main()

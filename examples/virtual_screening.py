@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Virtual screening: rank a small ligand library against binding pockets.
+
+The workload the paper's introduction motivates: molecular docking is used
+to identify ligands with favourable binding energy among many candidates.
+This example docks several set-of-42 ligands (each into its own pocket),
+ranks them by best score, and reports the screening throughput implied by
+the simulated A100 runtime — comparing the SM-only baseline against TCEC.
+
+Run:  python examples/virtual_screening.py
+"""
+
+from repro import DockingConfig, DockingEngine, get_test_case
+from repro.search.lga import LGAConfig
+
+LIBRARY = ["1u4d", "1yv3", "2bm2", "3ce3", "7cpa"]
+
+
+def main() -> None:
+    lga = LGAConfig(pop_size=25, max_evals=6_000, max_gens=200,
+                    ls_iters=60, ls_rate=0.2)
+
+    print(f"Screening {len(LIBRARY)} ligand-receptor complexes "
+          f"(4 LGA runs each)\n")
+
+    table = []
+    runtimes = {"baseline": 0.0, "tcec-tf32": 0.0}
+    for name in LIBRARY:
+        case = get_test_case(name)
+        row = {"case": name, "n_rot": case.n_rot}
+        for backend in ("baseline", "tcec-tf32"):
+            cfg = DockingConfig(backend=backend, device="A100",
+                                block_size=64, lga=lga)
+            result = DockingEngine(case, cfg).dock(n_runs=4, seed=11)
+            runtimes[backend] += result.runtime_seconds
+            if backend == "tcec-tf32":
+                row["score"] = result.best_score
+                row["rmsd"] = result.rmsd_of_best
+                row["evals"] = result.total_evals
+        table.append(row)
+
+    table.sort(key=lambda r: r["score"])
+    print(f"{'rank':>4s} {'case':>6s} {'N_rot':>5s} {'best score':>11s} "
+          f"{'RMSD':>6s} {'evals':>7s}")
+    for k, r in enumerate(table, 1):
+        print(f"{k:4d} {r['case']:>6s} {r['n_rot']:5d} "
+              f"{r['score']:11.2f} {r['rmsd']:6.2f} {r['evals']:7d}")
+
+    print()
+    speedup = runtimes["baseline"] / runtimes["tcec-tf32"]
+    print(f"Simulated A100 screening time: "
+          f"baseline {runtimes['baseline']:.2f} s, "
+          f"TCEC {runtimes['tcec-tf32']:.2f} s "
+          f"-> {speedup:.2f}x faster with Tensor Cores")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — Tensor Core-based reductions for irregular molecular docking.
+
+A complete Python reproduction of "Architecting Tensor Core-Based
+Reductions for Irregular Molecular Docking Kernels" (IA3 / SC'25):
+an AutoDock-GPU-style docking engine whose ADADELTA gradient kernel can
+route its seven block-level sum reductions through
+
+* an FP32 SIMT tree (the baseline),
+* Schieffer & Peng's FP16 Tensor Core matrix reduction, or
+* the paper's error-corrected TF32 variant (TCEC),
+
+over a numerically faithful software Tensor Core and an analytic
+A100/H100/B200 performance model.
+
+Quick start::
+
+    from repro import DockingEngine, DockingConfig, get_test_case
+
+    result = DockingEngine(get_test_case("7cpa"),
+                           DockingConfig(backend="tcec-tf32")).dock(n_runs=10)
+    print(result.best_score, result.us_per_eval)
+"""
+
+from repro.core import DockingConfig, DockingEngine, DockingResult
+from repro.testcases import get_test_case, set_of_42
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DockingConfig",
+    "DockingEngine",
+    "DockingResult",
+    "get_test_case",
+    "set_of_42",
+    "__version__",
+]

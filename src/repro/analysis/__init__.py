@@ -1,0 +1,45 @@
+"""Evaluation machinery: success criteria, E50, Amdahl model, runtimes.
+
+* :mod:`repro.analysis.success` — the paper's two success criteria (score
+  within 1.0 kcal/mol of the global minimum; RMSD within 2 Å of the native
+  pose) applied to LGA run histories;
+* :mod:`repro.analysis.e50` — the E50 metric: score evaluations needed for
+  a 50% probability of finding the global minimum (Section 4);
+* :mod:`repro.analysis.amdahl` — Equation (6) and the predicted-speedup
+  tables (Tables 4 and 5);
+* :mod:`repro.analysis.runtime` — docking-runtime synthesis from eval
+  counts and the kernel cost model (the µs/eval primary metric);
+* :mod:`repro.analysis.speedup` — absolute/relative speedup aggregation
+  across the test set (Figure 4);
+* :mod:`repro.analysis.tables` — plain-text table/figure rendering.
+"""
+
+from repro.analysis.amdahl import predicted_speedup, speedup_table
+from repro.analysis.campaign import CampaignResult, E50Campaign
+from repro.analysis.clustering import PoseCluster, cluster_poses, cluster_result
+from repro.analysis.e50 import E50Estimate, bootstrap_e50_ci, estimate_e50
+from repro.analysis.runtime import RuntimeModel
+from repro.analysis.speedup import aggregate_speedups
+from repro.analysis.success import RunOutcome, SuccessCriteria, evaluate_run
+from repro.analysis.trajectory import fitted_curve, format_curves, success_curve
+
+__all__ = [
+    "predicted_speedup",
+    "CampaignResult",
+    "E50Campaign",
+    "PoseCluster",
+    "cluster_poses",
+    "cluster_result",
+    "speedup_table",
+    "E50Estimate",
+    "bootstrap_e50_ci",
+    "estimate_e50",
+    "RuntimeModel",
+    "aggregate_speedups",
+    "RunOutcome",
+    "SuccessCriteria",
+    "evaluate_run",
+    "fitted_curve",
+    "format_curves",
+    "success_curve",
+]

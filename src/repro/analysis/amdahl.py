@@ -1,0 +1,51 @@
+"""The Amdahl's-law performance model of Section 5.1.1 (Equation 6).
+
+Predicted speedup of offloading the fraction ``f`` of kernel work to
+Tensor Cores whose throughput is ``S`` times the FP32 SIMT peak:
+
+    speedup = 1 / (f / S + (1 - f))
+
+``S`` per device is the Table 2 throughput ratio (A100 8.0x, H100 7.4x,
+B200 15.0x); the *effective* fraction is ``f_eff = 0.9 f`` because the
+ADADELTA kernel accounts for ~90% of the docking runtime.
+"""
+
+from __future__ import annotations
+
+from repro.simt.devices import DeviceSpec, get_device, list_devices
+
+__all__ = ["predicted_speedup", "effective_fraction", "speedup_table",
+           "ADADELTA_RUNTIME_SHARE"]
+
+#: share of total docking runtime spent in the ADADELTA kernel (Section 2.1)
+ADADELTA_RUNTIME_SHARE = 0.9
+
+
+def predicted_speedup(f: float, s: float) -> float:
+    """Equation (6): Amdahl speedup for TC fraction ``f`` and ratio ``s``."""
+    if not 0.0 <= f <= 1.0:
+        raise ValueError(f"f must be in [0, 1], got {f}")
+    if s <= 0:
+        raise ValueError(f"S must be positive, got {s}")
+    return 1.0 / (f / s + (1.0 - f))
+
+
+def effective_fraction(f_kernel: float,
+                       kernel_share: float = ADADELTA_RUNTIME_SHARE) -> float:
+    """``f_eff = kernel_share * f`` — the program-level accelerated fraction
+    for a kernel-level Tensor Core fraction ``f_kernel``."""
+    return kernel_share * f_kernel
+
+
+def speedup_table(f_values: tuple[float, ...] = (0.0, 0.2, 0.9, 1.0),
+                  devices: list[DeviceSpec | str] | None = None
+                  ) -> list[dict]:
+    """Rows of the paper's Table 4: predicted speedups over an ``f`` grid."""
+    devs = [get_device(d) for d in (devices or list_devices())]
+    rows = []
+    for f in f_values:
+        row: dict = {"f": f}
+        for dev in devs:
+            row[dev.name] = predicted_speedup(f, dev.tensor_speedup)
+        rows.append(row)
+    return rows

@@ -1,0 +1,128 @@
+"""Experiment campaigns: the (cases x back-ends) sweeps behind the figures.
+
+A campaign runs the same LGA configuration for every (test case, reduction
+back-end) pair and distils the success statistics the paper's evaluation
+reports.  Results serialise to plain dicts (JSON-ready) so long sweeps can
+be checkpointed and re-analysed.
+
+Used by the benchmark harness (Figures 1/3) and available as public API
+for custom studies::
+
+    from repro.analysis.campaign import E50Campaign
+
+    campaign = E50Campaign(cases=["5kao", "7cpa"],
+                           backends=["baseline", "tcec-tf32"],
+                           n_runs=24, max_evals=15_000)
+    results = campaign.run()
+    print(campaign.to_rows(results))
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.e50 import bootstrap_e50_ci, estimate_e50
+from repro.analysis.success import SuccessCriteria, evaluate_run
+from repro.search.lga import LGAConfig
+from repro.search.parallel import ParallelLGA
+from repro.testcases import get_test_case
+
+__all__ = ["E50Campaign", "CampaignResult"]
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Success statistics of one (case, back-end) cell."""
+
+    case: str
+    backend: str
+    n_runs: int
+    budget: int
+    score_successes: int
+    rmsd_successes: int
+    e50_score: float
+    e50_rmsd: float
+    e50_score_ci: tuple[float, float]
+    best_score: float
+
+    def as_dict(self) -> dict:
+        d = dict(self.__dict__)
+        d["e50_score_ci"] = list(self.e50_score_ci)
+        return d
+
+
+@dataclass
+class E50Campaign:
+    """A (cases x back-ends) E50 sweep with shared LGA settings.
+
+    Parameters mirror the scaled-down reproduction defaults; pass a full
+    :class:`~repro.search.lga.LGAConfig` via ``lga`` to override
+    everything.
+    """
+
+    cases: list[str]
+    backends: list[str]
+    n_runs: int = 24
+    max_evals: int = 15_000
+    seed: int = 2025
+    lga: LGAConfig | None = None
+    criteria: SuccessCriteria = field(default_factory=SuccessCriteria)
+
+    def _config(self) -> LGAConfig:
+        return self.lga or LGAConfig(
+            pop_size=30, max_evals=self.max_evals, max_gens=300,
+            ls_iters=100, ls_rate=0.15)
+
+    def run_cell(self, case_name: str, backend: str) -> CampaignResult:
+        """Run one (case, back-end) cell."""
+        case = get_test_case(case_name)
+        runner = ParallelLGA(case.scoring(), backend, self._config(),
+                             seed=self.seed)
+        results = runner.run(self.n_runs)
+        outcomes = [evaluate_run(r, case, self.criteria) for r in results]
+        budgets = [r.evals_used for r in results]
+        t_score = [o.first_success_score for o in outcomes]
+        t_rmsd = [o.first_success_rmsd for o in outcomes]
+        est_s = estimate_e50(t_score, budgets)
+        est_r = estimate_e50(t_rmsd, budgets)
+        ci = bootstrap_e50_ci(t_score, budgets, n_boot=500, seed=self.seed)
+        return CampaignResult(
+            case=case_name, backend=backend, n_runs=self.n_runs,
+            budget=budgets[0],
+            score_successes=est_s.n_success,
+            rmsd_successes=est_r.n_success,
+            e50_score=est_s.e50, e50_rmsd=est_r.e50,
+            e50_score_ci=ci,
+            best_score=min(r.best_score for r in results),
+        )
+
+    def run(self, progress=None) -> list[CampaignResult]:
+        """Run every cell; ``progress(case, backend)`` is called per cell."""
+        out = []
+        for case in self.cases:
+            for backend in self.backends:
+                if progress is not None:
+                    progress(case, backend)
+                out.append(self.run_cell(case, backend))
+        return out
+
+    @staticmethod
+    def to_rows(results: list[CampaignResult]) -> list[dict]:
+        """Flat dict rows for table rendering."""
+        return [r.as_dict() for r in results]
+
+    @staticmethod
+    def save(results: list[CampaignResult], path: str | Path) -> None:
+        """Checkpoint results as JSON."""
+        Path(path).write_text(json.dumps(
+            [r.as_dict() for r in results], indent=2))
+
+    @staticmethod
+    def load(path: str | Path) -> list[CampaignResult]:
+        """Load a checkpoint written by :meth:`save`."""
+        rows = json.loads(Path(path).read_text())
+        return [CampaignResult(**{**r, "e50_score_ci":
+                                  tuple(r["e50_score_ci"])})
+                for r in rows]

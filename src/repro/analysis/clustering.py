@@ -1,0 +1,113 @@
+"""RMSD-based pose clustering — AutoDock's conformational analysis.
+
+AutoDock groups the final poses of a multi-run docking into clusters: the
+poses are sorted by score; each pose joins the first existing cluster whose
+seed (lowest-energy member) lies within the RMSD tolerance, or founds a new
+cluster.  The ``.dlg`` reports the familiar ``CLUSTERING HISTOGRAM``.  The
+same procedure applied to a :class:`~repro.core.engine.DockingResult`
+summarises how reproducibly the search finds each basin — and, with the
+native pose as reference, which cluster is the native one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.docking.pose import calc_coords
+from repro.docking.rmsd import rmsd
+
+__all__ = ["PoseCluster", "cluster_poses", "cluster_result",
+           "format_clustering_histogram"]
+
+
+@dataclass
+class PoseCluster:
+    """One conformational cluster."""
+
+    seed_index: int            # index of the lowest-energy member
+    member_indices: list[int] = field(default_factory=list)
+    best_score: float = float("inf")
+    mean_score: float = float("nan")
+    seed_rmsd_to_native: float = float("nan")
+
+    @property
+    def size(self) -> int:
+        return len(self.member_indices)
+
+
+def cluster_poses(coords: np.ndarray, scores: np.ndarray,
+                  tolerance: float = 2.0,
+                  native: np.ndarray | None = None) -> list[PoseCluster]:
+    """Cluster poses by RMSD with AutoDock's greedy seed procedure.
+
+    Parameters
+    ----------
+    coords:
+        ``(n_poses, n_atoms, 3)`` pose coordinates.
+    scores:
+        ``(n_poses,)`` scores (lower is better).
+    tolerance:
+        Cluster RMSD tolerance [Å] (AutoDock default 2.0).
+    native:
+        Optional native pose for per-cluster native-RMSD annotation.
+
+    Returns
+    -------
+    Clusters ordered by their seed's score (best first).
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if coords.ndim != 3 or coords.shape[0] != scores.shape[0]:
+        raise ValueError("coords must be (n_poses, n_atoms, 3) matching scores")
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+
+    order = np.argsort(scores)
+    clusters: list[PoseCluster] = []
+    for idx in order:
+        for cl in clusters:
+            if rmsd(coords[idx], coords[cl.seed_index]) <= tolerance:
+                cl.member_indices.append(int(idx))
+                break
+        else:
+            clusters.append(PoseCluster(seed_index=int(idx),
+                                        member_indices=[int(idx)]))
+
+    for cl in clusters:
+        member_scores = scores[cl.member_indices]
+        cl.best_score = float(member_scores.min())
+        cl.mean_score = float(member_scores.mean())
+        if native is not None:
+            cl.seed_rmsd_to_native = float(
+                rmsd(coords[cl.seed_index], native))
+    return clusters
+
+
+def cluster_result(result, case, tolerance: float = 2.0
+                   ) -> list[PoseCluster]:
+    """Cluster a :class:`~repro.core.engine.DockingResult`'s per-run best
+    poses against its :class:`~repro.testcases.generator.TestCase`."""
+    genos = np.stack([r.best_genotype for r in result.runs])
+    coords = calc_coords(case.ligand, genos)
+    scores = np.array([r.best_score for r in result.runs])
+    return cluster_poses(coords, scores, tolerance=tolerance,
+                         native=case.native_coords)
+
+
+def format_clustering_histogram(clusters: list[PoseCluster]) -> str:
+    """AutoDock-style clustering histogram text block."""
+    lines = [
+        "CLUSTERING HISTOGRAM",
+        f"{'clu':>4s} {'best kcal/mol':>14s} {'mean':>8s} {'runs':>5s} "
+        f"{'rmsd_native':>12s}  histogram",
+        "-" * 64,
+    ]
+    for k, cl in enumerate(clusters, 1):
+        native = ("" if np.isnan(cl.seed_rmsd_to_native)
+                  else f"{cl.seed_rmsd_to_native:12.2f}")
+        lines.append(
+            f"{k:4d} {cl.best_score:14.2f} {cl.mean_score:8.2f} "
+            f"{cl.size:5d} {native:>12s}  " + "#" * cl.size)
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""The E50 metric: evaluations to a 50% probability of search success.
+
+E50 (Santos-Martins et al., 2021; Section 4 of the paper) is the number of
+score evaluations at which an LGA run reaches a 50% probability of finding
+the global minimum.  Success-by-budget is well modelled by the saturating
+exponential ``p(n) = 1 - exp(-lambda n)`` (independent restarts hit a
+geometric discovery process); runs that never succeed within their budget
+are right-censored observations.  The censored maximum-likelihood estimate
+has the closed form
+
+    lambda_hat = (#successes) / (sum of observed success times
+                                 + sum of censoring budgets)
+    E50 = ln(2) / lambda_hat
+
+which degrades gracefully to ``inf`` when nothing succeeded.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["E50Estimate", "estimate_e50", "bootstrap_e50_ci"]
+
+
+@dataclass(frozen=True)
+class E50Estimate:
+    """E50 with its supporting statistics."""
+
+    e50: float                 # evaluations; inf when no run succeeded
+    n_runs: int
+    n_success: int
+    success_rate: float
+    mean_success_evals: float  # mean of the observed success times (nan if 0)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        e = "inf" if math.isinf(self.e50) else f"{self.e50:.3g}"
+        return (f"E50={e} evals ({self.n_success}/{self.n_runs} runs "
+                f"succeeded)")
+
+
+def estimate_e50(first_success_evals: list[int | None],
+                 budgets: list[int] | int) -> E50Estimate:
+    """Estimate E50 from per-run first-success evaluation counts.
+
+    Parameters
+    ----------
+    first_success_evals:
+        One entry per run: the evaluation count at first success, or
+        ``None`` for a run that never succeeded.
+    budgets:
+        Per-run evaluation budgets (censoring points), or a single shared
+        budget.
+    """
+    n = len(first_success_evals)
+    if n == 0:
+        raise ValueError("need at least one run")
+    if isinstance(budgets, int):
+        budgets = [budgets] * n
+    if len(budgets) != n:
+        raise ValueError("budgets length must match runs")
+
+    exposure = 0.0
+    successes = 0
+    total_success_time = 0.0
+    for t, b in zip(first_success_evals, budgets):
+        if t is not None:
+            if t > b:
+                raise ValueError(f"success time {t} exceeds budget {b}")
+            exposure += t
+            successes += 1
+            total_success_time += t
+        else:
+            exposure += b
+
+    if successes == 0 or exposure <= 0:
+        e50 = math.inf
+    else:
+        lam = successes / exposure
+        e50 = math.log(2.0) / lam
+    return E50Estimate(
+        e50=e50,
+        n_runs=n,
+        n_success=successes,
+        success_rate=successes / n,
+        mean_success_evals=(total_success_time / successes
+                            if successes else math.nan),
+    )
+
+
+def bootstrap_e50_ci(first_success_evals: list[int | None],
+                     budgets: list[int] | int,
+                     confidence: float = 0.9,
+                     n_boot: int = 2000,
+                     seed: int = 0) -> tuple[float, float]:
+    """Bootstrap confidence interval for E50.
+
+    Resamples runs with replacement; censored runs resample as censored.
+    Returns the (lo, hi) percentile interval; ``inf`` endpoints appear when
+    resamples contain no successes.  Useful because scaled-down budgets
+    leave E50 with substantial run-level variance (see EXPERIMENTS.md).
+    """
+    import numpy as np
+
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    n = len(first_success_evals)
+    if n == 0:
+        raise ValueError("need at least one run")
+    if isinstance(budgets, int):
+        budgets = [budgets] * n
+
+    rng = np.random.default_rng(seed)
+    estimates = []
+    for _ in range(n_boot):
+        idx = rng.integers(0, n, size=n)
+        est = estimate_e50([first_success_evals[i] for i in idx],
+                           [budgets[i] for i in idx])
+        estimates.append(est.e50)
+    alpha = (1.0 - confidence) / 2.0
+    arr = np.asarray(estimates)
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return math.inf, math.inf
+    # infinite resamples (no successes) sit above every finite quantile
+    lo = float(np.quantile(finite, min(1.0, alpha * arr.size / finite.size)))
+    hi_q = 1.0 - alpha
+    if hi_q * arr.size >= finite.size:
+        hi = math.inf
+    else:
+        hi = float(np.quantile(finite, hi_q * arr.size / finite.size))
+    return lo, hi

@@ -1,0 +1,74 @@
+"""Plain-text figure rendering (no plotting dependencies).
+
+The benchmark harness prints each figure's data as a table *and* as an
+ASCII chart close to the paper's visual: a log-log scatter with the
+identity diagonal for the E50 comparisons (Figures 1/3) and grouped bars
+for the speedup chart (Figure 4).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ascii_scatter_loglog", "ascii_bars"]
+
+
+def ascii_scatter_loglog(points: list[tuple[str, float, float]],
+                         width: int = 48, height: int = 20,
+                         xlabel: str = "x", ylabel: str = "y",
+                         title: str | None = None) -> str:
+    """Log-log scatter with the identity diagonal (`.`), one letter per
+    case (first character of its label; `*` on collisions)."""
+    finite = [(l, x, y) for l, x, y in points
+              if x > 0 and y > 0 and math.isfinite(x) and math.isfinite(y)]
+    if not finite:
+        return f"{title or ''}\n(no finite points)"
+    los = min(min(x for _, x, _ in finite), min(y for _, _, y in finite))
+    his = max(max(x for _, x, _ in finite), max(y for _, _, y in finite))
+    lo, hi = math.log10(los) - 0.1, math.log10(his) + 0.1
+    span = hi - lo
+
+    def col(v: float) -> int:
+        return min(width - 1, max(0, int((math.log10(v) - lo) / span
+                                         * (width - 1))))
+
+    def row(v: float) -> int:
+        return min(height - 1, max(0, int((math.log10(v) - lo) / span
+                                          * (height - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    # identity diagonal
+    for c in range(width):
+        r = int(c * (height - 1) / (width - 1))
+        grid[height - 1 - r][c] = "."
+    # points
+    for label, x, y in finite:
+        r, c = height - 1 - row(y), col(x)
+        grid[r][c] = "*" if grid[r][c] not in (" ", ".") else label[0]
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{ylabel} (log)")
+    lines += ["|" + "".join(r) for r in grid]
+    lines.append("+" + "-" * width + f"> {xlabel} (log)")
+    lines.append("legend: " + ", ".join(
+        f"{l[0]}={l}" for l, _, _ in finite))
+    lines.append("points above the diagonal need more evaluations")
+    return "\n".join(lines)
+
+
+def ascii_bars(rows: list[tuple[str, float]], width: int = 40,
+               title: str | None = None, unit: str = "") -> str:
+    """Horizontal bar chart for labelled values (Figure 4 style)."""
+    if not rows:
+        return f"{title or ''}\n(empty)"
+    vmax = max(v for _, v in rows)
+    if vmax <= 0:
+        raise ValueError("bar values must be positive")
+    label_w = max(len(l) for l, _ in rows)
+    lines = [title] if title else []
+    for label, v in rows:
+        bar = "#" * max(1, int(round(v / vmax * width)))
+        lines.append(f"{label.rjust(label_w)} |{bar} {v:.2f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Docking-runtime synthesis: eval counts x kernel cost model -> seconds.
+
+The paper's primary performance indicator is docking runtime normalised by
+the actual number of score evaluations (µs/eval), because the stochastic
+search makes raw wall-clock unstable.  This module converts an LGA
+execution's evaluation counts into a simulated program-level runtime:
+
+* local-search evaluations cost one ADADELTA kernel iteration each (the
+  fused energy+gradient pass with the back-end-dependent reductions);
+* genetic-algorithm evaluations cost one scoring-only kernel iteration;
+* a per-generation host<->device transfer/launch overhead is added on top,
+  with a seeded jitter term reproducing the run-to-run variability the
+  paper reports (Table 3's min/max/avg/stddev over 100 samples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simt.costmodel import KernelCostModel, KernelWorkload
+from repro.simt.devices import DeviceSpec
+
+__all__ = ["RuntimeModel", "RuntimeSample"]
+
+#: host-side launch + transfer overhead per generation [s]
+_LAUNCH_OVERHEAD_S = 1.2e-4
+
+#: fixed program setup/teardown overhead [s]
+_SETUP_OVERHEAD_S = 0.05
+
+#: relative sigma of the run-to-run runtime jitter
+_JITTER_SIGMA = 0.012
+
+#: Straggler utilisation of the ADADELTA kernel: individuals converge after
+#: a variable number of iterations while the launch runs until its slowest
+#: block finishes, so a launch retires far fewer evaluations than dense
+#: iteration would (the "variable execution performance" of the paper's
+#: keywords).  Calibrated so the A100 baseline lands at the paper's
+#: ~0.91 µs/eval; it divides out of every speedup ratio.
+LS_UTILIZATION = 0.105
+
+
+@dataclass(frozen=True)
+class RuntimeSample:
+    """One simulated docking runtime."""
+
+    seconds: float
+    n_evals: int
+
+    @property
+    def us_per_eval(self) -> float:
+        """The paper's primary metric [µs/eval]."""
+        return self.seconds * 1e6 / self.n_evals
+
+
+class RuntimeModel:
+    """Simulated program-level docking runtime for one configuration.
+
+    Parameters
+    ----------
+    device / block_size / backend:
+        Kernel configuration (see :class:`~repro.simt.costmodel.KernelCostModel`).
+    workload:
+        The docking problem's kernel shape (per-case loop bounds and grid
+        size, from :meth:`repro.testcases.generator.TestCase.workload`).
+    """
+
+    def __init__(self, device: DeviceSpec | str, block_size: int,
+                 backend: str, workload: KernelWorkload) -> None:
+        self.model = KernelCostModel(device, block_size, backend)
+        self.workload = workload
+        # per-grid-iteration wall times; each iteration advances every
+        # *active* block by one evaluation, and straggler blocks keep the
+        # launch alive (LS_UTILIZATION)
+        self._t_ls_iter = (self.model.iteration_cost(workload).seconds
+                           / LS_UTILIZATION)
+        self._t_ga_iter = self.model.score_only_seconds(workload)
+
+    def runtime_seconds(self, ls_evals: int, ga_evals: int,
+                        generations: int) -> float:
+        """Deterministic runtime for the given evaluation counts."""
+        n_blocks = self.workload.n_blocks
+        ls_iters = ls_evals / n_blocks
+        ga_iters = ga_evals / n_blocks
+        return (_SETUP_OVERHEAD_S
+                + ls_iters * self._t_ls_iter
+                + ga_iters * self._t_ga_iter
+                + generations * _LAUNCH_OVERHEAD_S)
+
+    def sample(self, ls_evals: int, ga_evals: int, generations: int,
+               rng: np.random.Generator) -> RuntimeSample:
+        """Runtime with seeded run-to-run jitter (clock/DVFS variability)."""
+        base = self.runtime_seconds(ls_evals, ga_evals, generations)
+        jitter = float(np.exp(rng.normal(0.0, _JITTER_SIGMA)))
+        return RuntimeSample(seconds=base * jitter,
+                             n_evals=ls_evals + ga_evals)
+
+    def us_per_eval(self, ls_evals: int, ga_evals: int,
+                    generations: int) -> float:
+        """Deterministic µs/eval for the given evaluation mix."""
+        total = ls_evals + ga_evals
+        if total <= 0:
+            raise ValueError("need a positive evaluation count")
+        return self.runtime_seconds(ls_evals, ga_evals, generations) \
+            * 1e6 / total

@@ -1,0 +1,92 @@
+"""Speedup aggregation across the evaluation set (Figure 4).
+
+The paper reports two speedup families over the 42-case set:
+
+* **absolute** — each (GPU, block size, implementation) configuration's
+  aggregated µs/eval relative to the A100 SM-only baseline;
+* **relative** — TCEC's aggregated µs/eval relative to its own baseline on
+  the same GPU and block size.
+
+Aggregation over cases uses the geometric mean of per-case performance
+ratios, the standard way to aggregate relative performance without letting
+a single large case dominate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ConfigKey", "aggregate_speedups", "geometric_mean"]
+
+
+@dataclass(frozen=True, order=True)
+class ConfigKey:
+    """One measured configuration."""
+
+    device: str
+    block_size: int
+    backend: str
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("empty input")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean needs positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def aggregate_speedups(
+    us_per_eval: dict[ConfigKey, dict[str, float]],
+    reference: ConfigKey,
+    tc_backend: str = "tcec-tf32",
+    base_backend: str = "baseline",
+) -> list[dict]:
+    """Build the Figure 4 rows from per-case µs/eval measurements.
+
+    Parameters
+    ----------
+    us_per_eval:
+        ``{config: {case_name: us_per_eval}}``.
+    reference:
+        The absolute-speedup reference configuration (paper: A100 baseline
+        at the same block size; pass one per block-size family).
+    tc_backend / base_backend:
+        Back-end names forming the relative-speedup pairs.
+
+    Returns
+    -------
+    One row per configuration: ``device``, ``block``, ``backend``,
+    ``absolute_speedup`` (vs the reference config) and, on tc rows,
+    ``relative_speedup`` (vs the same device/block baseline).
+    """
+    if reference not in us_per_eval:
+        raise ValueError(f"reference config {reference} not measured")
+    ref = us_per_eval[reference]
+
+    def ratio(cfg_a: ConfigKey, cfg_b: ConfigKey) -> float:
+        """Geomean over cases of (cfg_b time / cfg_a time) = speedup of a."""
+        a, b = us_per_eval[cfg_a], us_per_eval[cfg_b]
+        common = sorted(set(a) & set(b))
+        if not common:
+            raise ValueError(f"no common cases between {cfg_a} and {cfg_b}")
+        return geometric_mean(b[c] / a[c] for c in common)
+
+    rows = []
+    for cfg in sorted(us_per_eval):
+        row = {
+            "device": cfg.device,
+            "block": cfg.block_size,
+            "backend": cfg.backend,
+            "absolute_speedup": ratio(cfg, reference),
+        }
+        if cfg.backend == tc_backend:
+            base = ConfigKey(cfg.device, cfg.block_size, base_backend)
+            if base in us_per_eval:
+                row["relative_speedup"] = ratio(cfg, base)
+        rows.append(row)
+    return rows

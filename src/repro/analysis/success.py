@@ -1,0 +1,78 @@
+"""The paper's two search-success criteria applied to LGA runs.
+
+Score criterion: an LGA run is successful once its best pose scores within
+1.0 kcal/mol of the global minimum.  RMSD criterion: successful once the
+best pose lies within 2 Å of the native pose (Section 4).  For the E50
+analysis we need the *evaluation count at which each criterion is first
+met*, extracted from the run's best-improvement history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.docking.pose import calc_coords
+from repro.docking.rmsd import rmsd
+from repro.search.lga import LGAResult
+from repro.testcases.generator import TestCase
+
+__all__ = ["SuccessCriteria", "RunOutcome", "evaluate_run"]
+
+
+@dataclass(frozen=True)
+class SuccessCriteria:
+    """Success thresholds (paper defaults)."""
+
+    score_tolerance: float = 1.0   # kcal/mol above the global minimum
+    rmsd_threshold: float = 2.0    # Å from the native pose
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """Per-run success summary.
+
+    ``first_success_*`` give the evaluation count at which the criterion
+    was first met, or ``None`` if never (censored at the run's budget).
+    """
+
+    best_score: float
+    best_rmsd: float
+    evals_used: int
+    first_success_score: int | None
+    first_success_rmsd: int | None
+
+
+def evaluate_run(result: LGAResult, case: TestCase,
+                 criteria: SuccessCriteria | None = None) -> RunOutcome:
+    """Walk a run's improvement history and locate the first successes."""
+    criteria = criteria or SuccessCriteria()
+    threshold = case.global_min_score + criteria.score_tolerance
+
+    first_score: int | None = None
+    first_rmsd: int | None = None
+    best_rmsd = np.inf
+
+    if result.history:
+        genos = np.stack([g for _, _, g in result.history])
+        coords = calc_coords(case.ligand, genos)
+        rmsds = rmsd(coords, case.native_coords)
+    else:
+        rmsds = np.empty(0)
+
+    for k, (evals, score, _) in enumerate(result.history):
+        r = float(rmsds[k])
+        best_rmsd = min(best_rmsd, r)
+        if first_score is None and score <= threshold:
+            first_score = evals
+        if first_rmsd is None and r < criteria.rmsd_threshold:
+            first_rmsd = evals
+
+    return RunOutcome(
+        best_score=result.best_score,
+        best_rmsd=float(best_rmsd),
+        evals_used=result.evals_used,
+        first_success_score=first_score,
+        first_success_rmsd=first_rmsd,
+    )

@@ -1,0 +1,56 @@
+"""Plain-text rendering of the reproduced tables and figure series.
+
+The benchmark harness prints every table/figure in the same row structure
+the paper uses, so paper-vs-measured comparison is a visual diff.  Only
+stdlib string formatting — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_scatter"]
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None,
+                 title: str | None = None, floatfmt: str = "{:.2f}") -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns = columns or list(rows[0].keys())
+
+    def cell(v) -> str:
+        if isinstance(v, float):
+            return floatfmt.format(v)
+        return str(v)
+
+    table = [[cell(r.get(c, "")) for c in columns] for r in rows]
+    widths = [max(len(c), *(len(row[k]) for row in table))
+              for k, c in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in table:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_scatter(points: list[tuple[str, float, float]],
+                   xlabel: str, ylabel: str, title: str | None = None
+                   ) -> str:
+    """Render (label, x, y) scatter data as rows with an x/y ratio column.
+
+    Used for the Figure 1/3 E50 scatters: points on the diagonal have
+    ratio ~1 (algorithmic equivalence); ratios > 1 mean the y-axis
+    implementation needs more evaluations.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'case':8s}  {xlabel:>14s}  {ylabel:>14s}  {'y/x':>8s}")
+    lines.append("-" * 52)
+    for label, x, y in points:
+        ratio = y / x if x > 0 else float("inf")
+        lines.append(f"{label:8s}  {x:14.4g}  {y:14.4g}  {ratio:8.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Success-probability curves p(n): the methodology under E50.
+
+E50 summarises a whole curve: the probability that an LGA run has
+succeeded by ``n`` score evaluations.  The paper's prior work (Santos-
+Martins et al., 2021) plots these saturating curves and reads E50 off the
+50% crossing; this module reconstructs them from run outcomes:
+
+* :func:`success_curve` — the empirical Kaplan-Meier-style step curve from
+  first-success times (censored runs leave the tail flat);
+* :func:`fitted_curve` — the exponential model
+  ``p(n) = 1 - exp(-ln 2 * n / E50)`` through a censored-MLE E50;
+* :func:`format_curves` — ASCII overlay of several back-ends' curves.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.e50 import estimate_e50
+
+__all__ = ["success_curve", "fitted_curve", "format_curves"]
+
+
+def success_curve(first_success_evals: list[int | None],
+                  budgets: list[int] | int,
+                  grid: np.ndarray | None = None
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical success probability over an evaluation grid.
+
+    Returns ``(grid, p)`` where ``p[k]`` is the fraction of runs whose
+    first success happened at or before ``grid[k]``.
+    """
+    n = len(first_success_evals)
+    if n == 0:
+        raise ValueError("need at least one run")
+    if isinstance(budgets, int):
+        budgets = [budgets] * n
+    if grid is None:
+        top = max(budgets)
+        grid = np.linspace(0, top, 61)
+    grid = np.asarray(grid, dtype=np.float64)
+    times = np.array([math.inf if t is None else t
+                      for t in first_success_evals])
+    p = (times[None, :] <= grid[:, None]).mean(axis=1)
+    return grid, p
+
+
+def fitted_curve(first_success_evals: list[int | None],
+                 budgets: list[int] | int,
+                 grid: np.ndarray | None = None
+                 ) -> tuple[np.ndarray, np.ndarray, float]:
+    """The exponential-model curve through the censored-MLE E50.
+
+    Returns ``(grid, p_fit, e50)``; for an all-censored input the curve is
+    identically zero and ``e50`` is ``inf``.
+    """
+    est = estimate_e50(first_success_evals, budgets)
+    if grid is None:
+        top = max(budgets) if not isinstance(budgets, int) else budgets
+        grid = np.linspace(0, top, 61)
+    grid = np.asarray(grid, dtype=np.float64)
+    if math.isinf(est.e50):
+        return grid, np.zeros_like(grid), est.e50
+    p = 1.0 - np.exp(-math.log(2.0) * grid / est.e50)
+    return grid, p, est.e50
+
+
+def format_curves(curves: dict[str, tuple[np.ndarray, np.ndarray]],
+                  width: int = 60, height: int = 16,
+                  title: str | None = None) -> str:
+    """ASCII overlay of named success curves (one letter per curve)."""
+    if not curves:
+        return f"{title or ''}\n(no curves)"
+    xmax = max(float(g[-1]) for g, _ in curves.values())
+    rows = [[" "] * width for _ in range(height)]
+    for name, (grid, p) in curves.items():
+        mark = name[0]
+        for x, y in zip(grid, p):
+            c = min(width - 1, int(x / xmax * (width - 1)))
+            r = height - 1 - min(height - 1, int(y * (height - 1)))
+            if rows[r][c] == " ":
+                rows[r][c] = mark
+            elif rows[r][c] != mark:
+                rows[r][c] = "*"
+    half = height - 1 - (height - 1) // 2
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("p(success)")
+    for k, row in enumerate(rows):
+        marker = "+" if k == half else "|"
+        lines.append(marker + "".join(row))
+    lines.append("+" + "-" * width + f"> evals (0..{xmax:.0f})")
+    lines.append("the '+' row marks p = 0.5; its crossing is E50")
+    lines.append("legend: " + ", ".join(f"{n[0]}={n}" for n in curves))
+    return "\n".join(lines)

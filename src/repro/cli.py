@@ -1,0 +1,181 @@
+"""Command-line interface mirroring the AutoDock-GPU binary.
+
+The paper's artifact appendix runs::
+
+    ./bin/autodock_gpu_64wi -ffile .../protein.maps.fld -lfile .../rand-0.pdbqt
+        -nrun 100 -lsmet ad -A 0 -H 0 -resnam ad_7cpa_cuda
+
+This CLI accepts the same style of invocation against the synthetic test
+library (``-case 7cpa`` replaces the map/ligand file pair; ``-lfile`` is
+also accepted for PDBQT ligands docked into a named case's maps), plus the
+reproduction-specific switches (``--tensor`` backend, ``--device``,
+``--nwi`` block size, mirroring the ``NUMWI``/``TENSOR`` make options).
+
+Example::
+
+    autodock-py -case 7cpa -nrun 20 -lsmet ad --tensor tcec-tf32 \\
+        --device A100 --nwi 64 -resnam ad_7cpa
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import DockingConfig, DockingEngine
+from repro.search.lga import LGAConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="autodock-py",
+        description="AutoDock-GPU reproduction with Tensor Core reductions")
+    p.add_argument("-case", default=None,
+                   help="named test case from the set of 42 (e.g. 7cpa)")
+    p.add_argument("-ffile", default=None,
+                   help="AutoGrid .maps.fld index (receptor grid maps); "
+                        "requires -lfile")
+    p.add_argument("-lfile", default=None,
+                   help="PDBQT ligand file (docked into -ffile's or "
+                        "-case's maps)")
+    p.add_argument("-nrun", type=int, default=20,
+                   help="number of LGA runs (paper default: 100/20)")
+    p.add_argument("-lsmet", choices=("ad", "sw"), default="ad",
+                   help="local-search method: ADADELTA or Solis-Wets")
+    p.add_argument("-resnam", default=None,
+                   help="name of the docking log output file (.dlg)")
+    p.add_argument("-seed", type=int, default=0)
+    p.add_argument("-A", dest="autostop", type=int, default=0,
+                   help="autostop: 1 enables convergence-based early stop")
+    p.add_argument("-H", dest="heur", type=int, default=0,
+                   help="heuristics: 1 picks the eval budget from N_rot")
+    p.add_argument("--tensor", default="baseline",
+                   choices=("baseline", "tc-fp16", "tcec-tf32", "exact"),
+                   help="reduction backend (make TENSOR=ON -> tcec-tf32)")
+    p.add_argument("--device", default="A100",
+                   choices=("A100", "H100", "B200"),
+                   help="simulated GPU for the runtime model")
+    p.add_argument("--nwi", type=int, default=64, choices=(32, 64, 128, 256),
+                   help="work items per block (the NUMWI make option)")
+    p.add_argument("--evals", type=int, default=15_000,
+                   help="max score evaluations per run (scaled-down default)")
+    p.add_argument("--pop", type=int, default=30, help="population size")
+    p.add_argument("--lsit", type=int, default=100,
+                   help="max local-search iterations")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.case is None and args.ffile is None:
+        print("error: pass -case <name> or -ffile <maps.fld> -lfile "
+              "<ligand.pdbqt>", file=sys.stderr)
+        return 2
+
+    if args.ffile is not None:
+        if args.lfile is None:
+            print("error: -ffile requires -lfile", file=sys.stderr)
+            return 2
+        case = case_from_files(args.ffile, args.lfile)
+        print(f"Docking {case.ligand.name} into maps from {args.ffile}")
+    else:
+        from repro.testcases import get_test_case
+        case = get_test_case(args.case)
+        if args.lfile:
+            from repro.io import read_pdbqt
+            ligand = read_pdbqt(args.lfile)
+            print(f"Docking external ligand {ligand.name} into "
+                  f"{case.name}'s maps")
+            case = replace_case_ligand(case, ligand)
+
+    max_evals = args.evals
+    if args.heur:
+        from repro.search import heuristic_max_evals
+        # scale the paper-sized heuristic budget down to CLI proportions
+        max_evals = heuristic_max_evals(case.n_rot,
+                                        scale=args.evals / 2_500_000)
+        print(f"Heuristics (-H): eval budget set to {max_evals} "
+              f"(N_rot={case.n_rot})")
+    cfg = DockingConfig(
+        backend=args.tensor,
+        device=args.device,
+        block_size=args.nwi,
+        lga=LGAConfig(pop_size=args.pop, max_evals=max_evals,
+                      ls_method=args.lsmet, ls_iters=args.lsit,
+                      ls_rate=0.15, autostop=bool(args.autostop)),
+    )
+    engine = DockingEngine(case, cfg)
+    print(f"Docking {case.name} (N_rot={case.n_rot}) with "
+          f"backend={args.tensor} on {args.device}/{args.nwi}wi, "
+          f"{args.nrun} LGA runs ...")
+    result = engine.dock(n_runs=args.nrun, seed=args.seed)
+
+    print(f"Number of energy evaluations performed: {result.total_evals}")
+    print(f"Best score: {result.best_score:+.3f} kcal/mol "
+          f"@ RMSD {result.rmsd_of_best:.2f} A")
+    print(f"Best RMSD: {result.best_rmsd:.2f} A "
+          f"@ score {result.score_of_best_rmsd:+.3f} kcal/mol")
+    print(f"Run time {result.runtime_seconds:.3f} sec (simulated on "
+          f"{args.device}); {result.us_per_eval:.3f} us/eval")
+
+    if args.resnam:
+        from repro.io import write_dlg
+        out = args.resnam if args.resnam.endswith(".dlg") \
+            else args.resnam + ".dlg"
+        write_dlg(result, out, case=case)
+        print(f"Docking log written to {out}")
+    return 0
+
+
+def case_from_files(fld_path: str, pdbqt_path: str):
+    """Assemble a dockable case from AutoGrid maps + a PDBQT ligand.
+
+    File-based cases have no ground truth (no native pose, no known global
+    minimum): success-criterion fields default to the zero genotype and the
+    engine's E50/outcome analysis is not meaningful for them.
+    """
+    import numpy as np
+    from repro.docking.pose import calc_coords
+    from repro.docking.receptor import Receptor
+    from repro.io import read_maps, read_pdbqt
+    from repro.testcases.generator import TestCase
+
+    maps = read_maps(fld_path)
+    ligand = read_pdbqt(pdbqt_path)
+    missing = set(ligand.atom_types) - set(maps.type_names)
+    if missing:
+        raise ValueError(f"maps lack atom types {sorted(missing)}")
+    native = np.zeros(6 + ligand.n_rot)
+    native[0:3] = (maps.box_lo + maps.box_hi) / 2.0
+    placeholder = Receptor(name="from-maps", atom_types=["C"],
+                           coords=np.array([[1e6, 1e6, 1e6]]),
+                           charges=np.zeros(1))
+    return TestCase(name=ligand.name, ligand=ligand, receptor=placeholder,
+                    maps=maps, native_genotype=native,
+                    native_coords=calc_coords(ligand, native),
+                    global_min_score=float("-inf"))
+
+
+def replace_case_ligand(case, ligand):
+    """Rebind a test case to an external ligand (same receptor/maps).
+
+    Ground-truth fields (native pose, global minimum) are not meaningful
+    for an external ligand; they are reset to the refined best the maps
+    admit from a zero genotype.
+    """
+    from dataclasses import replace
+    import numpy as np
+    from repro.docking.pose import calc_coords
+    for t in set(ligand.atom_types) - set(case.maps.type_names):
+        raise ValueError(f"maps of {case.name} lack atom type {t!r}")
+    glen = 6 + ligand.n_rot
+    native = np.zeros(glen)
+    return replace(case, ligand=ligand, native_genotype=native,
+                   native_coords=calc_coords(ligand, native))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,13 @@
+"""The public docking API (the paper's system, assembled).
+
+:class:`~repro.core.engine.DockingEngine` binds a ligand-receptor test case
+to a reduction back-end (baseline / tc-fp16 / tcec-tf32), a target GPU and
+a block size, runs the Lamarckian Genetic Algorithm, and reports the
+paper's metrics: best score @ RMSD, best RMSD @ score, actual evaluation
+counts, simulated docking runtimes and µs/eval.
+"""
+
+from repro.core.config import DockingConfig
+from repro.core.engine import DockingEngine, DockingResult
+
+__all__ = ["DockingConfig", "DockingEngine", "DockingResult"]

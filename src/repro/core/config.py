@@ -1,0 +1,56 @@
+"""Engine configuration: back-end, target device, block size, LGA budgets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.success import SuccessCriteria
+from repro.search.lga import LGAConfig
+from repro.simt.costmodel import REDUCTION_BACKENDS
+
+__all__ = ["DockingConfig"]
+
+_BACKENDS = (*REDUCTION_BACKENDS, "exact")
+
+
+@dataclass(frozen=True)
+class DockingConfig:
+    """Full configuration of a docking experiment.
+
+    Parameters
+    ----------
+    backend:
+        Reduction back-end: ``"baseline"`` (FP32 SIMT, the paper's
+        reference), ``"tc-fp16"`` (Schieffer-Peng), ``"tcec-tf32"`` (the
+        paper's contribution) or ``"exact"`` (float64 debugging aid).
+    device:
+        Simulated GPU for the runtime model: ``"A100"`` / ``"H100"`` /
+        ``"B200"``.
+    block_size:
+        CUDA threads per block (the paper sweeps 64 / 128 / 256).
+    lga:
+        Search budgets and operators (scaled-down defaults; see
+        :class:`~repro.search.lga.LGAConfig`).
+    criteria:
+        Success thresholds for the E50/outcome analysis.
+    """
+
+    backend: str = "tcec-tf32"
+    device: str = "A100"
+    block_size: int = 64
+    lga: LGAConfig = field(default_factory=lambda: LGAConfig(
+        pop_size=30, max_evals=15_000, max_gens=300,
+        ls_iters=100, ls_rate=0.15))
+    criteria: SuccessCriteria = field(default_factory=SuccessCriteria)
+
+    def __post_init__(self) -> None:
+        if self.backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {_BACKENDS}")
+        if self.block_size not in (32, 64, 128, 256, 512):
+            raise ValueError(f"unsupported block size {self.block_size}")
+
+    @property
+    def cost_backend(self) -> str:
+        """Cost-model key ('exact' prices like the FP32 baseline)."""
+        return "baseline" if self.backend == "exact" else self.backend

@@ -1,0 +1,87 @@
+"""Genotype layout and initialisation.
+
+A genotype encodes one ligand pose (an *individual* of the LGA population):
+
+====================  =========================================
+genes ``[0:3]``       translation of the ligand centre [Å, grid frame]
+genes ``[3:6]``       orientation as a rotation vector (axis * angle)
+genes ``[6:6+N_rot]`` torsion angles [rad], one per rotatable bond
+====================  =========================================
+
+Populations are plain ``(pop_size, genotype_length)`` float64 arrays so the
+genetic operators and ADADELTA updates stay fully vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.docking.ligand import Ligand
+
+__all__ = ["Genotype", "genotype_length", "random_genotypes"]
+
+#: genes before the torsion block
+N_RIGID_GENES = 6
+
+
+def genotype_length(ligand: Ligand) -> int:
+    """3 translation + 3 orientation + one gene per rotatable bond."""
+    return N_RIGID_GENES + ligand.n_rot
+
+
+@dataclass(frozen=True)
+class Genotype:
+    """A single named genotype (convenience wrapper over the gene vector)."""
+
+    genes: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "genes",
+                           np.asarray(self.genes, dtype=np.float64))
+        if self.genes.ndim != 1 or self.genes.size < N_RIGID_GENES:
+            raise ValueError("genotype needs at least 6 genes")
+
+    @property
+    def translation(self) -> np.ndarray:
+        return self.genes[0:3]
+
+    @property
+    def orientation(self) -> np.ndarray:
+        return self.genes[3:6]
+
+    @property
+    def torsions(self) -> np.ndarray:
+        return self.genes[6:]
+
+
+def random_genotypes(
+    rng: np.random.Generator,
+    n: int,
+    ligand: Ligand,
+    box_lo: np.ndarray,
+    box_hi: np.ndarray,
+    margin: float = 1.0,
+) -> np.ndarray:
+    """Draw ``n`` uniform random genotypes inside the docking box.
+
+    Translation is uniform in the box shrunk by ``margin`` Å per side;
+    orientation is a uniformly random axis with angle in ``[0, pi]``;
+    torsions are uniform in ``[-pi, pi]``.
+    """
+    box_lo = np.asarray(box_lo, dtype=np.float64) + margin
+    box_hi = np.asarray(box_hi, dtype=np.float64) - margin
+    if np.any(box_hi <= box_lo):
+        raise ValueError("docking box too small for the requested margin")
+    glen = genotype_length(ligand)
+    g = np.empty((n, glen), dtype=np.float64)
+    g[:, 0:3] = rng.uniform(box_lo, box_hi, size=(n, 3))
+    axis = rng.normal(size=(n, 3))
+    axis /= np.linalg.norm(axis, axis=1, keepdims=True)
+    angle = rng.uniform(0.0, np.pi, size=(n, 1))
+    g[:, 3:6] = axis * angle
+    if glen > N_RIGID_GENES:
+        g[:, N_RIGID_GENES:] = rng.uniform(-np.pi, np.pi,
+                                           size=(n, glen - N_RIGID_GENES))
+    return g

@@ -1,0 +1,185 @@
+"""Gradient calculation (Algorithm 4) ending in the paper's seven reductions.
+
+Per ADADELTA iteration the kernel computes per-atom gradient contributions
+(InterGradient from the grid maps, IntraGradient from the pairwise terms)
+and converts them from atomic into genetic space:
+
+* ``Gtrans`` — the translation-gene gradient is the sum of all per-atom
+  gradients, and the pose energy is the sum of all per-contribution
+  energies: **four block reductions** executed as one ``reduce4`` over
+  ``{gx, gy, gz, e}`` vectors;
+* ``Grigidrot`` — the orientation-gene gradient needs the torque-like sum
+  ``sum (r_i - c) x g_i``: **three more block reductions**, the second
+  ``reduce4`` (fourth lane unused);
+* ``Grotbond`` — per-rotatable-bond gradients are data-dependent short sums
+  and stay on SIMT cores in every configuration, as in the paper.
+
+Those 4 + 3 = seven reductions are exactly what the paper offloads to
+Tensor Cores; swapping the :class:`~repro.reduction.api.ReductionBackend`
+here is the *entire* numerical difference between the baseline, the
+Schieffer-Peng FP16 version, and TCEC.
+
+Implementation note: pair-to-atom scatter and per-torsion sums are
+expressed as precomputed incidence-matrix products so the whole population
+is processed in a few BLAS calls (see the hpc-parallel guide: vectorise,
+avoid ``np.add.at``-style scatter in hot loops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.docking.energy import GRADCLAMP, intra_contributions
+from repro.docking.pose import calc_coords
+from repro.docking.quaternion import cross3, so3_left_jacobian
+from repro.docking.scoring import ScoringFunction
+from repro.reduction.api import ReductionBackend, get_reduction_backend
+from repro.reduction.simt_backend import simt_tree_reduce
+
+__all__ = ["GradientCalculator", "GENE_GRADIENT_CLAMP"]
+
+#: per-gene gradient bound applied after the atomic->genetic conversion
+#: (the CUDA kernels bound per-gene deltas the same way; without it, clash
+#: cliffs poison ADADELTA's RMS memory for dozens of iterations)
+GENE_GRADIENT_CLAMP = 100.0
+
+
+class GradientCalculator:
+    """Computes pose energies and genotype-space gradients for a population.
+
+    Parameters
+    ----------
+    scoring:
+        The bound scoring function (supplies ligand, maps, pair tables).
+    backend:
+        Reduction back-end name or instance (``"baseline"`` / ``"tc-fp16"``
+        / ``"tcec-tf32"`` / ``"exact"``).
+    """
+
+    def __init__(self, scoring: ScoringFunction,
+                 backend: str | ReductionBackend = "baseline") -> None:
+        self.scoring = scoring
+        self.backend = get_reduction_backend(backend)
+        lig = scoring.ligand
+        t = scoring.pair_tables
+        n, n_pairs = lig.n_atoms, t.n_pairs
+
+        # pair -> atom incidence matrices (dense; ligands are small)
+        scat_g = np.zeros((n, n_pairs))
+        scat_e = np.zeros((n, n_pairs))
+        scat_g[t.i, np.arange(n_pairs)] = 1.0
+        scat_g[t.j, np.arange(n_pairs)] -= 1.0
+        scat_e[t.i, np.arange(n_pairs)] = 0.5
+        scat_e[t.j, np.arange(n_pairs)] += 0.5
+        self._scatter_grad = scat_g
+        self._scatter_energy = scat_e
+
+        # torsion masks: moved[k, i] = 1 if torsion k moves atom i
+        n_rot = lig.n_rot
+        moved = np.zeros((n_rot, n))
+        for k, tors in enumerate(lig.torsions):
+            moved[k, list(tors.moved)] = 1.0
+        self._moved_mask = moved
+        self._axis_a = np.array([tb.atom_a for tb in lig.torsions], dtype=np.int64)
+        self._axis_b = np.array([tb.atom_b for tb in lig.torsions], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+
+    def atom_gradients(self, coords: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-atom energy and gradient contributions in atomic space.
+
+        Returns ``(e_atoms, g_atoms)`` with shapes ``(pop, n)`` and
+        ``(pop, n, 3)``; ``g_atoms[i] = dE/dr_i``.  The reductions over
+        these arrays produce the kernel's seven block-level sums.
+        """
+        sf = self.scoring
+        e_inter, g_inter = sf.maps.interatom_energy(
+            coords, sf.type_idx, sf.charges, sf.solpar, sf.vol,
+            with_gradient=True)
+
+        e_pairs, de_dr = intra_contributions(sf.pair_tables, coords,
+                                             smooth=sf.smooth)
+        t = sf.pair_tables
+        delta = coords[..., t.i, :] - coords[..., t.j, :]
+        r = np.maximum(np.linalg.norm(delta, axis=-1, keepdims=True), 1e-9)
+        pair_grad = de_dr[..., None] * delta / r     # dE/dr_i for atom i
+
+        # scatter pair contributions onto atoms via incidence matmuls
+        g_atoms = g_inter + np.einsum(
+            "np,bpc->bnc", self._scatter_grad, pair_grad, optimize=True)
+        e_atoms = e_inter + e_pairs @ self._scatter_energy.T
+
+        # clash clamping mirrors the per-contribution clamp of the CUDA
+        # kernels; per-atom values stay within GRADCLAMP but their sums may
+        # exceed FP16 range inside the uncorrected Tensor Core reduction
+        np.clip(g_atoms, -GRADCLAMP, GRADCLAMP, out=g_atoms)
+        return e_atoms, g_atoms
+
+    def __call__(self, genotypes: np.ndarray
+                 ) -> tuple[np.ndarray, np.ndarray]:
+        """Energies and genotype-space gradients.
+
+        Parameters
+        ----------
+        genotypes:
+            ``(pop, 6 + n_rot)`` gene matrix.
+
+        Returns
+        -------
+        (energy, gradient):
+            ``(pop,)`` pose energies (from the reduced ``e`` lane — the
+            value ADADELTA uses to track its best pose, hence sensitive to
+            the reduction back-end) and ``(pop, 6 + n_rot)`` gradients.
+        """
+        genotypes = np.atleast_2d(np.asarray(genotypes, dtype=np.float64))
+        lig = self.scoring.ligand
+        coords = calc_coords(lig, genotypes)
+        e_atoms, g_atoms = self.atom_gradients(coords)
+
+        pop = genotypes.shape[0]
+        # ---- reduce4 #1: {gx, gy, gz, e}  (Gtrans + energy)
+        vec1 = np.concatenate(
+            [g_atoms, e_atoms[..., None]], axis=-1).astype(np.float32)
+        red1 = self.backend.reduce4(vec1)            # (pop, 4)
+        g_trans = red1[:, 0:3].astype(np.float64)
+        energy = red1[:, 3].astype(np.float64) + self.scoring.torsional_penalty
+
+        # ---- reduce4 #2: {tau_x, tau_y, tau_z, 0}  (Grigidrot)
+        centre = genotypes[:, None, 0:3]             # pose pivot = t genes
+        torque_like = cross3(coords - centre, g_atoms)
+        vec2 = np.concatenate(
+            [torque_like,
+             np.zeros(torque_like.shape[:-1] + (1,))], axis=-1
+        ).astype(np.float32)
+        red2 = self.backend.reduce4(vec2)
+        tau = red2[:, 0:3].astype(np.float64)
+
+        # orientation genes are a rotation vector; map the world-frame
+        # rotational derivative through the SO(3) left Jacobian transpose
+        jl = so3_left_jacobian(genotypes[:, 3:6])    # (pop, 3, 3)
+        g_orient = np.einsum("pij,pi->pj", jl, tau)
+
+        # ---- Grotbond: per-torsion sums, SIMT in all configurations
+        n_rot = lig.n_rot
+        if n_rot:
+            a_pos = coords[:, self._axis_a, :]       # (pop, n_rot, 3)
+            b_pos = coords[:, self._axis_b, :]
+            axis = b_pos - a_pos
+            axis /= np.maximum(
+                np.linalg.norm(axis, axis=-1, keepdims=True), 1e-12)
+            arm = coords[:, None, :, :] - b_pos[:, :, None, :]
+            contrib = np.sum(
+                cross3(axis[:, :, None, :], arm) * g_atoms[:, None, :, :],
+                axis=-1)                             # (pop, n_rot, n_atoms)
+            contrib = contrib * self._moved_mask[None]
+            g_tors = simt_tree_reduce(
+                contrib.astype(np.float32), axis=-1).astype(np.float64)
+        else:
+            g_tors = np.zeros((pop, 0))
+
+        gradient = np.concatenate([g_trans, g_orient, g_tors], axis=1)
+        # genotype-space trust region (see GENE_GRADIENT_CLAMP)
+        np.clip(gradient, -GENE_GRADIENT_CLAMP, GENE_GRADIENT_CLAMP,
+                out=gradient)
+        return energy, gradient

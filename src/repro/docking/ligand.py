@@ -1,0 +1,201 @@
+"""Ligand model: atoms, bonds, torsion tree, rotation list, intra pairs.
+
+Mirrors the data AutoDock-GPU derives from a PDBQT ligand:
+
+* a reference conformation (coordinates in the ligand frame, centred on the
+  origin),
+* the torsion tree — rotatable bonds in root-to-leaf order, each with the
+  set of atoms its rotation moves,
+* the *rotation list*: the flattened per-atom rotation operations whose
+  length ``N_rot-list`` bounds the PoseCalculation loop of Algorithms 2/4,
+* the intramolecular contributor pairs (``N_intra-contrib``): atom pairs at
+  graph distance >= 3 bonds whose separation can change under some torsion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.docking.params import ATOM_PARAMS, get_atom_params
+
+__all__ = ["TorsionBond", "Ligand"]
+
+
+@dataclass(frozen=True)
+class TorsionBond:
+    """One rotatable bond.
+
+    ``atom_a`` / ``atom_b`` are the axis endpoints (``atom_a`` closer to the
+    torsion-tree root); ``moved`` lists the atom indices of the subtree
+    beyond ``atom_b`` that the torsion rotates.
+    """
+
+    atom_a: int
+    atom_b: int
+    moved: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.atom_a == self.atom_b:
+            raise ValueError("torsion axis endpoints must differ")
+        if not self.moved:
+            raise ValueError("torsion must move at least one atom")
+        if self.atom_a in self.moved or self.atom_b in self.moved:
+            raise ValueError("axis atoms cannot be in the moved set")
+
+
+@dataclass
+class Ligand:
+    """A docking ligand.
+
+    Parameters
+    ----------
+    name:
+        Identifier (e.g. a PDB code).
+    atom_types:
+        AD4 atom type per atom (see :mod:`repro.docking.params`).
+    ref_coords:
+        Reference conformation, shape ``(n_atoms, 3)``; centred on
+        construction.
+    charges:
+        Gasteiger partial charges, shape ``(n_atoms,)``.
+    bonds:
+        Covalent bonds as ``(i, j)`` index pairs.
+    torsions:
+        Rotatable bonds in root-to-leaf application order.
+    """
+
+    name: str
+    atom_types: list[str]
+    ref_coords: np.ndarray
+    charges: np.ndarray
+    bonds: list[tuple[int, int]]
+    torsions: list[TorsionBond] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.ref_coords = np.asarray(self.ref_coords, dtype=np.float64)
+        self.charges = np.asarray(self.charges, dtype=np.float64)
+        n = self.ref_coords.shape[0]
+        if self.ref_coords.shape != (n, 3):
+            raise ValueError(f"ref_coords must be (n, 3), got {self.ref_coords.shape}")
+        if len(self.atom_types) != n or self.charges.shape != (n,):
+            raise ValueError("atom_types / charges length mismatch with coords")
+        for t in self.atom_types:
+            get_atom_params(t)  # validates
+        for i, j in self.bonds:
+            if not (0 <= i < n and 0 <= j < n) or i == j:
+                raise ValueError(f"invalid bond ({i}, {j})")
+        for tb in self.torsions:
+            if not all(0 <= m < n for m in (tb.atom_a, tb.atom_b, *tb.moved)):
+                raise ValueError("torsion references atom out of range")
+        # centre the reference conformation on the origin
+        self.ref_coords = self.ref_coords - self.ref_coords.mean(axis=0)
+        self._intra_pairs: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # sizes (the paper's loop bounds)
+
+    @property
+    def n_atoms(self) -> int:
+        return self.ref_coords.shape[0]
+
+    @property
+    def n_rot(self) -> int:
+        """Number of rotatable bonds (``N_rot``; AutoDock-GPU caps at 57)."""
+        return len(self.torsions)
+
+    @property
+    def n_rotlist(self) -> int:
+        """Length of the rotation list bounding PoseCalculation: one
+        rigid-body op per atom plus one op per (torsion, moved atom)."""
+        return self.n_atoms + sum(len(t.moved) for t in self.torsions)
+
+    @property
+    def n_intra(self) -> int:
+        """Number of intramolecular contributor pairs."""
+        return self.intra_pairs().shape[0]
+
+    # ------------------------------------------------------------------
+    # derived structure
+
+    def graph_distances(self) -> np.ndarray:
+        """All-pairs bond-graph distances (BFS; unreachable -> large)."""
+        n = self.n_atoms
+        adj: list[list[int]] = [[] for _ in range(n)]
+        for i, j in self.bonds:
+            adj[i].append(j)
+            adj[j].append(i)
+        big = n + 10
+        dist = np.full((n, n), big, dtype=np.int64)
+        for s in range(n):
+            dist[s, s] = 0
+            frontier = [s]
+            d = 0
+            while frontier:
+                d += 1
+                nxt = []
+                for u in frontier:
+                    for v in adj[u]:
+                        if dist[s, v] > d:
+                            dist[s, v] = d
+                            nxt.append(v)
+                frontier = nxt
+        return dist
+
+    def torsion_signature(self) -> list[frozenset[int]]:
+        """Per atom, the set of torsions that move it; two atoms with the
+        same signature are rigidly connected."""
+        sigs = [set() for _ in range(self.n_atoms)]
+        for k, t in enumerate(self.torsions):
+            for m in t.moved:
+                sigs[m].add(k)
+        return [frozenset(s) for s in sigs]
+
+    def intra_pairs(self) -> np.ndarray:
+        """Intramolecular contributor pairs, shape ``(n_intra, 2)``.
+
+        Pairs separated by at least four bonds whose relative position
+        changes under some torsion contribute (pairs inside one rigid group
+        are constant and skipped; 1-2/1-3/1-4 neighbours are excluded, the
+        stricter of AutoDock's weed-bonds conventions).
+        """
+        if self._intra_pairs is None:
+            dist = self.graph_distances()
+            sigs = self.torsion_signature()
+            pairs = [
+                (i, j)
+                for i in range(self.n_atoms)
+                for j in range(i + 1, self.n_atoms)
+                if dist[i, j] >= 4 and sigs[i] != sigs[j]
+            ]
+            self._intra_pairs = (
+                np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+            )
+        return self._intra_pairs
+
+    def type_indices(self, type_order: list[str] | None = None
+                     ) -> tuple[list[str], np.ndarray]:
+        """Distinct atom types (grid-map order) and per-atom type index."""
+        if type_order is None:
+            type_order = sorted(set(self.atom_types))
+        index = {t: k for k, t in enumerate(type_order)}
+        return type_order, np.asarray([index[t] for t in self.atom_types],
+                                      dtype=np.int64)
+
+    def params_arrays(self) -> dict[str, np.ndarray]:
+        """Per-atom AD4 parameter columns as float64 arrays."""
+        ps = [get_atom_params(t) for t in self.atom_types]
+        return {
+            "rii": np.array([p.rii for p in ps]),
+            "epsii": np.array([p.epsii for p in ps]),
+            "vol": np.array([p.vol for p in ps]),
+            "solpar": np.array([p.solpar for p in ps]),
+            "rii_hb": np.array([p.rii_hb for p in ps]),
+            "epsii_hb": np.array([p.epsii_hb for p in ps]),
+            "hbond": np.array([p.hbond for p in ps]),
+        }
+
+    def __repr__(self) -> str:
+        return (f"Ligand({self.name!r}, n_atoms={self.n_atoms}, "
+                f"n_rot={self.n_rot}, n_intra={self.n_intra})")

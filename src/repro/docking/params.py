@@ -1,0 +1,83 @@
+"""AutoDock4 force-field parameters (Morris et al., 1998; AD4.1 tables).
+
+Per-type Lennard-Jones radii/depths, atomic solvation volumes and
+parameters, and hydrogen-bonding capability, together with the calibrated
+free-energy term weights.  Values are the standard ``AD4.1_bound.dat``
+constants for the common organic atom types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AtomParams", "ATOM_PARAMS", "get_atom_params", "FE_WEIGHTS",
+           "HBOND_NONE", "HBOND_DONOR", "HBOND_ACCEPTOR"]
+
+#: hydrogen-bond roles
+HBOND_NONE = 0
+HBOND_DONOR = 1      # donor hydrogen (HD)
+HBOND_ACCEPTOR = 2   # acceptor heavy atom (OA, NA, SA)
+
+
+@dataclass(frozen=True)
+class AtomParams:
+    """AD4 per-atom-type parameters.
+
+    ``rii``     sum of vdW radii of two like atoms [Å]
+    ``epsii``   vdW well depth [kcal/mol]
+    ``vol``     atomic solvation volume [Å^3]
+    ``solpar``  atomic solvation parameter
+    ``rii_hb``  H-bond radius of the heteroatom in contact with a hydrogen
+    ``epsii_hb``  H-bond well depth
+    ``hbond``   H-bond role (:data:`HBOND_NONE` / ``DONOR`` / ``ACCEPTOR``)
+    """
+
+    type_name: str
+    rii: float
+    epsii: float
+    vol: float
+    solpar: float
+    rii_hb: float
+    epsii_hb: float
+    hbond: int
+
+
+#: AD4.1 parameter table (subset covering the evaluation ligands).
+ATOM_PARAMS: dict[str, AtomParams] = {
+    p.type_name: p
+    for p in (
+        AtomParams("C",  4.00, 0.150, 33.5103, -0.00143, 0.0, 0.0, HBOND_NONE),
+        AtomParams("A",  4.00, 0.150, 33.5103, -0.00052, 0.0, 0.0, HBOND_NONE),
+        AtomParams("N",  3.50, 0.160, 22.4493, -0.00162, 0.0, 0.0, HBOND_NONE),
+        AtomParams("NA", 3.50, 0.160, 22.4493, -0.00162, 1.9, 5.0, HBOND_ACCEPTOR),
+        AtomParams("OA", 3.20, 0.200, 17.1573, -0.00251, 1.9, 5.0, HBOND_ACCEPTOR),
+        AtomParams("SA", 4.00, 0.200, 33.5103, -0.00214, 2.5, 1.0, HBOND_ACCEPTOR),
+        AtomParams("S",  4.00, 0.200, 33.5103, -0.00214, 0.0, 0.0, HBOND_NONE),
+        AtomParams("H",  2.00, 0.020,  0.0000,  0.00051, 0.0, 0.0, HBOND_NONE),
+        AtomParams("HD", 2.00, 0.020,  0.0000,  0.00051, 0.0, 0.0, HBOND_DONOR),
+        AtomParams("F",  3.09, 0.080, 15.4480, -0.00110, 0.0, 0.0, HBOND_NONE),
+        AtomParams("Cl", 4.09, 0.276, 35.8235, -0.00110, 0.0, 0.0, HBOND_NONE),
+        AtomParams("Br", 4.33, 0.389, 42.5661, -0.00110, 0.0, 0.0, HBOND_NONE),
+        AtomParams("I",  4.72, 0.550, 55.0585, -0.00110, 0.0, 0.0, HBOND_NONE),
+        AtomParams("P",  4.20, 0.200, 38.7924, -0.00110, 0.0, 0.0, HBOND_NONE),
+    )
+}
+
+#: AD4.1 calibrated free-energy coefficient weights.
+FE_WEIGHTS = {
+    "vdw": 0.1662,
+    "hbond": 0.1209,
+    "elec": 0.1406,
+    "desolv": 0.1322,
+    "tors": 0.2983,   # per-rotatable-bond torsional entropy penalty
+}
+
+
+def get_atom_params(type_name: str) -> AtomParams:
+    """Look up AD4 parameters for an atom type (case-sensitive, AD naming)."""
+    try:
+        return ATOM_PARAMS[type_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown atom type {type_name!r}; known: {sorted(ATOM_PARAMS)}"
+        ) from None

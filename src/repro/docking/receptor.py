@@ -1,0 +1,161 @@
+"""Receptor model and AutoGrid-style map construction.
+
+A receptor is a rigid set of atoms (the binding pocket).  ``make_maps``
+plays the role of AutoGrid: for every requested ligand atom type it
+evaluates the AD4 pairwise potential between a probe atom at each grid node
+and all receptor atoms, producing the affinity / electrostatic /
+desolvation maps that :class:`repro.docking.grids.GridMaps` interpolates at
+dock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.docking.energy import (
+    COULOMB,
+    ECLAMP,
+    RMIN,
+    dielectric,
+    vdw_pair_coefficients,
+)
+from repro.docking.grids import GridMaps
+from repro.docking.params import (
+    FE_WEIGHTS,
+    HBOND_ACCEPTOR,
+    HBOND_DONOR,
+    get_atom_params,
+)
+
+__all__ = ["Receptor"]
+
+_SIGMA = 3.6
+_QSOLPAR = 0.01097
+
+
+@dataclass
+class Receptor:
+    """A rigid receptor (binding-pocket atoms).
+
+    Parameters
+    ----------
+    name:
+        Identifier.
+    atom_types:
+        AD4 atom type per receptor atom.
+    coords:
+        ``(m, 3)`` Cartesian coordinates [Å].
+    charges:
+        Partial charges, ``(m,)``.
+    """
+
+    name: str
+    atom_types: list[str]
+    coords: np.ndarray
+    charges: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.coords = np.asarray(self.coords, dtype=np.float64)
+        self.charges = np.asarray(self.charges, dtype=np.float64)
+        m = self.coords.shape[0]
+        if self.coords.shape != (m, 3) or self.charges.shape != (m,):
+            raise ValueError("receptor coords/charges shape mismatch")
+        if len(self.atom_types) != m:
+            raise ValueError("receptor atom_types length mismatch")
+        for t in self.atom_types:
+            get_atom_params(t)
+
+    @property
+    def n_atoms(self) -> int:
+        return self.coords.shape[0]
+
+    # ------------------------------------------------------------------
+
+    def make_maps(self, probe_types: list[str], origin: np.ndarray,
+                  shape: tuple[int, int, int], spacing: float) -> GridMaps:
+        """Build grid maps for the given probe (ligand) atom types.
+
+        The affinity maps carry the AD4 vdW/H-bond FE weights; the
+        electrostatic map carries ``w_elec * 332 * q_j / (r eps(r))``; the
+        two desolvation maps carry the receptor-side volume and solvation
+        sums with the gaussian kernel and ``w_desolv`` baked in.
+        """
+        origin = np.asarray(origin, dtype=np.float64)
+        axes = [origin[k] + spacing * np.arange(n)
+                for k, n in enumerate(shape)]
+        gx, gy, gz = np.meshgrid(*axes, indexing="ij")
+        points = np.stack([gx, gy, gz], axis=-1).reshape(-1, 3)
+        n_points = points.shape[0]
+
+        rec_params = [get_atom_params(t) for t in self.atom_types]
+        rec_vol = np.array([p.vol for p in rec_params])
+        rec_sol = np.array([p.solpar for p in rec_params]) \
+            + _QSOLPAR * np.abs(self.charges)
+
+        # per-(probe, receptor-atom) pair coefficients, assembled once
+        w_vdw, w_hb = FE_WEIGHTS["vdw"], FE_WEIGHTS["hbond"]
+        n_probes = len(probe_types)
+        m_atoms = self.n_atoms
+        pc = np.empty((n_probes, m_atoms))
+        pd = np.empty((n_probes, m_atoms))
+        pm = np.empty((n_probes, m_atoms), dtype=np.int64)
+        for t_idx, t in enumerate(probe_types):
+            probe = get_atom_params(t)
+            for a_idx, rp in enumerate(rec_params):
+                is_hb = (
+                    (probe.hbond == HBOND_DONOR and rp.hbond == HBOND_ACCEPTOR)
+                    or (probe.hbond == HBOND_ACCEPTOR and rp.hbond == HBOND_DONOR)
+                )
+                if is_hb:
+                    acc = rp if rp.hbond == HBOND_ACCEPTOR else probe
+                    c, d, m = vdw_pair_coefficients(
+                        probe.rii, probe.epsii, rp.rii, rp.epsii,
+                        hbond=True, rij_hb=acc.rii_hb,
+                        epsij_hb=acc.epsii_hb)
+                    w = w_hb
+                else:
+                    c, d, m = vdw_pair_coefficients(
+                        probe.rii, probe.epsii, rp.rii, rp.epsii, hbond=False)
+                    w = w_vdw
+                pc[t_idx, a_idx] = w * c
+                pd[t_idx, a_idx] = w * d
+                pm[t_idx, a_idx] = m
+
+        aff = np.zeros((n_probes, n_points))
+        elec = np.zeros(n_points)
+        desolv_v = np.zeros(n_points)
+        desolv_s = np.zeros(n_points)
+
+        # chunk grid points to bound the (points x atoms) working set
+        chunk = max(1, 2_000_000 // max(1, m_atoms))
+        for lo in range(0, n_points, chunk):
+            hi = min(lo + chunk, n_points)
+            delta = points[lo:hi, None, :] - self.coords[None, :, :]
+            r = np.maximum(np.linalg.norm(delta, axis=-1), RMIN)
+            inv_r2 = 1.0 / (r * r)
+            inv_r12 = (inv_r2 ** 3) ** 2
+            for t_idx in range(n_probes):
+                inv_rm = np.where(pm[t_idx] == 6, inv_r2 ** 3, inv_r2 ** 5)
+                aff[t_idx, lo:hi] = (pc[t_idx] * inv_r12
+                                     - pd[t_idx] * inv_rm).sum(axis=1)
+            eps = dielectric(r)
+            elec[lo:hi] = (FE_WEIGHTS["elec"] * COULOMB
+                           * (self.charges[None, :] / (r * eps)).sum(axis=1))
+            gauss = np.exp(-0.5 * (r / _SIGMA) ** 2)
+            desolv_v[lo:hi] = FE_WEIGHTS["desolv"] * (gauss * rec_vol).sum(axis=1)
+            desolv_s[lo:hi] = FE_WEIGHTS["desolv"] * (gauss * rec_sol).sum(axis=1)
+
+        np.clip(aff, -ECLAMP, ECLAMP, out=aff)
+        np.clip(elec, -ECLAMP, ECLAMP, out=elec)
+
+        return GridMaps(
+            origin=origin,
+            spacing=spacing,
+            type_names=list(probe_types),
+            affinity=aff.reshape((n_probes,) + tuple(shape)),
+            elec=elec.reshape(shape),
+            desolv_v=desolv_v.reshape(shape),
+            desolv_s=desolv_s.reshape(shape),
+        )

@@ -1,0 +1,52 @@
+"""Root-mean-square deviation against the native (crystallographic) pose.
+
+The paper's second success criterion: an LGA run succeeds when the predicted
+pose lies within 2 Å RMSD of the experimentally determined native pose.
+Heavy atoms only, no superposition (docking RMSD is computed in the receptor
+frame), with an optional atom-identity mapping hook for symmetric ligands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rmsd", "heavy_atom_mask"]
+
+
+def heavy_atom_mask(atom_types: list[str]) -> np.ndarray:
+    """True for non-hydrogen atoms (AD types other than H / HD)."""
+    return np.asarray([not t.startswith("H") for t in atom_types], dtype=bool)
+
+
+def rmsd(coords: np.ndarray, native: np.ndarray,
+         mask: np.ndarray | None = None) -> np.ndarray:
+    """In-place (no superposition) RMSD in Å.
+
+    Parameters
+    ----------
+    coords:
+        Pose coordinates, ``(..., n_atoms, 3)`` — batched poses allowed.
+    native:
+        Native pose, ``(n_atoms, 3)``.
+    mask:
+        Optional boolean atom selector (e.g. heavy atoms only).
+
+    Returns
+    -------
+    RMSD per pose, shape ``(...)``.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    native = np.asarray(native, dtype=np.float64)
+    if native.ndim != 2 or native.shape[-1] != 3:
+        raise ValueError(f"native must be (n_atoms, 3), got {native.shape}")
+    if coords.shape[-2:] != native.shape:
+        raise ValueError(
+            f"coords {coords.shape} incompatible with native {native.shape}")
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        coords = coords[..., mask, :]
+        native = native[mask, :]
+    if native.shape[0] == 0:
+        raise ValueError("no atoms selected for RMSD")
+    sq = np.sum((coords - native) ** 2, axis=(-2, -1)) / native.shape[0]
+    return np.sqrt(sq)

@@ -1,0 +1,104 @@
+"""The scoring function (Algorithm 2): PoseCalculation + Inter + Intra.
+
+Scores quantify interaction strength in kcal/mol.  The intermolecular part
+is one grid-map interpolation per ligand atom; the intramolecular part is
+the AD4 pairwise sum over contributor pairs; the constant torsional entropy
+penalty (``w_tors * N_rot``) is added for reporting parity with AutoDock.
+
+The final energy sum runs through the FP32 SIMT tree reduction in every
+configuration — the paper offloads only the *gradient* kernel's reductions
+to Tensor Cores, so the scoring kernel's single reduction stays on SIMT
+cores (Section 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.docking.energy import build_pair_tables, intra_contributions
+from repro.docking.grids import GridMaps
+from repro.docking.ligand import Ligand
+from repro.docking.params import FE_WEIGHTS
+from repro.docking.pose import calc_coords
+from repro.reduction.simt_backend import simt_tree_reduce
+
+__all__ = ["ScoringFunction"]
+
+_QSOLPAR = 0.01097
+
+
+class ScoringFunction:
+    """Scoring function bound to one ligand-receptor (grid) pair.
+
+    Parameters
+    ----------
+    ligand:
+        The ligand to score.
+    maps:
+        Grid maps covering all of the ligand's atom types.
+    smooth:
+        Enable AutoDock's vdW potential smoothing (0.5 Å flat well bottom)
+        for the intramolecular terms.
+    """
+
+    def __init__(self, ligand: Ligand, maps: GridMaps,
+                 smooth: bool = False) -> None:
+        self.ligand = ligand
+        self.maps = maps
+        #: AutoDock potential smoothing for the intramolecular terms
+        self.smooth = smooth
+        self.type_idx = maps.type_index(ligand.atom_types)
+        self.pair_tables = build_pair_tables(ligand)
+        cols = ligand.params_arrays()
+        self.charges = np.asarray(ligand.charges, dtype=np.float64)
+        #: per-atom desolvation weights used against the two receptor maps
+        self.solpar = cols["solpar"] + _QSOLPAR * np.abs(self.charges)
+        self.vol = cols["vol"]
+        #: constant torsional entropy penalty
+        self.torsional_penalty = FE_WEIGHTS["tors"] * ligand.n_rot
+
+    # ------------------------------------------------------------------
+
+    def per_contribution_energies(self, coords: np.ndarray
+                                  ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-atom intermolecular and per-pair intramolecular energies.
+
+        ``coords`` is ``(pop, n_atoms, 3)``; returns ``(pop, n_atoms)`` and
+        ``(pop, n_intra)`` float64 arrays (the kernel's contribution lists
+        before any reduction).
+        """
+        e_inter = self.maps.interatom_energy(
+            coords, self.type_idx, self.charges, self.solpar, self.vol)
+        e_intra, _ = intra_contributions(self.pair_tables, coords,
+                                         smooth=self.smooth)
+        return e_inter, e_intra
+
+    def score_coords(self, coords: np.ndarray) -> np.ndarray:
+        """Score already-computed coordinates, ``(pop, n_atoms, 3) -> (pop,)``.
+
+        Contributions are truncated to FP32 and tree-reduced exactly like
+        the CUDA scoring kernel.
+        """
+        e_inter, e_intra = self.per_contribution_energies(coords)
+        contribs = np.concatenate(
+            [e_inter.astype(np.float32), e_intra.astype(np.float32)], axis=-1)
+        total = simt_tree_reduce(contribs, axis=-1)
+        return total.astype(np.float64) + self.torsional_penalty
+
+    def score(self, genotypes: np.ndarray) -> np.ndarray:
+        """Score genotypes: pose calculation + inter + intra, ``(pop,)``."""
+        genotypes = np.atleast_2d(np.asarray(genotypes, dtype=np.float64))
+        coords = calc_coords(self.ligand, genotypes)
+        return self.score_coords(coords)
+
+    def score_components(self, genotype: np.ndarray) -> dict:
+        """Detailed breakdown of one genotype's score (for reports/examples)."""
+        coords = calc_coords(self.ligand, np.atleast_2d(genotype))
+        e_inter, e_intra = self.per_contribution_energies(coords)
+        return {
+            "inter": float(e_inter.sum()),
+            "intra": float(e_intra.sum()),
+            "torsional": self.torsional_penalty,
+            "total": float(e_inter.sum() + e_intra.sum()
+                           + self.torsional_penalty),
+        }

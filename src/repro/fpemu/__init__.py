@@ -1,0 +1,53 @@
+"""Bit-faithful emulation of the reduced-precision formats used by Tensor Cores.
+
+NVIDIA Tensor Cores consume FP16 / BF16 / TF32 operands and accumulate in
+FP32 with round-toward-zero (RZ) behaviour (Ootomo & Yokota, 2022).  None of
+these conversions are directly controllable from Python, so this subpackage
+reproduces them with IEEE-754 bit manipulation on NumPy arrays:
+
+* :mod:`repro.fpemu.formats` — FP16 / BF16 / TF32 quantisation (values are
+  returned as ``float32`` arrays restricted to the target format's lattice).
+* :mod:`repro.fpemu.rounding` — directed rounding of ``float64`` results to
+  ``float32`` (RN and RZ), plus the RZ-add primitive used by the simulated
+  MMA accumulator.
+* :mod:`repro.fpemu.split` — two-term (hi + residual) operand splitting used
+  by the Ootomo–Yokota error-correction scheme.
+"""
+
+from repro.fpemu.formats import (
+    FP16,
+    BF16,
+    TF32,
+    FP32,
+    FloatFormat,
+    get_format,
+    quantize,
+    to_bf16,
+    to_fp16,
+    to_tf32,
+)
+from repro.fpemu.rounding import (
+    round_f64_to_f32_rn,
+    round_f64_to_f32_rz,
+    rz_add_f32,
+    ulp_f32,
+)
+from repro.fpemu.split import split_operand
+
+__all__ = [
+    "FP16",
+    "BF16",
+    "TF32",
+    "FP32",
+    "FloatFormat",
+    "get_format",
+    "quantize",
+    "to_bf16",
+    "to_fp16",
+    "to_tf32",
+    "round_f64_to_f32_rn",
+    "round_f64_to_f32_rz",
+    "rz_add_f32",
+    "ulp_f32",
+    "split_operand",
+]

@@ -1,0 +1,14 @@
+"""File formats: PDBQT-style ligands and AutoDock-style .dlg docking logs.
+
+The paper's artifact appendix drives everything through files — ligands in
+PDBQT, results in ``*.dlg`` logs inspected with ``grep "Run time"`` and
+``grep "Number of energy evaluations performed"``.  These writers/parsers
+reproduce that workflow for the synthetic molecules.
+"""
+
+from repro.io.autogrid import read_maps, write_maps
+from repro.io.dlg import parse_dlg, write_dlg
+from repro.io.pdbqt import read_pdbqt, write_pdbqt
+
+__all__ = ["parse_dlg", "write_dlg", "read_pdbqt", "write_pdbqt",
+           "read_maps", "write_maps"]

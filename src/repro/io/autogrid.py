@@ -1,0 +1,152 @@
+"""AutoGrid map files: ``.map`` grids and the ``.maps.fld`` index.
+
+The paper's artifact appendix drives AutoDock-GPU with
+``-ffile .../protein.maps.fld`` — AutoGrid's master index referencing one
+``.map`` file per probe atom type plus the electrostatics and desolvation
+maps.  This module writes and reads that format for
+:class:`repro.docking.grids.GridMaps`, so the reproduction supports the
+same file-based workflow (see ``repro.cli``'s ``-ffile``).
+
+AutoGrid ``.map`` layout (text): six header lines
+
+.. code-block:: none
+
+    GRID_PARAMETER_FILE <name>
+    GRID_DATA_FILE <name>.maps.fld
+    MACROMOLECULE <receptor>
+    SPACING 0.375
+    NELEMENTS nx-1 ny-1 nz-1
+    CENTER cx cy cz
+
+followed by one energy value per line in x-fastest (Fortran) order.
+The reproduction carries two desolvation maps (volume- and
+solvation-weighted receptor sums, see :mod:`repro.docking.grids`), stored
+with the suffixes ``.d1.map`` and ``.d2.map``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.docking.grids import GridMaps
+
+__all__ = ["write_maps", "read_maps"]
+
+_HEADER_LINES = 6
+
+
+def _write_one_map(path: Path, stem: str, values: np.ndarray,
+                   origin: np.ndarray, spacing: float) -> None:
+    nx, ny, nz = values.shape
+    centre = origin + spacing * (np.array([nx, ny, nz]) - 1) / 2.0
+    header = [
+        f"GRID_PARAMETER_FILE {stem}.gpf",
+        f"GRID_DATA_FILE {stem}.maps.fld",
+        f"MACROMOLECULE {stem}",
+        f"SPACING {spacing:.3f}",
+        f"NELEMENTS {nx - 1} {ny - 1} {nz - 1}",
+        f"CENTER {centre[0]:.3f} {centre[1]:.3f} {centre[2]:.3f}",
+    ]
+    # x-fastest order: transpose to (z, y, x) then ravel
+    flat = values.transpose(2, 1, 0).ravel()
+    body = "\n".join(f"{v:.3f}" for v in flat)
+    path.write_text("\n".join(header) + "\n" + body + "\n")
+
+
+def _read_one_map(path: Path) -> tuple[np.ndarray, np.ndarray, float]:
+    lines = path.read_text().splitlines()
+    spacing = None
+    nelements = None
+    centre = None
+    for line in lines[:_HEADER_LINES]:
+        key, *rest = line.split()
+        if key == "SPACING":
+            spacing = float(rest[0])
+        elif key == "NELEMENTS":
+            nelements = tuple(int(v) + 1 for v in rest)
+        elif key == "CENTER":
+            centre = np.array([float(v) for v in rest])
+    if spacing is None or nelements is None or centre is None:
+        raise ValueError(f"malformed AutoGrid header in {path}")
+    nx, ny, nz = nelements
+    data = np.fromiter((float(v) for v in lines[_HEADER_LINES:]
+                        if v.strip()), dtype=np.float64,
+                       count=nx * ny * nz)
+    values = data.reshape(nz, ny, nx).transpose(2, 1, 0)
+    origin = centre - spacing * (np.array([nx, ny, nz]) - 1) / 2.0
+    return values, origin, spacing
+
+
+def write_maps(maps: GridMaps, directory: str | Path,
+               stem: str = "protein") -> Path:
+    """Write grid maps as AutoGrid files; returns the ``.maps.fld`` path.
+
+    Produces ``<stem>.<TYPE>.map`` per probe type, ``<stem>.e.map``
+    (electrostatics), ``<stem>.d1.map`` / ``<stem>.d2.map`` (the two
+    desolvation maps) and the ``<stem>.maps.fld`` index.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    entries: list[str] = []
+    for t_idx, t in enumerate(maps.type_names):
+        name = f"{stem}.{t}.map"
+        _write_one_map(directory / name, stem, maps.affinity[t_idx],
+                       maps.origin, maps.spacing)
+        entries.append(name)
+    for suffix, arr in (("e", maps.elec), ("d1", maps.desolv_v),
+                        ("d2", maps.desolv_s)):
+        name = f"{stem}.{suffix}.map"
+        _write_one_map(directory / name, stem, arr, maps.origin, maps.spacing)
+        entries.append(name)
+
+    nx, ny, nz = maps.shape
+    fld = [
+        "# AVS field file (AutoGrid-style index, repro reproduction)",
+        f"# SPACING {maps.spacing:.3f}",
+        f"# NELEMENTS {nx - 1} {ny - 1} {nz - 1}",
+        f"# TYPES {' '.join(maps.type_names)}",
+        "ndim=3",
+        f"dim1={nx}", f"dim2={ny}", f"dim3={nz}",
+        "nspace=3",
+        f"veclen={len(entries)}",
+        "data=float",
+        "field=uniform",
+    ]
+    fld += [f"variable {k + 1} file={name} filetype=ascii skip={_HEADER_LINES}"
+            for k, name in enumerate(entries)]
+    fld_path = directory / f"{stem}.maps.fld"
+    fld_path.write_text("\n".join(fld) + "\n")
+    return fld_path
+
+
+def read_maps(fld_path: str | Path) -> GridMaps:
+    """Load grid maps from a ``.maps.fld`` index written by :func:`write_maps`."""
+    fld_path = Path(fld_path)
+    directory = fld_path.parent
+    type_names: list[str] = []
+    files: list[str] = []
+    for line in fld_path.read_text().splitlines():
+        if line.startswith("# TYPES"):
+            type_names = line.split()[2:]
+        elif line.startswith("variable"):
+            for token in line.split():
+                if token.startswith("file="):
+                    files.append(token[5:])
+    if not type_names or len(files) != len(type_names) + 3:
+        raise ValueError(f"malformed .maps.fld index: {fld_path}")
+
+    affinity = []
+    origin = spacing = None
+    for name in files[: len(type_names)]:
+        values, origin, spacing = _read_one_map(directory / name)
+        affinity.append(values)
+    elec, _, _ = _read_one_map(directory / files[-3])
+    desolv_v, _, _ = _read_one_map(directory / files[-2])
+    desolv_s, _, _ = _read_one_map(directory / files[-1])
+
+    return GridMaps(origin=origin, spacing=spacing, type_names=type_names,
+                    affinity=np.stack(affinity), elec=elec,
+                    desolv_v=desolv_v, desolv_s=desolv_s)

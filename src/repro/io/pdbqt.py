@@ -1,0 +1,121 @@
+"""PDBQT-style ligand serialisation.
+
+Writes/reads the subset of the AutoDock PDBQT dialect our ligand model
+needs: ``ATOM`` records with coordinates / partial charge / AD type, the
+``ROOT`` block, nested ``BRANCH``/``ENDBRANCH`` blocks for rotatable bonds,
+and the trailing ``TORSDOF`` count.  Round-trips :class:`repro.docking.Ligand`
+objects (the torsion tree is reconstructed from the branch nesting).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.docking.ligand import Ligand, TorsionBond
+
+__all__ = ["write_pdbqt", "read_pdbqt"]
+
+
+def write_pdbqt(ligand: Ligand, path: str | Path,
+                coords: np.ndarray | None = None) -> None:
+    """Write a ligand (optionally with pose coordinates) as PDBQT.
+
+    Atoms are grouped by torsion signature: the rigid root block first,
+    then one ``BRANCH`` block per rotatable bond in tree order.
+    """
+    coords = ligand.ref_coords if coords is None else np.asarray(coords)
+    if coords.shape != (ligand.n_atoms, 3):
+        raise ValueError(f"coords must be ({ligand.n_atoms}, 3)")
+
+    sigs = ligand.torsion_signature()
+    lines = [f"REMARK  Name = {ligand.name}",
+             f"REMARK  {ligand.n_rot} active torsions"]
+
+    def atom_line(i: int) -> str:
+        x, y, z = coords[i]
+        return (f"ATOM  {i + 1:>5d}  {ligand.atom_types[i]:<3.3s} LIG A   1"
+                f"    {x:8.3f}{y:8.3f}{z:8.3f}  1.00  0.00"
+                f"    {ligand.charges[i]:6.3f} {ligand.atom_types[i]}")
+
+    # root block: atoms moved by no torsion
+    lines.append("ROOT")
+    for i in range(ligand.n_atoms):
+        if not sigs[i]:
+            lines.append(atom_line(i))
+    lines.append("ENDROOT")
+
+    # branches in tree order; emit atoms whose innermost torsion is this one
+    open_branches: list[int] = []
+    for k, tors in enumerate(ligand.torsions):
+        lines.append(f"BRANCH {tors.atom_a + 1:>3d} {tors.atom_b + 1:>3d}")
+        open_branches.append(k)
+        for i in tors.moved:
+            if max(sigs[i]) == k:
+                lines.append(atom_line(i))
+    for k in reversed(open_branches):
+        tors = ligand.torsions[k]
+        lines.append(f"ENDBRANCH {tors.atom_a + 1:>3d} {tors.atom_b + 1:>3d}")
+    lines.append(f"TORSDOF {ligand.n_rot}")
+
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_pdbqt(path: str | Path, name: str | None = None) -> Ligand:
+    """Read a PDBQT ligand written by :func:`write_pdbqt`.
+
+    Reconstructs atoms, charges, types, the torsion tree (from the branch
+    nesting) and a chain of bonds sufficient to reproduce the torsion
+    separation structure.
+    """
+    path = Path(path)
+    name = name or path.stem
+
+    # atoms keyed by their serial (the writer preserves original indices)
+    atoms: dict[int, tuple[str, list[float], float]] = {}
+    branch_stack: list[tuple[int, int, list[int]]] = []
+    torsions_raw: list[tuple[int, int, list[int]]] = []
+
+    for line in path.read_text().splitlines():
+        if line.startswith("ATOM"):
+            idx = int(line[6:11]) - 1
+            atoms[idx] = (line[12:16].strip(),
+                          [float(line[30:38]), float(line[38:46]),
+                           float(line[46:54])],
+                          float(line[66:76].split()[0]))
+            for _, _, moved in branch_stack:
+                moved.append(idx)
+        elif line.startswith("BRANCH"):
+            _, a, b = line.split()
+            branch_stack.append((int(a) - 1, int(b) - 1, []))
+        elif line.startswith("ENDBRANCH"):
+            a, b, moved = branch_stack.pop()
+            torsions_raw.append((a, b, moved))
+
+    if branch_stack:
+        raise ValueError(f"unbalanced BRANCH blocks in {path}")
+    if sorted(atoms) != list(range(len(atoms))):
+        raise ValueError(f"non-contiguous atom serials in {path}")
+
+    n = len(atoms)
+    atom_types = [atoms[i][0] for i in range(n)]
+    xyz = np.asarray([atoms[i][1] for i in range(n)])
+    charges = np.asarray([atoms[i][2] for i in range(n)])
+
+    # branches close innermost-first; restore root-to-leaf order by the
+    # tree structure (parents have strictly larger moved sets)
+    torsions_raw.sort(key=lambda t: -len(t[2]))
+    torsions = [TorsionBond(atom_a=a, atom_b=b, moved=tuple(sorted(m)))
+                for a, b, m in torsions_raw if m]
+
+    # bonds: torsion axes plus a nearest-neighbour chain for the rest
+    bonds = {(min(a, b), max(a, b)) for a, b, _ in torsions_raw}
+    for i in range(1, n):
+        d = np.linalg.norm(xyz[:i] - xyz[i], axis=1)
+        j = int(np.argmin(d))
+        bonds.add((min(i, j), max(i, j)))
+
+    return Ligand(name=name, atom_types=atom_types, ref_coords=xyz,
+                  charges=charges, bonds=sorted(bonds),
+                  torsions=torsions)

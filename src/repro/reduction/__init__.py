@@ -1,0 +1,45 @@
+"""Block-level sum reductions: SIMT baseline, Tensor Core, and TCEC.
+
+The ADADELTA gradient kernel ends every iteration with seven block-level sum
+reductions (energy, force x/y/z, torque x/y/z).  Three interchangeable
+back-ends are provided:
+
+* :class:`SimtReduction` — sequential shared-memory tree reductions in FP32,
+  the AutoDock-GPU baseline;
+* :class:`TcFp16Reduction` — Schieffer & Peng's matrix-shaped reduction
+  (Equations 1-4): 4-element vectors packed into 16x16 tiles, reduced with
+  two FP16 Tensor Core GEMMs, accumulator kept inside the TC (RZ);
+* :class:`TcecReduction` — the paper's contribution: same matrix shape but
+  TF32 operands, error-corrected products, and FP32/RN accumulation outside
+  the Tensor Core.
+
+All back-ends share the batched vector layout of :mod:`repro.reduction.matrices`.
+"""
+
+from repro.reduction.api import (
+    ReductionBackend,
+    SimtReduction,
+    TcFp16Reduction,
+    TcecReduction,
+    get_reduction_backend,
+)
+from repro.reduction.matrices import (
+    build_p_matrix,
+    build_q_matrix,
+    pack_vectors,
+    unpack_result,
+)
+from repro.reduction.simt_backend import simt_tree_reduce
+
+__all__ = [
+    "ReductionBackend",
+    "SimtReduction",
+    "TcFp16Reduction",
+    "TcecReduction",
+    "get_reduction_backend",
+    "build_p_matrix",
+    "build_q_matrix",
+    "pack_vectors",
+    "unpack_result",
+    "simt_tree_reduce",
+]

@@ -1,0 +1,146 @@
+"""Pluggable reduction back-ends for the docking kernels.
+
+A :class:`ReductionBackend` turns per-contribution 4-vectors
+``{x, y, z, e}`` into block-level totals.  The ADADELTA kernel calls
+:meth:`~ReductionBackend.reduce4` twice per iteration (forces+energy,
+torques) — the seven reductions of Section 3 — and the choice of back-end is
+the *only* difference between the paper's three configurations, both
+numerically (gradient accuracy) and in the cost model (cycles charged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.reduction.simt_backend import simt_tree_reduce, warp_shuffle_reduce
+from repro.reduction.tc_backend import tc_reduce_xyze, tcec_reduce_xyze
+from repro.tensorcore.tcec import TcecConfig
+
+__all__ = [
+    "ReductionBackend",
+    "SimtReduction",
+    "WarpShuffleReduction",
+    "TcFp16Reduction",
+    "TcecReduction",
+    "ExactReduction",
+    "get_reduction_backend",
+]
+
+
+class ReductionBackend:
+    """Interface: reduce ``(..., n, 4)`` contribution vectors to ``(..., 4)``."""
+
+    #: cost-model backend key (see repro.simt.costmodel.REDUCTION_BACKENDS)
+    cost_key: str = "baseline"
+    name: str = "abstract"
+
+    def reduce4(self, vectors: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+@dataclass(repr=False)
+class SimtReduction(ReductionBackend):
+    """Seven sequential FP32 shared-memory tree reductions (baseline)."""
+
+    cost_key: str = "baseline"
+    name: str = "baseline"
+
+    def reduce4(self, vectors: np.ndarray) -> np.ndarray:
+        v = np.asarray(vectors, dtype=np.float32)
+        return np.stack(
+            [simt_tree_reduce(v[..., i], axis=-1) for i in range(4)], axis=-1
+        )
+
+
+@dataclass(repr=False)
+class WarpShuffleReduction(ReductionBackend):
+    """AutoDock-GPU's warp-shuffle SIMT variant (no shared-memory tree).
+
+    Numerically in the same FP32 accuracy class as the baseline (a
+    different rounding order); priced as the baseline by the cost model
+    (it removes shared-memory latency but keeps the sync rhythm).
+    """
+
+    cost_key: str = "baseline"
+    name: str = "warp-shuffle"
+
+    def reduce4(self, vectors: np.ndarray) -> np.ndarray:
+        v = np.asarray(vectors, dtype=np.float32)
+        return np.stack(
+            [warp_shuffle_reduce(v[..., i], axis=-1) for i in range(4)],
+            axis=-1)
+
+
+@dataclass(repr=False)
+class TcFp16Reduction(ReductionBackend):
+    """Schieffer-Peng FP16 matrix reduction (accuracy-degrading, Figure 1).
+
+    Faithful to their kernel: FP16 operands *and* an FP16 accumulator
+    fragment, with the Tensor Core's round-toward-zero behaviour.
+    """
+
+    in_format: str = "fp16"
+    accumulate: str = "rz"
+    accumulator_format: str = "fp16"
+    cost_key: str = "tc-fp16"
+    name: str = "tc-fp16"
+
+    def reduce4(self, vectors: np.ndarray) -> np.ndarray:
+        return tc_reduce_xyze(vectors, in_format=self.in_format,
+                              accumulate=self.accumulate,
+                              accumulator_format=self.accumulator_format)
+
+
+@dataclass(repr=False)
+class TcecReduction(ReductionBackend):
+    """The paper's TCEC reduction: TF32 + error correction (Figure 3)."""
+
+    config: TcecConfig = field(default_factory=TcecConfig)
+    cost_key: str = "tcec-tf32"
+    name: str = "tcec-tf32"
+
+    def reduce4(self, vectors: np.ndarray) -> np.ndarray:
+        return tcec_reduce_xyze(vectors, self.config)
+
+
+@dataclass(repr=False)
+class ExactReduction(ReductionBackend):
+    """Float64 reference reduction (not a paper configuration; used by tests
+    and for establishing ground-truth global minima)."""
+
+    cost_key: str = "baseline"
+    name: str = "exact"
+
+    def reduce4(self, vectors: np.ndarray) -> np.ndarray:
+        return np.asarray(vectors, dtype=np.float64).sum(axis=-2).astype(np.float32)
+
+
+_REGISTRY = {
+    "baseline": SimtReduction,
+    "warp-shuffle": WarpShuffleReduction,
+    "tc-fp16": TcFp16Reduction,
+    "tcec-tf32": TcecReduction,
+    "exact": ExactReduction,
+}
+
+
+def get_reduction_backend(name: str | ReductionBackend, **kwargs) -> ReductionBackend:
+    """Instantiate a reduction back-end by name.
+
+    Accepts an already-constructed back-end (returned unchanged) so APIs can
+    take either form.
+    """
+    if isinstance(name, ReductionBackend):
+        return name
+    try:
+        cls = _REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown reduction backend {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,70 @@
+"""The A / P / Q matrices of the matrix-shaped reduction (Equations 1-4).
+
+Schieffer & Peng reduce four-element vectors ``{x, y, z, e}`` 64 at a time by
+packing them into a 16x16 matrix ``A`` (column ``c`` holds vectors
+``4c .. 4c+3`` stacked component-first), multiplying by the all-ones matrix
+``P`` (``V += A x P`` sums across columns), and finally by the block-identity
+matrix ``Q`` (``W = Q x V`` folds the four row groups together).  Column 0 of
+``W`` then holds the four totals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["build_p_matrix", "build_q_matrix", "pack_vectors", "unpack_result",
+           "VECTORS_PER_TILE", "TILE"]
+
+#: WMMA tile edge.
+TILE = 16
+
+#: Four-element vectors held by one A tile (16 columns x 4 vectors each).
+VECTORS_PER_TILE = 64
+
+
+def build_p_matrix() -> np.ndarray:
+    """The all-ones 16x16 matrix ``P`` of Equation (2)."""
+    return np.ones((TILE, TILE), dtype=np.float32)
+
+
+def build_q_matrix() -> np.ndarray:
+    """The 16x16 block matrix ``Q`` of 4x4 identity tiles (Equation 2).
+
+    ``Q[r, c] = 1`` iff ``c ≡ r (mod 4)``.
+    """
+    r = np.arange(TILE)
+    q = (r[:, None] % 4 == r[None, :] % 4).astype(np.float32)
+    return q
+
+
+def pack_vectors(vectors: np.ndarray) -> np.ndarray:
+    """Pack ``(..., n, 4)`` vectors into ``(..., n_tiles, 16, 16)`` A tiles.
+
+    Vectors are zero-padded to a multiple of 64.  Within a tile, element
+    ``A[4j + i, c]`` is component ``i`` of vector ``4c + j`` — the
+    column-major layout of Equation (2).
+    """
+    vectors = np.asarray(vectors, dtype=np.float32)
+    if vectors.ndim < 2 or vectors.shape[-1] != 4:
+        raise ValueError(f"expected (..., n, 4) vectors, got {vectors.shape}")
+    lead = vectors.shape[:-2]
+    n = vectors.shape[-2]
+    n_tiles = max(1, -(-n // VECTORS_PER_TILE))
+    padded = np.zeros(lead + (n_tiles * VECTORS_PER_TILE, 4), dtype=np.float32)
+    padded[..., :n, :] = vectors
+    # (..., tiles, 16 columns, 4 vectors-in-column, 4 components)
+    v = padded.reshape(lead + (n_tiles, TILE, 4, 4))
+    # rows are (j, i) pairs -> move (j, i) before the column axis
+    a = np.moveaxis(v, (-2, -1), (-3, -2))        # (..., tiles, 4j, 4i, 16c)
+    return np.ascontiguousarray(
+        a.reshape(lead + (n_tiles, TILE, TILE))
+    )
+
+
+def unpack_result(w: np.ndarray) -> np.ndarray:
+    """Extract the four reduction totals from the ``W`` matrix (first column
+    of Equation 4). Accepts ``(..., 16, 16)``, returns ``(..., 4)``."""
+    w = np.asarray(w)
+    if w.shape[-2:] != (TILE, TILE):
+        raise ValueError(f"expected (..., 16, 16) W matrix, got {w.shape}")
+    return np.ascontiguousarray(w[..., :4, 0])

@@ -1,0 +1,82 @@
+"""Matrix-shaped Tensor Core reductions (batched numerical kernels).
+
+Two variants of the Equation (1) pipeline ``W = Q x (sum_t A_t x P)``:
+
+* :func:`tc_reduce_xyze` — Schieffer & Peng's FP16 version.  ``V`` is kept in
+  the Tensor Core accumulator across batches, so every batch suffers an
+  FP16 input truncation *and* a round-toward-zero accumulation; values whose
+  magnitude exceeds FP16 range saturate.  This is the accuracy-degrading
+  baseline of Figure 1.
+* :func:`tcec_reduce_xyze` — the paper's TCEC version.  TF32 operands with
+  two error-correction terms per product, and the running ``V`` accumulation
+  moved outside the Tensor Core onto FP32/RN SIMT adds (Figure 2, right).
+
+Both accept leading batch dimensions (a population of thread blocks) and are
+numerically identical to issuing each block's WMMA calls one at a time
+through :mod:`repro.tensorcore.wmma`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpemu.rounding import round_f64_to_f32_rn
+from repro.reduction.matrices import (
+    TILE,
+    build_p_matrix,
+    build_q_matrix,
+    pack_vectors,
+    unpack_result,
+)
+from repro.tensorcore.mma import mma, tc_product
+from repro.tensorcore.tcec import TcecConfig, tcec_mma
+
+__all__ = ["tc_reduce_xyze", "tcec_reduce_xyze"]
+
+_P = build_p_matrix()
+_Q = build_q_matrix()
+
+
+def tc_reduce_xyze(vectors: np.ndarray, *, in_format: str = "fp16",
+                   accumulate: str = "rz",
+                   accumulator_format: str = "fp16") -> np.ndarray:
+    """Schieffer-Peng reduction of ``(..., n, 4)`` vectors to ``(..., 4)``.
+
+    ``V`` accumulates across 64-vector batches inside the Tensor Core
+    (``mma_sync(V, A, P, V)``), compounding one rounding per batch.  Their
+    kernel declares ``frag_V`` as ``half`` (paper Listing 1, bottom), so the
+    default accumulator format is FP16 — running sums lose absolute
+    precision as they grow and saturate beyond 65504.
+    """
+    tiles = pack_vectors(vectors)              # (..., n_tiles, 16, 16)
+    lead = tiles.shape[:-3]
+    n_tiles = tiles.shape[-3]
+    v = np.zeros(lead + (TILE, TILE), dtype=np.float32)
+    for t in range(n_tiles):
+        v = mma(tiles[..., t, :, :], _P, v, in_format=in_format,
+                accumulate=accumulate, accumulator_format=accumulator_format)
+    w = mma(_Q, v, np.zeros_like(v), in_format=in_format,
+            accumulate=accumulate, accumulator_format=accumulator_format)
+    return unpack_result(w)
+
+
+def tcec_reduce_xyze(vectors: np.ndarray,
+                     config: TcecConfig | None = None) -> np.ndarray:
+    """TCEC reduction of ``(..., n, 4)`` vectors to ``(..., 4)``.
+
+    Every Tensor Core issue computes a single product with a zero
+    accumulator; the running ``V`` is carried on simulated SIMT cores in
+    FP32 round-to-nearest, then folded by an error-corrected ``Q x V``.
+    """
+    config = config or TcecConfig()
+    tiles = pack_vectors(vectors)
+    lead = tiles.shape[:-3]
+    n_tiles = tiles.shape[-3]
+    v = np.zeros(lead + (TILE, TILE), dtype=np.float32)
+    zero = np.zeros(lead + (TILE, TILE), dtype=np.float32)
+    for t in range(n_tiles):
+        prod = tcec_mma(tiles[..., t, :, :], _P, zero, config)
+        # external FP32/RN accumulation (one SIMT add per element)
+        v = round_f64_to_f32_rn(v.astype(np.float64) + prod.astype(np.float64))
+    w = tcec_mma(_Q, v, np.zeros_like(v), config)
+    return unpack_result(w)

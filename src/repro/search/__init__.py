@@ -1,0 +1,34 @@
+"""Lamarckian Genetic Algorithm search (Algorithms 1 and 3).
+
+* :mod:`repro.search.ga` — genetic operators: tournament selection,
+  two-point crossover, gaussian mutation, elitism;
+* :mod:`repro.search.adadelta` — the ADADELTA local search whose gradient
+  kernel contains the seven reductions the paper offloads to Tensor Cores;
+* :mod:`repro.search.solis_wets` — the derivative-free Solis-Wets local
+  search AutoDock-GPU also ships (extension feature; no reductions of
+  interest);
+* :mod:`repro.search.lga` — the LGA driver: population initialisation,
+  GA + LS alternation, eval/generation budgets, best-pose tracking.
+"""
+
+from repro.search.adadelta import AdadeltaConfig, AdadeltaLocalSearch
+from repro.search.autostop import AutoStop, heuristic_max_evals
+from repro.search.ga import GAConfig, GeneticAlgorithm
+from repro.search.lga import LGAConfig, LGAResult, LGARun
+from repro.search.parallel import ParallelLGA
+from repro.search.solis_wets import SolisWetsConfig, SolisWetsLocalSearch
+
+__all__ = [
+    "AdadeltaConfig",
+    "AdadeltaLocalSearch",
+    "AutoStop",
+    "heuristic_max_evals",
+    "GAConfig",
+    "GeneticAlgorithm",
+    "LGAConfig",
+    "LGAResult",
+    "LGARun",
+    "ParallelLGA",
+    "SolisWetsConfig",
+    "SolisWetsLocalSearch",
+]

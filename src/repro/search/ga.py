@@ -1,0 +1,134 @@
+"""Genetic-algorithm phase of the LGA (crossover, mutation, selection).
+
+Operates on a population gene matrix ``(pop, glen)`` plus its scores.
+One :meth:`GeneticAlgorithm.next_generation` call implements the GA step of
+Algorithm 1: elitist survival of the best individual, tournament selection
+of parents, two-point crossover, and gaussian gene mutation with
+gene-class-specific magnitudes (translation in Å, angles in radians).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.docking.genotype import N_RIGID_GENES
+
+__all__ = ["GAConfig", "GeneticAlgorithm"]
+
+
+@dataclass(frozen=True)
+class GAConfig:
+    """Genetic-operator rates (AutoDock-GPU-style defaults).
+
+    ``selection`` chooses the parent-selection operator: ``"tournament"``
+    (binary tournament, the default here) or ``"proportional"``
+    (fitness-proportional roulette over linearly rescaled scores,
+    AutoDock's classic default).
+    """
+
+    selection: str = "tournament"
+    tournament_size: int = 2
+    tournament_p: float = 0.6       # probability the fitter contestant wins
+    crossover_rate: float = 0.8
+    mutation_rate: float = 0.02     # per-gene mutation probability
+    mutation_trans_sigma: float = 1.0   # Å
+    mutation_angle_sigma: float = 0.35  # rad (~20 degrees)
+    n_elite: int = 1
+
+    def __post_init__(self) -> None:
+        if self.selection not in ("tournament", "proportional"):
+            raise ValueError("selection must be 'tournament' or "
+                             "'proportional'")
+        if self.tournament_size < 1:
+            raise ValueError("tournament_size must be >= 1")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must be in [0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        if self.n_elite < 0:
+            raise ValueError("n_elite must be >= 0")
+
+
+class GeneticAlgorithm:
+    """Stateless genetic operators bound to a config and RNG."""
+
+    def __init__(self, config: GAConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+
+    def select_parents(self, scores: np.ndarray, n: int) -> np.ndarray:
+        """Select ``n`` parent indices with the configured operator."""
+        if self.config.selection == "proportional":
+            return self._proportional_selection(scores, n)
+        return self._tournament_selection(scores, n)
+
+    def _tournament_selection(self, scores: np.ndarray, n: int) -> np.ndarray:
+        """Tournament selection (lower score wins with prob. tournament_p)."""
+        pop = scores.shape[0]
+        k = self.config.tournament_size
+        contestants = self.rng.integers(0, pop, size=(n, k))
+        contestant_scores = scores[contestants]
+        order = np.argsort(contestant_scores, axis=1)
+        pick_best = self.rng.random(n) < self.config.tournament_p
+        chosen_rank = np.where(pick_best, 0,
+                               self.rng.integers(0, k, size=n))
+        return contestants[np.arange(n), order[np.arange(n), chosen_rank]]
+
+    def _proportional_selection(self, scores: np.ndarray, n: int
+                                ) -> np.ndarray:
+        """Fitness-proportional (roulette) selection, AutoDock-style:
+        scores are linearly rescaled so the worst individual has zero
+        fitness and the best the largest."""
+        worst = float(np.max(scores))
+        fitness = worst - np.asarray(scores, dtype=np.float64)
+        total = fitness.sum()
+        if total <= 0.0:   # degenerate population: uniform choice
+            return self.rng.integers(0, scores.shape[0], size=n)
+        return self.rng.choice(scores.shape[0], size=n, p=fitness / total)
+
+    def crossover(self, parents_a: np.ndarray, parents_b: np.ndarray
+                  ) -> np.ndarray:
+        """Two-point crossover over gene vectors ``(n, glen)``."""
+        n, glen = parents_a.shape
+        children = parents_a.copy()
+        do = self.rng.random(n) < self.config.crossover_rate
+        cut = np.sort(self.rng.integers(0, glen + 1, size=(n, 2)), axis=1)
+        cols = np.arange(glen)
+        inside = (cols[None, :] >= cut[:, 0:1]) & (cols[None, :] < cut[:, 1:2])
+        take_b = inside & do[:, None]
+        children[take_b] = parents_b[take_b]
+        return children
+
+    def mutate(self, genes: np.ndarray) -> np.ndarray:
+        """Gaussian per-gene mutation; magnitude depends on gene class."""
+        n, glen = genes.shape
+        out = genes.copy()
+        hit = self.rng.random((n, glen)) < self.config.mutation_rate
+        sigma = np.full(glen, self.config.mutation_angle_sigma)
+        sigma[0:3] = self.config.mutation_trans_sigma
+        noise = self.rng.normal(scale=sigma, size=(n, glen))
+        out[hit] += noise[hit]
+        return out
+
+    def next_generation(self, genes: np.ndarray, scores: np.ndarray
+                        ) -> np.ndarray:
+        """Produce the next population ``(pop, glen)`` from the scored
+        current one.  The ``n_elite`` best individuals survive unchanged."""
+        pop = genes.shape[0]
+        order = np.argsort(scores)
+        n_elite = min(self.config.n_elite, pop)
+        n_children = pop - n_elite
+
+        pa = self.select_parents(scores, n_children)
+        pb = self.select_parents(scores, n_children)
+        children = self.crossover(genes[pa], genes[pb])
+        children = self.mutate(children)
+
+        out = np.empty_like(genes)
+        out[:n_elite] = genes[order[:n_elite]]
+        out[n_elite:] = children
+        return out

@@ -1,0 +1,167 @@
+"""The Lamarckian Genetic Algorithm driver (Algorithm 1).
+
+One :class:`LGARun` is one independent run: a population of individuals
+evolved by the GA phase and refined by the local-search phase (Lamarckian:
+refined genotypes are written back into the population), until either the
+score-evaluation budget (``N_score-evals^MAX``) or the generation budget
+(``N_gens^MAX``) is exhausted.
+
+Every improvement of the run's best score is recorded with the evaluation
+count at which it happened — the raw material of the E50 analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.docking.genotype import random_genotypes
+from repro.docking.gradients import GradientCalculator
+from repro.docking.scoring import ScoringFunction
+from repro.reduction.api import ReductionBackend
+from repro.search.adadelta import AdadeltaConfig, AdadeltaLocalSearch
+from repro.search.autostop import AutoStop
+from repro.search.ga import GAConfig, GeneticAlgorithm
+from repro.search.solis_wets import SolisWetsConfig, SolisWetsLocalSearch
+
+__all__ = ["LGAConfig", "LGAResult", "LGARun"]
+
+
+@dataclass(frozen=True)
+class LGAConfig:
+    """LGA budgets and operator settings.
+
+    Paper defaults are ``pop_size=150``, ``max_evals=2_500_000``,
+    ``max_gens=27_000``, ``ls_iters=300``; the class defaults here are the
+    scaled-down values the Python reproduction uses (DESIGN.md Section 6).
+    """
+
+    pop_size: int = 30
+    max_evals: int = 10_000
+    max_gens: int = 200
+    ls_method: str = "ad"          # "ad" (ADADELTA) or "sw" (Solis-Wets)
+    ls_iters: int = 30
+    ls_rate: float = 0.3           # fraction of population refined per gen
+    ga: GAConfig = field(default_factory=GAConfig)
+    adadelta: AdadeltaConfig | None = None
+    solis_wets: SolisWetsConfig | None = None
+    #: enable AutoStop convergence-based early termination (the -A flag)
+    autostop: bool = False
+    autostop_window: int = 10
+    autostop_tolerance: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.pop_size < 2:
+            raise ValueError("pop_size must be >= 2")
+        if self.ls_method not in ("ad", "sw"):
+            raise ValueError("ls_method must be 'ad' or 'sw'")
+        if not 0.0 <= self.ls_rate <= 1.0:
+            raise ValueError("ls_rate must be in [0, 1]")
+
+
+@dataclass
+class LGAResult:
+    """Outcome of one LGA run."""
+
+    best_genotype: np.ndarray
+    best_score: float
+    evals_used: int
+    generations: int
+    #: (evals_used, score, genotype-copy) at every best-score improvement
+    history: list[tuple[int, float, np.ndarray]]
+
+
+class LGARun:
+    """One independent LGA run bound to a scoring function and back-end.
+
+    Parameters
+    ----------
+    scoring:
+        Scoring function for the ligand-receptor pair.
+    backend:
+        Reduction back-end used by the ADADELTA gradient kernel.
+    config:
+        Budgets and operator settings.
+    rng:
+        The run's private random generator (runs differ only by seed).
+    """
+
+    def __init__(self, scoring: ScoringFunction,
+                 backend: str | ReductionBackend = "baseline",
+                 config: LGAConfig | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        self.scoring = scoring
+        self.config = config or LGAConfig()
+        self.rng = rng or np.random.default_rng()
+        self.ga = GeneticAlgorithm(self.config.ga, self.rng)
+        if self.config.ls_method == "ad":
+            gradient = GradientCalculator(scoring, backend)
+            ad_cfg = self.config.adadelta or AdadeltaConfig(
+                max_iters=self.config.ls_iters)
+            self.local_search = AdadeltaLocalSearch(gradient, ad_cfg)
+        else:
+            sw_cfg = self.config.solis_wets or SolisWetsConfig(
+                max_iters=self.config.ls_iters)
+            self.local_search = SolisWetsLocalSearch(scoring, sw_cfg, self.rng)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> LGAResult:
+        """Execute the LGA until a budget is exhausted."""
+        cfg = self.config
+        sf = self.scoring
+        maps = sf.maps
+        genes = random_genotypes(self.rng, cfg.pop_size, sf.ligand,
+                                 maps.box_lo, maps.box_hi)
+
+        best_score = np.inf
+        best_genotype = genes[0].copy()
+        history: list[tuple[int, float, np.ndarray]] = []
+        evals = 0
+        gens = 0
+        autostop = AutoStop(window=cfg.autostop_window,
+                            tolerance=cfg.autostop_tolerance) \
+            if cfg.autostop else None
+
+        def track(scores: np.ndarray) -> None:
+            nonlocal best_score, best_genotype
+            i = int(np.argmin(scores))
+            if scores[i] < best_score:
+                best_score = float(scores[i])
+                best_genotype = genes[i].copy()
+                history.append((evals, best_score, best_genotype.copy()))
+
+        while evals < cfg.max_evals and gens < cfg.max_gens:
+            scores = sf.score(genes)
+            evals += cfg.pop_size
+            track(scores)
+            if evals >= cfg.max_evals:
+                break
+            if autostop is not None and autostop.observe(float(scores.min())):
+                break
+
+            # GA phase
+            genes = self.ga.next_generation(genes, scores)
+
+            # LS phase (Lamarckian write-back)
+            n_ls = int(round(cfg.ls_rate * cfg.pop_size))
+            if n_ls > 0:
+                subset = self.rng.choice(cfg.pop_size, size=n_ls,
+                                         replace=False)
+                refined, _, ls_evals = self.local_search.minimize(
+                    genes[subset])
+                genes[subset] = refined
+                evals += ls_evals
+            gens += 1
+
+        # final scoring so the last generation's refinements are counted
+        scores = sf.score(genes)
+        evals += cfg.pop_size
+        track(scores)
+
+        return LGAResult(best_genotype=best_genotype,
+                         best_score=best_score,
+                         evals_used=evals,
+                         generations=gens,
+                         history=history)

@@ -1,0 +1,140 @@
+"""Lock-step execution of many independent LGA runs.
+
+AutoDock-GPU's coarse-level parallelism maps every individual of every LGA
+run to its own thread block, so all runs advance together (Table 1).
+:class:`ParallelLGA` reproduces that shape in NumPy: the gene tensor is
+``(n_runs, pop, glen)`` and every scoring / gradient call is batched over
+``n_runs * pop`` (or ``n_runs * n_ls``) individuals — which is also what
+makes multi-run experiments (E50, Table 3) fast in Python.
+
+Results are identical in distribution to running :class:`~repro.search.lga.LGARun`
+``n_runs`` times with independent seeds; only the batching differs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.docking.genotype import random_genotypes
+from repro.docking.gradients import GradientCalculator
+from repro.docking.scoring import ScoringFunction
+from repro.reduction.api import ReductionBackend
+from repro.search.adadelta import AdadeltaConfig, AdadeltaLocalSearch
+from repro.search.ga import GeneticAlgorithm
+from repro.search.lga import LGAConfig, LGAResult
+from repro.search.solis_wets import SolisWetsConfig, SolisWetsLocalSearch
+
+__all__ = ["ParallelLGA"]
+
+
+class ParallelLGA:
+    """Run ``n_runs`` independent LGA searches in lock step (ADADELTA or
+    Solis-Wets local search; AutoStop needs per-run control and is routed
+    to :class:`~repro.search.lga.LGARun` by the engine).
+
+    Parameters
+    ----------
+    scoring:
+        Scoring function of the ligand-receptor pair.
+    backend:
+        Reduction back-end for the ADADELTA gradient kernel.
+    config:
+        Per-run budgets/operators (shared by all runs; only seeds differ).
+    seed:
+        Master seed; per-run generators are spawned from it.
+    """
+
+    def __init__(self, scoring: ScoringFunction,
+                 backend: str | ReductionBackend = "baseline",
+                 config: LGAConfig | None = None,
+                 seed: int | np.random.SeedSequence = 0) -> None:
+        self.scoring = scoring
+        self.config = config or LGAConfig()
+        if self.config.autostop:
+            raise ValueError("AutoStop requires per-run termination; use "
+                             "LGARun (DockingEngine routes there "
+                             "automatically)")
+        self.seed = seed
+        if self.config.ls_method == "ad":
+            gradient = GradientCalculator(scoring, backend)
+            ad_cfg = self.config.adadelta or AdadeltaConfig(
+                max_iters=self.config.ls_iters)
+            self.local_search = AdadeltaLocalSearch(gradient, ad_cfg)
+        else:
+            sw_cfg = self.config.solis_wets or SolisWetsConfig(
+                max_iters=self.config.ls_iters)
+            sw_seq = np.random.SeedSequence(
+                seed if not isinstance(seed, np.random.SeedSequence)
+                else seed.entropy)
+            self.local_search = SolisWetsLocalSearch(
+                scoring, sw_cfg,
+                np.random.Generator(np.random.PCG64(sw_seq.spawn(1)[0])))
+
+    def run(self, n_runs: int) -> list[LGAResult]:
+        """Execute ``n_runs`` lock-step LGA runs; one result per run."""
+        cfg = self.config
+        sf = self.scoring
+        maps = sf.maps
+        sseq = (self.seed if isinstance(self.seed, np.random.SeedSequence)
+                else np.random.SeedSequence(self.seed))
+        rngs = [np.random.Generator(np.random.PCG64(s))
+                for s in sseq.spawn(n_runs)]
+        gas = [GeneticAlgorithm(cfg.ga, rng) for rng in rngs]
+
+        pop, R = cfg.pop_size, n_runs
+        genes = np.stack([
+            random_genotypes(rngs[r], pop, sf.ligand, maps.box_lo, maps.box_hi)
+            for r in range(R)])                          # (R, pop, glen)
+        glen = genes.shape[-1]
+
+        best_score = np.full(R, np.inf)
+        best_genotype = genes[:, 0, :].copy()
+        histories: list[list[tuple[int, float, np.ndarray]]] = [
+            [] for _ in range(R)]
+        evals = 0
+        gens = 0
+
+        def track(scores: np.ndarray) -> None:
+            nonlocal best_score
+            idx = np.argmin(scores, axis=1)
+            vals = scores[np.arange(R), idx]
+            improved = vals < best_score
+            for r in np.nonzero(improved)[0]:
+                best_score[r] = vals[r]
+                best_genotype[r] = genes[r, idx[r]].copy()
+                histories[r].append((evals, float(vals[r]),
+                                     best_genotype[r].copy()))
+
+        n_ls = int(round(cfg.ls_rate * pop))
+        while evals < cfg.max_evals and gens < cfg.max_gens:
+            scores = sf.score(genes.reshape(R * pop, glen)).reshape(R, pop)
+            evals += pop
+            track(scores)
+            if evals >= cfg.max_evals:
+                break
+
+            for r in range(R):
+                genes[r] = gas[r].next_generation(genes[r], scores[r])
+
+            if n_ls > 0:
+                subsets = np.stack([
+                    rngs[r].choice(pop, size=n_ls, replace=False)
+                    for r in range(R)])
+                selected = genes[np.arange(R)[:, None], subsets]
+                refined, _, ls_evals = self.local_search.minimize(
+                    selected.reshape(R * n_ls, glen))
+                genes[np.arange(R)[:, None], subsets] = refined.reshape(
+                    R, n_ls, glen)
+                evals += ls_evals // R       # per-run share (uniform)
+            gens += 1
+
+        scores = sf.score(genes.reshape(R * pop, glen)).reshape(R, pop)
+        evals += pop
+        track(scores)
+
+        return [LGAResult(best_genotype=best_genotype[r],
+                          best_score=float(best_score[r]),
+                          evals_used=evals,
+                          generations=gens,
+                          history=histories[r])
+                for r in range(R)]

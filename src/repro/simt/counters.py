@@ -1,0 +1,104 @@
+"""Cycle and operation accounting — the ``clock64()`` analogue.
+
+The paper instruments AutoDock-GPU with ``clock64()`` around the seven sum
+reduction regions to measure the fraction ``f`` of kernel cycles spent in
+code offloaded to Tensor Cores (Section 5.1.1).  :class:`RegionClock`
+reproduces that workflow: the cost model charges cycles into named regions
+and ``fraction("reduction")`` returns ``f``.
+
+:class:`OpCounters` tallies retired work by functional unit (FMA / ALU /
+Tensor Core) and DRAM traffic, from which the profiler derives the Table 6
+metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RegionClock", "OpCounters"]
+
+
+class RegionClock:
+    """Accumulates simulated cycles into named regions.
+
+    Mirrors wrapping kernel code regions with ``clock64()`` reads: every
+    charge lands both in the named region and in the running total.
+    """
+
+    def __init__(self) -> None:
+        self._regions: dict[str, float] = {}
+
+    def charge(self, region: str, cycles: float) -> None:
+        """Add ``cycles`` to ``region`` (creating it on first use)."""
+        if cycles < 0:
+            raise ValueError(f"negative cycle charge: {cycles}")
+        self._regions[region] = self._regions.get(region, 0.0) + cycles
+
+    def cycles(self, region: str | None = None) -> float:
+        """Cycles charged to ``region``, or the total when region is None."""
+        if region is None:
+            return sum(self._regions.values())
+        return self._regions.get(region, 0.0)
+
+    def fraction(self, region: str) -> float:
+        """Share of total cycles spent in ``region`` — the paper's ``f``."""
+        total = self.cycles()
+        if total == 0.0:
+            return 0.0
+        return self.cycles(region) / total
+
+    def regions(self) -> dict[str, float]:
+        """Copy of the per-region cycle map."""
+        return dict(self._regions)
+
+    def reset(self) -> None:
+        self._regions.clear()
+
+    def merge(self, other: "RegionClock") -> None:
+        """Fold another clock's charges into this one."""
+        for region, cycles in other._regions.items():
+            self.charge(region, cycles)
+
+
+@dataclass
+class OpCounters:
+    """Retired-work tallies by functional unit plus DRAM traffic.
+
+    ``fma_flops``  FP32 FLOPs retired on fused multiply-add pipes
+    ``alu_ops``    integer / logic / conversion operations (ALU pipe)
+    ``tc_flops``   FLOPs retired on Tensor Cores
+    ``dram_bytes`` bytes moved to/from device memory
+    """
+
+    fma_flops: float = 0.0
+    alu_ops: float = 0.0
+    tc_flops: float = 0.0
+    dram_bytes: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_flops(self) -> float:
+        """All floating-point work, the numerator of OI and GFLOP/s."""
+        return self.fma_flops + self.tc_flops
+
+    def add(self, *, fma_flops: float = 0.0, alu_ops: float = 0.0,
+            tc_flops: float = 0.0, dram_bytes: float = 0.0) -> None:
+        if min(fma_flops, alu_ops, tc_flops, dram_bytes) < 0:
+            raise ValueError("operation counts must be non-negative")
+        self.fma_flops += fma_flops
+        self.alu_ops += alu_ops
+        self.tc_flops += tc_flops
+        self.dram_bytes += dram_bytes
+
+    def merge(self, other: "OpCounters") -> None:
+        self.add(fma_flops=other.fma_flops, alu_ops=other.alu_ops,
+                 tc_flops=other.tc_flops, dram_bytes=other.dram_bytes)
+
+    def scaled(self, factor: float) -> "OpCounters":
+        """A copy with every tally multiplied by ``factor``."""
+        return OpCounters(
+            fma_flops=self.fma_flops * factor,
+            alu_ops=self.alu_ops * factor,
+            tc_flops=self.tc_flops * factor,
+            dram_bytes=self.dram_bytes * factor,
+        )

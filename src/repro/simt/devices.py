@@ -1,0 +1,150 @@
+"""GPU device catalogue with the paper's Table 2 characteristics.
+
+Each :class:`DeviceSpec` carries the published architectural numbers plus a
+small set of micro-architectural latency constants (shared-memory access,
+block-wide barrier) that the cost model needs.  The latency constants are not
+in Table 2; they are calibrated so the model reproduces the *shape* of the
+paper's Figure 4 / Table 5 results (see DESIGN.md Section 5): Hopper's
+block-wide synchronisation is comparatively expensive — which is what makes
+the H100 baseline degrade at 256 threads and gives TCEC its largest relative
+gain there — while Blackwell improves sync latency and raises memory
+bandwidth 4x, compressing the relative gain of Tensor Cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "A100", "H100", "B200", "get_device", "list_devices"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a GPU accelerator.
+
+    Published characteristics (paper Table 2)
+    -----------------------------------------
+    name / architecture / compute_capability, ``sm_count``,
+    ``fp32_cores_per_sm``, ``tensor_cores_per_sm``, ``fp32_tflops`` (SIMT
+    peak), ``tf32_tflops`` (Tensor Core peak, dense), ``mem_bw_tb_s``.
+
+    Calibrated micro-architecture constants
+    ---------------------------------------
+    ``smem_latency_cycles``   shared-memory round trip used by tree reductions
+    ``barrier_base_cycles``   fixed cost of ``__syncthreads``
+    ``barrier_warp_cycles``   additional barrier cost per warp in the block
+    ``mma_issue_cycles``      pipeline latency of one WMMA issue
+    ``max_threads_per_sm`` / ``max_blocks_per_sm``  occupancy limits
+    """
+
+    name: str
+    architecture: str
+    compute_capability: str
+    sm_count: int
+    fp32_cores_per_sm: int
+    tensor_cores_per_sm: int
+    fp32_tflops: float
+    tf32_tflops: float
+    mem_bw_tb_s: float
+    smem_latency_cycles: float
+    barrier_base_cycles: float
+    barrier_warp_cycles: float
+    mma_issue_cycles: float
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 32
+
+    # ---- derived quantities -------------------------------------------------
+
+    @property
+    def clock_ghz(self) -> float:
+        """Effective clock backed out of the published FP32 peak."""
+        return self.fp32_tflops * 1e3 / (self.sm_count * self.fp32_cores_per_sm * 2)
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_ghz * 1e9
+
+    @property
+    def simt_flops_per_cycle_sm(self) -> float:
+        """FP32 FMA FLOPs one SM retires per cycle (2 per core)."""
+        return 2.0 * self.fp32_cores_per_sm
+
+    @property
+    def tc_flops_per_cycle_sm(self) -> float:
+        """TF32 Tensor Core FLOPs one SM retires per cycle."""
+        return self.tf32_tflops * 1e12 / (self.sm_count * self.clock_hz)
+
+    @property
+    def tc_flops_per_cycle_unit(self) -> float:
+        """TF32 FLOPs a single Tensor Core retires per cycle."""
+        return self.tc_flops_per_cycle_sm / self.tensor_cores_per_sm
+
+    @property
+    def tensor_speedup(self) -> float:
+        """``S`` of Equation (6): TC peak over SIMT FP32 peak."""
+        return self.tf32_tflops / self.fp32_tflops
+
+    @property
+    def mem_bytes_per_second(self) -> float:
+        return self.mem_bw_tb_s * 1e12
+
+    def barrier_cycles(self, block_size: int) -> float:
+        """Cost of one block-wide barrier for ``block_size`` threads.
+
+        Arrival/release fan-in grows sub-linearly with the warp count;
+        the per-warp coefficient is calibrated per device (Hopper's
+        block-wide synchronisation is markedly more expensive, which is
+        what degrades its SIMT baseline at 256 threads — Figure 4).
+        """
+        warps = max(1, block_size // 32)
+        return self.barrier_base_cycles + self.barrier_warp_cycles * warps ** 0.5
+
+    def resident_blocks(self, block_size: int) -> int:
+        """Maximum co-resident thread blocks per SM at this block size."""
+        by_threads = self.max_threads_per_sm // block_size
+        return max(1, min(self.max_blocks_per_sm, by_threads))
+
+
+# Published numbers from Table 2; latency constants calibrated per DESIGN.md.
+A100 = DeviceSpec(
+    name="A100", architecture="Ampere", compute_capability="8.0",
+    sm_count=108, fp32_cores_per_sm=64, tensor_cores_per_sm=4,
+    fp32_tflops=19.49, tf32_tflops=155.92, mem_bw_tb_s=1.56,
+    smem_latency_cycles=29.0, barrier_base_cycles=24.0,
+    barrier_warp_cycles=30.0, mma_issue_cycles=18.0,
+)
+
+H100 = DeviceSpec(
+    name="H100", architecture="Hopper", compute_capability="9.0",
+    sm_count=114, fp32_cores_per_sm=128, tensor_cores_per_sm=4,
+    fp32_tflops=51.22, tf32_tflops=378.00, mem_bw_tb_s=2.04,
+    smem_latency_cycles=33.0, barrier_base_cycles=30.0,
+    barrier_warp_cycles=100.0, mma_issue_cycles=16.0,
+)
+
+B200 = DeviceSpec(
+    name="B200", architecture="Blackwell", compute_capability="10.0",
+    sm_count=264, fp32_cores_per_sm=128, tensor_cores_per_sm=4,
+    fp32_tflops=80.0, tf32_tflops=1200.0, mem_bw_tb_s=8.00,
+    smem_latency_cycles=27.0, barrier_base_cycles=26.0,
+    barrier_warp_cycles=2.0, mma_issue_cycles=14.0,
+)
+
+_CATALOGUE = {d.name.lower(): d for d in (A100, H100, B200)}
+
+
+def get_device(name: str | DeviceSpec) -> DeviceSpec:
+    """Look up a device by (case-insensitive) name."""
+    if isinstance(name, DeviceSpec):
+        return name
+    try:
+        return _CATALOGUE[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown device {name!r}; available: {sorted(_CATALOGUE)}"
+        ) from None
+
+
+def list_devices() -> list[DeviceSpec]:
+    """All devices in the catalogue, in the paper's order."""
+    return [A100, H100, B200]

@@ -1,0 +1,120 @@
+"""CUDA-style kernels for the SIMT machine — the reductions, line by line.
+
+These are the thread-level programs the paper's Section 3 describes,
+written for :class:`repro.simt.machine.ThreadBlock`:
+
+* :func:`tree_reduce_kernel` — the baseline shared-memory tree (seven of
+  these run per gradient iteration);
+* :func:`warp_shuffle_reduce_kernel` — the warp-shuffle variant;
+* :func:`tc_reduce_kernel` — Schieffer & Peng's matrix reduction: threads
+  stage the 4-vectors into the Equation (2) layout in shared memory, warp
+  0 issues the ``V += A x P`` and ``W = Q x V`` MMAs (the 32-to-1
+  thread-to-Tensor-Core mapping).
+
+Each is tested bit-identical to its vectorised counterpart in
+:mod:`repro.reduction` — the fast NumPy paths compute exactly what these
+thread programs compute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reduction.matrices import TILE, VECTORS_PER_TILE, build_p_matrix, \
+    build_q_matrix
+from repro.simt.machine import WARP_SIZE, ThreadContext
+
+__all__ = ["tree_reduce_kernel", "warp_shuffle_reduce_kernel",
+           "tc_reduce_kernel"]
+
+
+def tree_reduce_kernel(ctx: ThreadContext, values: np.ndarray,
+                       out: np.ndarray):
+    """Shared-memory stride-halving tree over ``block_size`` slots.
+
+    ``values`` may be shorter than the block (missing lanes load zero) but
+    not longer; ``out[0]`` receives the block sum.
+    """
+    tid = ctx.tid
+    n = ctx.block.block_size
+    smem = ctx.shared
+    smem[tid] = values[tid] if tid < len(values) else 0.0
+    yield from ctx.syncthreads()
+
+    s = n // 2
+    while s > 0:
+        if tid < s:
+            smem[tid] = np.float32(smem[tid] + smem[tid + s])
+        yield from ctx.syncthreads()
+        s //= 2
+    if tid == 0:
+        out[0] = smem[0]
+
+
+def warp_shuffle_reduce_kernel(ctx: ThreadContext, values: np.ndarray,
+                               out: np.ndarray):
+    """Warp-shuffle butterfly + sequential cross-warp combine."""
+    tid = ctx.tid
+    v = np.float32(values[tid]) if tid < len(values) else np.float32(0.0)
+
+    offset = WARP_SIZE // 2
+    while offset > 0:
+        other = yield from ctx.shfl_down(v, offset)
+        v = np.float32(v + other)
+        offset //= 2
+
+    # lane 0 of each warp publishes its partial
+    if ctx.lane == 0:
+        ctx.shared[ctx.warp] = v
+    yield from ctx.syncthreads()
+
+    if tid == 0:
+        acc = np.float32(ctx.shared[0])
+        for w in range(1, ctx.block.block_size // WARP_SIZE):
+            acc = np.float32(acc + ctx.shared[w])
+        out[0] = acc
+
+
+def tc_reduce_kernel(ctx: ThreadContext, vectors: np.ndarray,
+                     out: np.ndarray, in_format: str = "fp16",
+                     accumulator_format: str = "fp16"):
+    """The Schieffer-Peng matrix reduction as a thread program.
+
+    ``vectors`` is ``(n, 4)``; ``out[0:4]`` receives the four sums.
+    Threads cooperatively stage each 64-vector batch into the Equation (2)
+    column-major A tile in shared memory; warp 0 drives the Tensor Core.
+    """
+    tid = ctx.tid
+    n = vectors.shape[0]
+    n_tiles = max(1, -(-n // VECTORS_PER_TILE))
+    smem = ctx.shared   # A tile lives in smem[0:256]
+
+    p_tile = build_p_matrix()
+    q_tile = build_q_matrix()
+    v_acc = np.zeros((TILE, TILE), dtype=np.float32)
+
+    for t in range(n_tiles):
+        # stage this batch's 64 vectors (zero-padded) into the A layout:
+        # A[4j + i, c] = component i of vector 64t + 4c + j, column-major
+        for flat in range(tid, TILE * TILE, ctx.block.block_size):
+            row, col = flat % TILE, flat // TILE
+            j, i = divmod(row, 4)
+            k = t * VECTORS_PER_TILE + 4 * col + j
+            smem[flat] = vectors[k, i] if k < n else 0.0
+        yield from ctx.syncthreads()
+
+        if ctx.warp == 0:
+            a_tile = np.ascontiguousarray(
+                smem.data[: TILE * TILE].reshape(TILE, TILE).T)
+            v_acc = yield from ctx.mma_sync(
+                a_tile, p_tile, v_acc, in_format=in_format,
+                accumulator_format=accumulator_format)
+        yield from ctx.syncthreads()
+
+    if ctx.warp == 0:
+        w_tile = yield from ctx.mma_sync(
+            q_tile, v_acc, np.zeros((TILE, TILE), dtype=np.float32),
+            in_format=in_format, accumulator_format=accumulator_format)
+        if tid < 4:
+            out[tid] = w_tile[tid, 0]
+    yield from ctx.syncthreads()

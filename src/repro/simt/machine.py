@@ -1,0 +1,233 @@
+"""A functional SIMT thread-block machine (threads as coroutines).
+
+The cost model prices kernels analytically; this module *executes* them
+with real CUDA block semantics, as a validation substrate:
+
+* every thread is a Python generator advanced by the block scheduler;
+* ``yield from ctx.syncthreads()`` is a block-wide barrier — the scheduler
+  verifies all live threads arrive (barrier divergence raises, exactly the
+  undefined behaviour CUDA forbids);
+* ``yield from ctx.shfl_down(value, offset)`` exchanges registers inside a
+  32-lane warp (``__shfl_down_sync``);
+* ``yield from ctx.mma_sync(a_frag, b_frag, c_frag, ...)`` is the paper's
+  32-threads-to-1-Tensor-Core mapping: all 32 lanes of a warp must arrive,
+  the warp issues one 16x16x16 MMA on the simulated Tensor Core, and every
+  lane observes the result.
+
+The reduction kernels in :mod:`repro.simt.kernels` run on this machine and
+are tested bit-identical to the vectorised implementations in
+:mod:`repro.reduction` — the proof that the fast NumPy paths compute what
+the CUDA kernels would.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+import numpy as np
+
+__all__ = ["BarrierDivergence", "SharedMemory", "ThreadContext",
+           "ThreadBlock", "WARP_SIZE"]
+
+WARP_SIZE = 32
+
+
+class BarrierDivergence(RuntimeError):
+    """Threads of one block reached different synchronisation points."""
+
+
+class SharedMemory:
+    """Block-shared float32 storage with CUDA-like indexing."""
+
+    def __init__(self, size: int) -> None:
+        self.data = np.zeros(size, dtype=np.float32)
+
+    def __getitem__(self, idx):
+        return self.data[idx]
+
+    def __setitem__(self, idx, value):
+        self.data[idx] = np.float32(value)
+
+    def __len__(self) -> int:
+        return self.data.size
+
+
+class ThreadContext:
+    """Per-thread view of the block: ``tid``, shared memory, sync prims.
+
+    The synchronisation methods are generators — kernels must delegate
+    with ``yield from``.
+    """
+
+    def __init__(self, tid: int, block: "ThreadBlock") -> None:
+        self.tid = tid
+        self.block = block
+        self.shared = block.shared
+
+    @property
+    def lane(self) -> int:
+        """Lane index within the warp."""
+        return self.tid % WARP_SIZE
+
+    @property
+    def warp(self) -> int:
+        """Warp index within the block."""
+        return self.tid // WARP_SIZE
+
+    def syncthreads(self) -> Generator:
+        """Block-wide barrier (``__syncthreads``)."""
+        yield ("barrier",)
+
+    def shfl_down(self, value: float, offset: int) -> Generator:
+        """``__shfl_down_sync``: returns lane ``lane + offset``'s value
+        (own value if out of range).  All lanes of the warp must arrive."""
+        received = yield ("shfl_down", np.float32(value), offset)
+        return received
+
+    def mma_sync(self, a: np.ndarray, b: np.ndarray, c: np.ndarray,
+                 in_format: str = "fp16", accumulate: str = "rz",
+                 accumulator_format: str = "fp32") -> Generator:
+        """Warp-cooperative 16x16x16 MMA on the simulated Tensor Core.
+
+        Every lane passes the same fragment arrays; the warp issues one
+        MMA and each lane receives the (shared) result tile.
+        """
+        result = yield ("mma", a, b, c, in_format, accumulate,
+                        accumulator_format)
+        return result
+
+
+class ThreadBlock:
+    """Executes a kernel with ``block_size`` coroutine threads.
+
+    Parameters
+    ----------
+    block_size:
+        Threads per block (multiple of 32, like the paper's 64/128/256).
+    shared_size:
+        Shared-memory floats available to the kernel.
+    """
+
+    def __init__(self, block_size: int, shared_size: int = 4096) -> None:
+        if block_size <= 0 or block_size % WARP_SIZE:
+            raise ValueError("block_size must be a positive multiple of 32")
+        self.block_size = block_size
+        self.shared = SharedMemory(shared_size)
+        self.barriers_executed = 0
+        self.mma_issues = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, kernel: Callable[..., Generator], *args) -> None:
+        """Run ``kernel(ctx, *args)`` across all threads to completion.
+
+        Scheduling semantics match CUDA's: warp primitives (``shfl_down``,
+        ``mma``) complete as soon as all 32 lanes of the warp arrive —
+        independently of other warps, which may be blocked at a
+        ``__syncthreads`` barrier; the barrier itself releases only once
+        *every* live thread reaches it.  Inconsistent states (a warp split
+        across primitives, threads exiting past a barrier others wait at)
+        raise :class:`BarrierDivergence`, CUDA's undefined behaviour.
+        """
+        threads: list[Generator | None] = []
+        for tid in range(self.block_size):
+            gen = kernel(ThreadContext(tid, self), *args)
+            if not hasattr(gen, "send"):
+                raise TypeError("kernel must be a generator function "
+                                "(use 'yield from ctx.syncthreads()')")
+            threads.append(gen)
+        #: current blocked request per thread; None = ready to advance
+        requests: list = [None] * self.block_size
+        pending: list = [None] * self.block_size   # value for next send
+
+        def advance(tid: int) -> None:
+            gen = threads[tid]
+            if gen is None:
+                return
+            try:
+                requests[tid] = gen.send(pending[tid])
+            except StopIteration:
+                threads[tid] = None
+                requests[tid] = None
+            pending[tid] = None
+
+        while True:
+            for tid in range(self.block_size):
+                if threads[tid] is not None and requests[tid] is None:
+                    advance(tid)
+            live = [t for t in range(self.block_size)
+                    if threads[t] is not None]
+            if not live:
+                return
+
+            progressed = False
+
+            # 1. serve warp primitives warp by warp
+            for w in range(self.block_size // WARP_SIZE):
+                lanes = [t for t in range(w * WARP_SIZE, (w + 1) * WARP_SIZE)]
+                alive = [t for t in lanes if threads[t] is not None]
+                if not alive:
+                    continue
+                kinds = {requests[t][0] for t in alive}
+                if kinds <= {"barrier"}:
+                    continue
+                if len(kinds) != 1:
+                    raise BarrierDivergence(
+                        f"warp {w} diverged across sync points: {kinds}")
+                kind = next(iter(kinds))
+                if len(alive) != WARP_SIZE:
+                    raise BarrierDivergence(
+                        f"warp {w}: {kind} with exited lanes (deadlock)")
+                self._execute_warp(kind, lanes, requests, pending)
+                for t in lanes:
+                    requests[t] = None
+                progressed = True
+
+            if progressed:
+                continue
+
+            # 2. block-wide barrier: every live thread must be there
+            if all(requests[t][0] == "barrier" for t in live):
+                if len(live) != sum(1 for g in threads if g is not None):
+                    raise AssertionError  # unreachable; live is that set
+                if any(threads[t] is None for t in range(self.block_size)
+                       if requests[t] is not None):
+                    raise BarrierDivergence("exited thread held a request")
+                if len(live) != self.block_size and \
+                        any(threads[t] is None for t in range(self.block_size)):
+                    raise BarrierDivergence(
+                        "some threads exited while others wait at a barrier")
+                self.barriers_executed += 1
+                for t in live:
+                    requests[t] = None
+                continue
+
+            raise BarrierDivergence(
+                "threads blocked inconsistently: "
+                f"{ {requests[t][0] for t in live} }")
+
+    # ------------------------------------------------------------------
+
+    def _execute_warp(self, kind: str, lanes: list, requests: list,
+                      pending: list) -> None:
+        reqs = [requests[t] for t in lanes]
+        if kind == "shfl_down":
+            offsets = {r[2] for r in reqs}
+            if len(offsets) != 1:
+                raise BarrierDivergence("shfl_down offsets differ in warp")
+            offset = next(iter(offsets))
+            values = np.array([r[1] for r in reqs], dtype=np.float32)
+            shifted = values.copy()
+            shifted[: WARP_SIZE - offset] = values[offset:]
+            for k, t in enumerate(lanes):
+                pending[t] = np.float32(shifted[k])
+        elif kind == "mma":
+            from repro.tensorcore.mma import mma as tc_mma
+            _, a, b, c, fmt, acc, acc_fmt = reqs[0]
+            result = tc_mma(a, b, c, in_format=fmt, accumulate=acc,
+                            accumulator_format=acc_fmt)
+            self.mma_issues += 1
+            for t in lanes:
+                pending[t] = result
+        else:   # pragma: no cover - guarded by the caller
+            raise AssertionError(kind)

@@ -1,0 +1,70 @@
+"""Roofline-model placement of the profiled kernels.
+
+The paper notes (Section 5.2) that Nsight Compute's roofline analysis
+classifies both the baseline and TCEC kernels as *compute-bound* on every
+evaluated GPU.  This module derives the same classification from the
+simulator's counters: a kernel is compute-bound when its operational
+intensity exceeds the device's ridge point ``OI* = peak_flops / peak_bw``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simt.devices import DeviceSpec, get_device
+from repro.simt.profiler import KernelProfile
+
+__all__ = ["RooflinePoint", "ridge_point", "classify"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on a device's roofline."""
+
+    device: str
+    backend: str
+    block_size: int
+    operational_intensity: float     # FLOP / Byte
+    gflops: float                    # achieved
+    ridge_oi: float                  # device ridge point [FLOP/Byte]
+    peak_gflops: float               # applicable compute roof
+    bound: str                       # "compute" or "memory"
+
+    @property
+    def roof_gflops(self) -> float:
+        """Attainable GFLOP/s at this OI."""
+        mem_roof = self.operational_intensity * self.peak_gflops / self.ridge_oi
+        return min(self.peak_gflops, mem_roof)
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved / attainable performance."""
+        return self.gflops / self.roof_gflops
+
+
+def ridge_point(device: str | DeviceSpec, use_tensor_cores: bool = False
+                ) -> float:
+    """The device's ridge OI [FLOP/Byte] for the applicable compute roof."""
+    dev = get_device(device)
+    peak = (dev.tf32_tflops if use_tensor_cores else dev.fp32_tflops) * 1e12
+    return peak / dev.mem_bytes_per_second
+
+
+def classify(profile: KernelProfile) -> RooflinePoint:
+    """Place a profiled kernel on its device's roofline."""
+    dev = get_device(profile.device)
+    uses_tc = profile.backend != "baseline"
+    peak = (dev.tf32_tflops if uses_tc else dev.fp32_tflops) * 1e3  # GFLOP/s
+    ridge = ridge_point(dev, use_tensor_cores=uses_tc)
+    bound = ("compute" if profile.operational_intensity >= ridge
+             else "memory")
+    return RooflinePoint(
+        device=profile.device,
+        backend=profile.backend,
+        block_size=profile.block_size,
+        operational_intensity=profile.operational_intensity,
+        gflops=profile.gflops,
+        ridge_oi=ridge,
+        peak_gflops=peak,
+        bound=bound,
+    )

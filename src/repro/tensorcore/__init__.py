@@ -1,0 +1,33 @@
+"""Software Tensor Core: numerically faithful MMA, WMMA API, and TCEC GEMM.
+
+The simulator reproduces the two behaviours that drive the paper's accuracy
+results:
+
+1. operand truncation — FP32 inputs are quantised to FP16 / TF32 before the
+   multiply (``repro.fpemu``);
+2. round-toward-zero accumulation — the product-sum is added to the FP32
+   accumulator with RZ instead of RN (Ootomo & Yokota's observation).
+
+Three layers are exposed:
+
+* :mod:`repro.tensorcore.mma` — the raw (optionally batched) 16x16x16 MMA.
+* :mod:`repro.tensorcore.wmma` — a ``nvcuda::wmma``-style fragment API
+  (``load_matrix_sync`` / ``fill_fragment`` / ``mma_sync`` / ...).
+* :mod:`repro.tensorcore.tcec` — the Ootomo–Yokota error-corrected GEMM as
+  packaged by the WMMA-Extension library the paper uses.
+"""
+
+from repro.tensorcore.mma import MMA_K, MMA_M, MMA_N, mma, tc_product
+from repro.tensorcore.tcec import TcecConfig, tcec_mma
+from repro.tensorcore import wmma
+
+__all__ = [
+    "MMA_M",
+    "MMA_N",
+    "MMA_K",
+    "mma",
+    "tc_product",
+    "TcecConfig",
+    "tcec_mma",
+    "wmma",
+]

@@ -1,0 +1,100 @@
+"""Low-level PTX-style MMA shapes (``mma.sync.aligned.m16n8kK``).
+
+WMMA-Extension (the library the paper uses, Listing 1) encapsulates GEMMs
+"implemented using either NVIDIA's high-level WMMA API or the newer,
+low-level MMA interface".  This module models that second path: the PTX
+``mma.sync`` instruction shapes — ``m16n8k8`` for TF32 operands and
+``m16n8k16`` for FP16 — plus a tiler that composes the 16x16x16 WMMA tile
+out of them, reproducing how the library lowers a fragment MMA onto the
+hardware instructions.
+
+Numerics are identical to :func:`repro.tensorcore.mma.mma` *per
+instruction*: exact inner products with one directed rounding per issue.
+Because the 16x16x16 tile decomposes into 2 (N) x K-chunks issues with the
+accumulator carried between them, the low-level path performs **more
+accumulator roundings** than the single WMMA issue — a real difference
+between the two lowering strategies that the composition test quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpemu.formats import FloatFormat, get_format, quantize
+from repro.fpemu.rounding import round_f64_to_f32_rn, round_f64_to_f32_rz
+
+__all__ = ["mma_m16n8k8", "mma_m16n8k16", "wmma_via_ptx", "PTX_SHAPES"]
+
+#: instruction shapes by operand format: format -> (M, N, K)
+PTX_SHAPES = {"tf32": (16, 8, 8), "fp16": (16, 8, 16), "bf16": (16, 8, 8)}
+
+_ROUNDERS = {"rz": round_f64_to_f32_rz, "rn": round_f64_to_f32_rn}
+
+
+def _ptx_mma(a: np.ndarray, b: np.ndarray, c: np.ndarray,
+             shape: tuple[int, int, int], in_format: str | FloatFormat,
+             accumulate: str) -> np.ndarray:
+    m, n, k = shape
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    c = np.asarray(c, dtype=np.float32)
+    if a.shape[-2:] != (m, k):
+        raise ValueError(f"A tile must be (..., {m}, {k}), got {a.shape}")
+    if b.shape[-2:] != (k, n):
+        raise ValueError(f"B tile must be (..., {k}, {n}), got {b.shape}")
+    if c.shape[-2:] != (m, n):
+        raise ValueError(f"C tile must be (..., {m}, {n}), got {c.shape}")
+    a = quantize(a, in_format)
+    b = quantize(b, in_format)
+    try:
+        rounder = _ROUNDERS[accumulate]
+    except KeyError:
+        raise ValueError(f"unknown accumulate mode {accumulate!r}") from None
+    with np.errstate(invalid="ignore"):
+        prod = np.matmul(a.astype(np.float64), b.astype(np.float64))
+        return rounder(prod + c.astype(np.float64))
+
+
+def mma_m16n8k8(a: np.ndarray, b: np.ndarray, c: np.ndarray,
+                in_format: str = "tf32", accumulate: str = "rz"
+                ) -> np.ndarray:
+    """``mma.sync.aligned.m16n8k8`` — the TF32 instruction shape."""
+    return _ptx_mma(a, b, c, (16, 8, 8), in_format, accumulate)
+
+
+def mma_m16n8k16(a: np.ndarray, b: np.ndarray, c: np.ndarray,
+                 in_format: str = "fp16", accumulate: str = "rz"
+                 ) -> np.ndarray:
+    """``mma.sync.aligned.m16n8k16`` — the FP16 instruction shape."""
+    return _ptx_mma(a, b, c, (16, 8, 16), in_format, accumulate)
+
+
+def wmma_via_ptx(a: np.ndarray, b: np.ndarray, c: np.ndarray,
+                 in_format: str = "tf32", accumulate: str = "rz"
+                 ) -> np.ndarray:
+    """A 16x16x16 tile MMA lowered onto PTX instruction shapes.
+
+    Splits N into two 8-wide halves and K into instruction-sized chunks,
+    chaining the accumulator through the K chunks exactly as the hardware
+    sequence would (one directed rounding per issue).
+    """
+    fmt = get_format(in_format)
+    try:
+        m, n, k = PTX_SHAPES[fmt.name]
+    except KeyError:
+        raise ValueError(f"no PTX mma shape for format {fmt.name!r}") from None
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    c = np.asarray(c, dtype=np.float32)
+    if a.shape[-2:] != (16, 16) or b.shape[-2:] != (16, 16) \
+            or c.shape[-2:] != (16, 16):
+        raise ValueError("wmma_via_ptx operates on (..., 16, 16) tiles")
+
+    out = np.array(c, copy=True)
+    for n0 in range(0, 16, n):
+        acc = c[..., :, n0:n0 + n]
+        for k0 in range(0, 16, k):
+            acc = _ptx_mma(a[..., :, k0:k0 + k], b[..., k0:k0 + k, n0:n0 + n],
+                           acc, (m, n, k), fmt, accumulate)
+        out[..., :, n0:n0 + n] = acc
+    return out

@@ -1,0 +1,166 @@
+"""A ``nvcuda::wmma``-style fragment API over the simulated Tensor Core.
+
+Mirrors the CUDA Warp Matrix Multiply-and-Accumulate interface the paper's
+Listing 1 uses, so the reduction kernels read like their CUDA counterparts:
+
+.. code-block:: python
+
+    frag_a = wmma.fragment(wmma.matrix_a, fmt="fp16")
+    frag_p = wmma.fragment(wmma.matrix_b, fmt="fp16")
+    frag_v = wmma.fragment(wmma.accumulator)
+    wmma.load_matrix_sync(frag_a, buf, ldm=16, layout=wmma.col_major)
+    wmma.fill_fragment(frag_p, 1.0)
+    wmma.fill_fragment(frag_v, 0.0)
+    wmma.mma_sync(frag_v, frag_a, frag_p, frag_v)
+    wmma.store_matrix_sync(out, frag_v, ldm=16, layout=wmma.mem_col_major)
+
+Buffers are flat float32 NumPy arrays indexed with a leading dimension, as
+shared memory would be.  ``*_sync`` names are kept although the simulation is
+single-threaded; the warp-synchronous semantics are what the cost model
+charges for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fpemu.formats import FloatFormat, get_format, quantize
+from repro.tensorcore.mma import MMA_K, MMA_M, MMA_N, mma
+
+__all__ = [
+    "matrix_a",
+    "matrix_b",
+    "accumulator",
+    "row_major",
+    "col_major",
+    "mem_row_major",
+    "mem_col_major",
+    "fragment",
+    "load_matrix_sync",
+    "store_matrix_sync",
+    "fill_fragment",
+    "mma_sync",
+]
+
+# fragment roles
+matrix_a = "matrix_a"
+matrix_b = "matrix_b"
+accumulator = "accumulator"
+
+# layouts
+row_major = "row_major"
+col_major = "col_major"
+mem_row_major = row_major
+mem_col_major = col_major
+
+_ROLE_SHAPES = {
+    matrix_a: (MMA_M, MMA_K),
+    matrix_b: (MMA_K, MMA_N),
+    accumulator: (MMA_M, MMA_N),
+}
+
+
+class fragment:
+    """A 16x16 tile distributed (conceptually) across a warp.
+
+    Parameters
+    ----------
+    role:
+        One of :data:`matrix_a`, :data:`matrix_b`, :data:`accumulator`.
+    fmt:
+        Operand format for A/B fragments (``"fp16"``, ``"tf32"``, ``"bf16"``).
+        Accumulator fragments are FP32 by default; passing ``"fp16"``
+        reproduces the half-precision ``frag_V`` of the paper's Listing 1
+        (bottom) — results quantise to FP16 after every issue.
+    accumulate:
+        Accumulator rounding behaviour when this fragment is the MMA output
+        (``"rz"`` = hardware, ``"rn"`` = ablation).
+    """
+
+    __slots__ = ("role", "fmt", "accumulate", "data")
+
+    def __init__(self, role: str, fmt: str | FloatFormat = "fp32",
+                 accumulate: str = "rz") -> None:
+        if role not in _ROLE_SHAPES:
+            raise ValueError(f"unknown fragment role {role!r}")
+        self.role = role
+        if role == accumulator:
+            fmt = get_format(fmt if fmt != "fp32" else "fp32")
+            if fmt.name not in ("fp32", "fp16"):
+                raise ValueError(
+                    "accumulator fragments support fp32 or fp16 only")
+            self.fmt = fmt
+        else:
+            self.fmt = get_format(fmt)
+        self.accumulate = accumulate
+        self.data = np.zeros(_ROLE_SHAPES[role], dtype=np.float32)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return _ROLE_SHAPES[self.role]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"fragment({self.role}, fmt={self.fmt.name})"
+
+
+def _tile_view(buf: np.ndarray, ldm: int, shape: tuple[int, int],
+               layout: str) -> np.ndarray:
+    """View a (rows, cols) tile out of a flat leading-dimension buffer."""
+    rows, cols = shape
+    flat = np.asarray(buf).reshape(-1)
+    if layout == col_major:
+        need = ldm * (cols - 1) + rows
+        if flat.size < need:
+            raise ValueError(f"buffer too small: need {need}, have {flat.size}")
+        return flat[: ldm * cols].reshape(cols, ldm)[:, :rows].T
+    if layout == row_major:
+        need = ldm * (rows - 1) + cols
+        if flat.size < need:
+            raise ValueError(f"buffer too small: need {need}, have {flat.size}")
+        return flat[: ldm * rows].reshape(rows, ldm)[:, :cols]
+    raise ValueError(f"unknown layout {layout!r}")
+
+
+def load_matrix_sync(frag: fragment, buf: np.ndarray, ldm: int,
+                     layout: str = col_major) -> None:
+    """Load a tile from (simulated shared) memory into a fragment.
+
+    A/B fragments are quantised to their operand format at load time, exactly
+    as ``wmma::load_matrix_sync`` converts FP32 shared-memory data that was
+    pre-converted by the kernel (the quantisation point of the baseline).
+    """
+    tile = np.array(_tile_view(buf, ldm, frag.shape, layout), dtype=np.float32)
+    if frag.role != accumulator and frag.fmt.name != "fp32":
+        tile = quantize(tile, frag.fmt)
+    frag.data = tile
+
+
+def store_matrix_sync(buf: np.ndarray, frag: fragment, ldm: int,
+                      layout: str = col_major) -> None:
+    """Store an accumulator fragment back to (simulated shared) memory."""
+    if frag.role != accumulator:
+        raise ValueError("only accumulator fragments can be stored")
+    view = _tile_view(buf, ldm, frag.shape, layout)
+    view[...] = frag.data
+
+
+def fill_fragment(frag: fragment, value: float) -> None:
+    """Set every element of the fragment to ``value`` (format-quantised)."""
+    tile = np.full(frag.shape, np.float32(value), dtype=np.float32)
+    if frag.role != accumulator and frag.fmt.name != "fp32":
+        tile = quantize(tile, frag.fmt)
+    frag.data = tile
+
+
+def mma_sync(d: fragment, a: fragment, b: fragment, c: fragment) -> None:
+    """``D = A x B + C`` on the simulated Tensor Core (RZ accumulation;
+    FP16 quantisation when ``d`` is a half accumulator fragment)."""
+    if a.role != matrix_a or b.role != matrix_b:
+        raise ValueError("mma_sync operands must be (matrix_a, matrix_b)")
+    if d.role != accumulator or c.role != accumulator:
+        raise ValueError("mma_sync C/D must be accumulator fragments")
+    if a.fmt.name != b.fmt.name:
+        raise ValueError(f"operand format mismatch: {a.fmt.name} vs {b.fmt.name}")
+    d.data = mma(a.data, b.data, c.data, in_format=a.fmt,
+                 accumulate=d.accumulate, quantize_inputs=False,
+                 accumulator_format=d.fmt.name)

@@ -1,0 +1,32 @@
+"""Synthetic ligand-receptor test cases (the set-of-42 stand-in).
+
+The paper evaluates on 42 prepared protein-ligand complexes (AD-GPU set of
+42) spanning up to 32 rotatable bonds.  Those inputs are PDBQT/grid-map
+files we cannot ship, so :mod:`repro.testcases.generator` synthesises
+equivalent problems: a branched ligand with a prescribed number of rotatable
+bonds, a complementary receptor pocket built *around* a known native pose
+(so every case has ground truth for both success criteria), and the grid
+maps computed by the AutoGrid-style builder.
+
+Case names reuse the PDB codes of the original set (labels only — the
+molecules are synthetic); ``7cpa`` keeps its paper role as the
+medium-complexity case with ``N_rot = 15``.
+"""
+
+from repro.testcases.generator import TestCase, make_test_case
+from repro.testcases.library import (
+    SET_OF_42,
+    get_test_case,
+    set_of_42,
+)
+from repro.testcases.validation import CaseReport, validate_case
+
+__all__ = [
+    "TestCase",
+    "make_test_case",
+    "SET_OF_42",
+    "get_test_case",
+    "set_of_42",
+    "CaseReport",
+    "validate_case",
+]

@@ -1,0 +1,102 @@
+"""Validation of generated test cases (the set-of-42 quality gates).
+
+Every synthetic case must satisfy the invariants the evaluation relies on;
+:func:`validate_case` checks them and returns a structured report:
+
+1. the native conformation is clash-free (intra pairs >= 2 Å apart);
+2. every receptor atom keeps the >= 3.6 Å clearance from the native pose
+   (the pocket is strictly attractive around the native);
+3. the native pose fits inside the docking box;
+4. the recorded global minimum is at most the native score (refinement
+   never loses to its start);
+5. the native basin clearly beats random poses (margin >= 2 kcal/mol —
+   twice the score success tolerance — over the best of ``n_probes``
+   random genotypes);
+6. grid maps are finite everywhere.
+
+``validate_case`` is used by the test suite on sampled cases and available
+for auditing the full library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.docking.genotype import random_genotypes
+from repro.testcases.generator import TestCase
+
+__all__ = ["CaseReport", "validate_case"]
+
+
+@dataclass
+class CaseReport:
+    """Validation outcome for one test case."""
+
+    name: str
+    ok: bool
+    failures: list[str] = field(default_factory=list)
+    native_score: float = float("nan")
+    random_best: float = float("nan")
+    min_intra_distance: float = float("nan")
+    min_receptor_clearance: float = float("nan")
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        status = "OK" if self.ok else "FAIL: " + "; ".join(self.failures)
+        return f"{self.name}: {status}"
+
+
+def validate_case(case: TestCase, n_probes: int = 50,
+                  margin: float = 2.0, seed: int = 0) -> CaseReport:
+    """Run all quality gates on a case."""
+    report = CaseReport(name=case.name, ok=True)
+
+    def fail(msg: str) -> None:
+        report.ok = False
+        report.failures.append(msg)
+
+    # 1. clash-free native conformation
+    pairs = case.ligand.intra_pairs()
+    if pairs.shape[0]:
+        d = np.linalg.norm(case.native_coords[pairs[:, 0]]
+                           - case.native_coords[pairs[:, 1]], axis=1)
+        report.min_intra_distance = float(d.min())
+        if report.min_intra_distance < 2.0:
+            fail(f"native intra clash at {report.min_intra_distance:.2f} Å")
+
+    # 2. receptor clearance
+    d = np.linalg.norm(case.receptor.coords[:, None, :]
+                       - case.native_coords[None, :, :], axis=-1)
+    report.min_receptor_clearance = float(d.min())
+    if report.min_receptor_clearance < 3.6 - 1e-9:
+        fail(f"receptor clearance {report.min_receptor_clearance:.2f} Å")
+
+    # 3. native inside the box
+    if not (np.all(case.native_coords >= case.maps.box_lo)
+            and np.all(case.native_coords <= case.maps.box_hi)):
+        fail("native pose outside the docking box")
+
+    # 4. global minimum consistent with the native score
+    sf = case.scoring()
+    report.native_score = float(sf.score(case.native_genotype)[0])
+    if case.global_min_score > report.native_score + 1e-6:
+        fail("recorded global minimum above the native score")
+
+    # 5. native basin dominates random poses
+    rng = np.random.default_rng(seed)
+    probes = random_genotypes(rng, n_probes, case.ligand,
+                              case.maps.box_lo, case.maps.box_hi)
+    report.random_best = float(sf.score(probes).min())
+    if case.global_min_score > report.random_best - margin:
+        fail(f"weak basin: global {case.global_min_score:.2f} vs random "
+             f"best {report.random_best:.2f}")
+
+    # 6. finite maps
+    for arr in (case.maps.affinity, case.maps.elec,
+                case.maps.desolv_v, case.maps.desolv_s):
+        if not np.all(np.isfinite(arr)):
+            fail("non-finite grid map values")
+            break
+
+    return report

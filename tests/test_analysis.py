@@ -1,0 +1,222 @@
+"""Tests for the analysis layer: success, E50, Amdahl, runtimes, speedups."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    RuntimeModel,
+    SuccessCriteria,
+    aggregate_speedups,
+    estimate_e50,
+    evaluate_run,
+    predicted_speedup,
+    speedup_table,
+)
+from repro.analysis.amdahl import effective_fraction
+from repro.analysis.speedup import ConfigKey, geometric_mean
+from repro.analysis.tables import format_scatter, format_table
+from repro.search.lga import LGAResult
+from repro.simt.costmodel import KernelWorkload
+
+
+class TestAmdahl:
+    def test_equation6_table4_values(self):
+        """Equation (6) as printed; the f=0/0.2/1.0 rows of Table 4 follow
+        it exactly.  (The paper's own f=0.9 cells do NOT satisfy the printed
+        equation — 1/(0.9/8 + 0.1) = 4.71, not 3.55 — see EXPERIMENTS.md;
+        we reproduce the equation, not the inconsistent cells.)"""
+        assert predicted_speedup(0.0, 8.0) == 1.0
+        assert predicted_speedup(0.2, 8.0) == pytest.approx(1.21, abs=0.005)
+        assert predicted_speedup(0.2, 7.4) == pytest.approx(1.20, abs=0.01)
+        assert predicted_speedup(0.2, 15.0) == pytest.approx(1.25, abs=0.03)
+        assert predicted_speedup(1.0, 8.0) == pytest.approx(8.00)
+        assert predicted_speedup(1.0, 7.4) == pytest.approx(7.40)
+        assert predicted_speedup(1.0, 15.0) == pytest.approx(15.0)
+        assert predicted_speedup(0.9, 8.0) == pytest.approx(4.71, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predicted_speedup(1.5, 8.0)
+        with pytest.raises(ValueError):
+            predicted_speedup(0.5, 0.0)
+
+    def test_effective_fraction(self):
+        assert effective_fraction(0.15) == pytest.approx(0.135)
+
+    def test_speedup_table_structure(self):
+        rows = speedup_table()
+        assert [r["f"] for r in rows] == [0.0, 0.2, 0.9, 1.0]
+        assert rows[3]["A100"] == pytest.approx(8.0)
+        assert rows[3]["B200"] == pytest.approx(15.0)
+
+    def test_monotone_in_f(self):
+        s = [predicted_speedup(f, 7.4) for f in np.linspace(0, 1, 11)]
+        assert all(a < b for a, b in zip(s, s[1:]))
+
+
+class TestE50:
+    def test_all_succeed_at_same_time(self):
+        est = estimate_e50([100, 100, 100, 100], budgets=1000)
+        assert est.n_success == 4
+        # exponential MLE: lambda = 4/400, E50 = ln2 * 100
+        assert est.e50 == pytest.approx(math.log(2) * 100)
+
+    def test_none_succeed(self):
+        est = estimate_e50([None, None], budgets=500)
+        assert math.isinf(est.e50)
+        assert est.success_rate == 0.0
+
+    def test_censoring_increases_e50(self):
+        full = estimate_e50([100, 100, 100, 100], budgets=1000)
+        censored = estimate_e50([100, 100, None, None], budgets=1000)
+        assert censored.e50 > full.e50
+
+    def test_mixed_budgets(self):
+        est = estimate_e50([50, None], budgets=[200, 400])
+        lam = 1 / (50 + 400)
+        assert est.e50 == pytest.approx(math.log(2) / lam)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            estimate_e50([], budgets=10)
+        with pytest.raises(ValueError, match="length"):
+            estimate_e50([1, 2], budgets=[10])
+        with pytest.raises(ValueError, match="exceeds budget"):
+            estimate_e50([50], budgets=10)
+
+    @given(st.lists(st.integers(min_value=1, max_value=999), min_size=1,
+                    max_size=30))
+    @settings(max_examples=50)
+    def test_e50_positive_and_bounded_below_by_mean_factor(self, times):
+        est = estimate_e50(list(times), budgets=1000)
+        assert est.e50 > 0
+        # with no censoring, E50 = ln2 * mean
+        assert est.e50 == pytest.approx(math.log(2) * np.mean(times))
+
+
+class TestSuccess:
+    def _result(self, history, case, budget=1000):
+        glen = case.native_genotype.size
+        genos = [np.zeros(glen) for _ in history]
+        return LGAResult(
+            best_genotype=np.zeros(glen),
+            best_score=history[-1][1] if history else np.inf,
+            evals_used=budget, generations=5,
+            history=[(e, s, g) for (e, s), g in zip(history, genos)])
+
+    def test_first_success_score(self, case_small):
+        gmin = case_small.global_min_score
+        res = self._result([(100, gmin + 5.0), (300, gmin + 0.5)], case_small)
+        out = evaluate_run(res, case_small)
+        assert out.first_success_score == 300
+
+    def test_no_success(self, case_small):
+        gmin = case_small.global_min_score
+        res = self._result([(100, gmin + 5.0)], case_small)
+        out = evaluate_run(res, case_small)
+        assert out.first_success_score is None
+
+    def test_rmsd_success_with_native_genotype(self, case_small):
+        res = LGAResult(
+            best_genotype=case_small.native_genotype,
+            best_score=case_small.global_min_score,
+            evals_used=500, generations=3,
+            history=[(200, case_small.global_min_score,
+                      case_small.native_genotype.copy())])
+        out = evaluate_run(res, case_small)
+        assert out.first_success_rmsd == 200
+        assert out.best_rmsd < 0.5
+
+    def test_criteria_override(self, case_small):
+        gmin = case_small.global_min_score
+        res = self._result([(100, gmin + 1.5)], case_small)
+        loose = SuccessCriteria(score_tolerance=2.0)
+        assert evaluate_run(res, case_small, loose).first_success_score == 100
+
+
+class TestRuntimeModel:
+    WL = KernelWorkload(n_rotlist=400, n_atoms=50, n_intra=300, n_genes=21,
+                        n_blocks=3000)
+
+    def test_us_per_eval_magnitude(self):
+        """The paper reports ~0.8-0.9 µs/eval on the A100 at block 64."""
+        m = RuntimeModel("A100", 64, "baseline", self.WL)
+        v = m.us_per_eval(ls_evals=2_250_000, ga_evals=250_000,
+                          generations=50)
+        assert 0.2 < v < 3.0
+
+    def test_tcec_faster(self):
+        mb = RuntimeModel("A100", 64, "baseline", self.WL)
+        mt = RuntimeModel("A100", 64, "tcec-tf32", self.WL)
+        args = dict(ls_evals=1_000_000, ga_evals=100_000, generations=50)
+        assert mt.runtime_seconds(**args) < mb.runtime_seconds(**args)
+
+    def test_sample_jitter_seeded(self):
+        m = RuntimeModel("A100", 64, "baseline", self.WL)
+        r1 = m.sample(1000, 100, 5, np.random.default_rng(7))
+        r2 = m.sample(1000, 100, 5, np.random.default_rng(7))
+        assert r1.seconds == r2.seconds
+        r3 = m.sample(1000, 100, 5, np.random.default_rng(8))
+        assert r3.seconds != r1.seconds
+
+    def test_sample_metric(self):
+        m = RuntimeModel("H100", 128, "tcec-tf32", self.WL)
+        s = m.sample(900, 100, 5, np.random.default_rng(0))
+        assert s.n_evals == 1000
+        assert s.us_per_eval == pytest.approx(s.seconds * 1e6 / 1000)
+
+    def test_zero_evals_rejected(self):
+        m = RuntimeModel("A100", 64, "baseline", self.WL)
+        with pytest.raises(ValueError):
+            m.us_per_eval(0, 0, 0)
+
+
+class TestSpeedupAggregation:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_aggregate(self):
+        ref = ConfigKey("A100", 64, "baseline")
+        tc = ConfigKey("A100", 64, "tcec-tf32")
+        h = ConfigKey("H100", 64, "baseline")
+        data = {
+            ref: {"a": 1.0, "b": 2.0},
+            tc: {"a": 0.8, "b": 1.6},
+            h: {"a": 0.5, "b": 1.0},
+        }
+        rows = aggregate_speedups(data, ref)
+        by_cfg = {(r["device"], r["block"], r["backend"]): r for r in rows}
+        assert by_cfg[("A100", 64, "baseline")]["absolute_speedup"] == \
+            pytest.approx(1.0)
+        assert by_cfg[("A100", 64, "tcec-tf32")]["absolute_speedup"] == \
+            pytest.approx(1.25)
+        assert by_cfg[("A100", 64, "tcec-tf32")]["relative_speedup"] == \
+            pytest.approx(1.25)
+        assert by_cfg[("H100", 64, "baseline")]["absolute_speedup"] == \
+            pytest.approx(2.0)
+
+    def test_missing_reference(self):
+        with pytest.raises(ValueError, match="reference"):
+            aggregate_speedups({}, ConfigKey("A100", 64, "baseline"))
+
+
+class TestTables:
+    def test_format_table(self):
+        out = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.1}],
+                           title="T")
+        assert "T" in out and "a" in out and "2.50" in out
+
+    def test_format_empty(self):
+        assert "(empty)" in format_table([])
+
+    def test_format_scatter(self):
+        out = format_scatter([("7cpa", 100.0, 150.0)], "ref", "tc")
+        assert "7cpa" in out and "1.50" in out

@@ -1,0 +1,92 @@
+"""Tests for the AutoStop / heuristics extension features (-A / -H)."""
+
+import numpy as np
+import pytest
+
+from repro.search import AutoStop, LGAConfig, LGARun, ParallelLGA, \
+    heuristic_max_evals
+
+
+class TestAutoStop:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutoStop(window=1)
+        with pytest.raises(ValueError):
+            AutoStop(tolerance=0.0)
+
+    def test_no_stop_before_min_generations(self):
+        a = AutoStop(window=3, min_generations=10)
+        for _ in range(9):
+            assert not a.observe(1.0)
+
+    def test_stops_on_converged_trajectory(self):
+        a = AutoStop(window=5, tolerance=0.1, min_generations=5)
+        stopped = False
+        for _ in range(10):
+            stopped = a.observe(-12.0)
+            if stopped:
+                break
+        assert stopped
+
+    def test_keeps_running_on_improving_trajectory(self):
+        a = AutoStop(window=5, tolerance=0.1, min_generations=5)
+        for g in range(30):
+            assert not a.observe(-float(g))   # improving by 1.0 each gen
+
+    def test_reset(self):
+        a = AutoStop(window=2, min_generations=2)
+        a.observe(1.0)
+        a.reset()
+        assert a.generations_observed == 0
+
+
+class TestHeuristics:
+    def test_monotone_in_nrot(self):
+        budgets = [heuristic_max_evals(n) for n in range(0, 33, 4)]
+        assert budgets == sorted(budgets)
+
+    def test_cap(self):
+        assert heuristic_max_evals(60) == 2_500_000
+
+    def test_small_ligand_floor(self):
+        assert heuristic_max_evals(0) == 100_000
+
+    def test_scale(self):
+        assert heuristic_max_evals(0, scale=0.01) == 1_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heuristic_max_evals(-1)
+
+
+class TestAutoStopInLGA:
+    def test_early_termination_saves_evals(self, case_small):
+        base_cfg = dict(pop_size=10, max_evals=5_000, max_gens=100,
+                        ls_iters=8, ls_rate=0.2)
+        plain = LGARun(case_small.scoring(), "baseline",
+                       LGAConfig(**base_cfg),
+                       np.random.default_rng(0)).run()
+        stopped = LGARun(case_small.scoring(), "baseline",
+                         LGAConfig(**base_cfg, autostop=True,
+                                   autostop_window=5,
+                                   autostop_tolerance=0.5),
+                         np.random.default_rng(0)).run()
+        # the rigid test case converges quickly -> autostop saves budget
+        assert stopped.evals_used < plain.evals_used
+        # and still finds a good pose
+        assert stopped.best_score <= case_small.global_min_score + 2.0
+
+    def test_parallel_lga_rejects_autostop(self, case_small):
+        with pytest.raises(ValueError, match="AutoStop"):
+            ParallelLGA(case_small.scoring(), "baseline",
+                        LGAConfig(autostop=True))
+
+    def test_engine_routes_autostop(self, case_small):
+        from repro import DockingConfig, DockingEngine
+        cfg = DockingConfig(
+            backend="baseline",
+            lga=LGAConfig(pop_size=8, max_evals=2_000, max_gens=50,
+                          ls_iters=8, ls_rate=0.25, autostop=True,
+                          autostop_window=5, autostop_tolerance=0.5))
+        res = DockingEngine(case_small, cfg).dock(n_runs=2, seed=1)
+        assert np.isfinite(res.best_score)

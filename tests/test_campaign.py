@@ -1,0 +1,66 @@
+"""Tests for the E50 campaign orchestration API."""
+
+import math
+
+import pytest
+
+from repro.analysis.campaign import CampaignResult, E50Campaign
+from repro.search.lga import LGAConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_campaign():
+    return E50Campaign(
+        cases=["1u4d"],
+        backends=["baseline", "tcec-tf32"],
+        n_runs=3,
+        seed=5,
+        lga=LGAConfig(pop_size=8, max_evals=600, max_gens=12,
+                      ls_iters=6, ls_rate=0.25),
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_results(tiny_campaign):
+    return tiny_campaign.run()
+
+
+class TestCampaign:
+    def test_runs_every_cell(self, tiny_results):
+        assert len(tiny_results) == 2
+        assert {(r.case, r.backend) for r in tiny_results} == {
+            ("1u4d", "baseline"), ("1u4d", "tcec-tf32")}
+
+    def test_cell_fields(self, tiny_results):
+        r = tiny_results[0]
+        assert r.n_runs == 3
+        assert r.budget > 0
+        assert 0 <= r.score_successes <= 3
+        assert r.e50_score > 0
+        assert len(r.e50_score_ci) == 2
+        assert math.isfinite(r.best_score)
+
+    def test_progress_callback(self, tiny_campaign):
+        seen = []
+        tiny_campaign.run(progress=lambda c, b: seen.append((c, b)))
+        assert seen == [("1u4d", "baseline"), ("1u4d", "tcec-tf32")]
+
+    def test_to_rows(self, tiny_results):
+        rows = E50Campaign.to_rows(tiny_results)
+        assert rows[0]["case"] == "1u4d"
+        assert isinstance(rows[0]["e50_score_ci"], list)
+
+    def test_save_load_round_trip(self, tiny_results, tmp_path):
+        path = tmp_path / "campaign.json"
+        E50Campaign.save(tiny_results, path)
+        back = E50Campaign.load(path)
+        assert len(back) == len(tiny_results)
+        assert back[0].case == tiny_results[0].case
+        assert back[0].e50_score == pytest.approx(tiny_results[0].e50_score)
+        assert isinstance(back[0].e50_score_ci, tuple)
+
+    def test_deterministic_given_seed(self, tiny_campaign):
+        a = tiny_campaign.run_cell("1u4d", "baseline")
+        b = tiny_campaign.run_cell("1u4d", "baseline")
+        assert a.best_score == b.best_score
+        assert a.e50_score == b.e50_score

@@ -1,0 +1,88 @@
+"""Tests for RMSD-based pose clustering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.clustering import (
+    cluster_poses,
+    cluster_result,
+    format_clustering_histogram,
+)
+
+
+def _poses(centres, jitter, n_each, seed=0):
+    """Poses jittered around reference conformations."""
+    rng = np.random.default_rng(seed)
+    out = []
+    scores = []
+    for k, c in enumerate(centres):
+        for _ in range(n_each):
+            out.append(c + rng.normal(0, jitter, c.shape))
+            scores.append(k * 10.0 + rng.normal(0, 0.1))
+    return np.stack(out), np.array(scores)
+
+
+BASE = np.random.default_rng(42).normal(size=(8, 3)) * 3
+
+
+class TestClusterPoses:
+    def test_two_well_separated_basins(self):
+        coords, scores = _poses([BASE, BASE + 10.0], jitter=0.1, n_each=5)
+        clusters = cluster_poses(coords, scores, tolerance=2.0)
+        assert len(clusters) == 2
+        assert clusters[0].size == 5 and clusters[1].size == 5
+        # best cluster first
+        assert clusters[0].best_score < clusters[1].best_score
+
+    def test_single_cluster_when_tolerance_large(self):
+        coords, scores = _poses([BASE, BASE + 10.0], jitter=0.1, n_each=3)
+        clusters = cluster_poses(coords, scores, tolerance=100.0)
+        assert len(clusters) == 1
+        assert clusters[0].size == 6
+
+    def test_every_pose_assigned_once(self):
+        coords, scores = _poses([BASE, BASE + 6.0, BASE - 6.0],
+                                jitter=0.2, n_each=4)
+        clusters = cluster_poses(coords, scores)
+        members = sorted(i for cl in clusters for i in cl.member_indices)
+        assert members == list(range(12))
+
+    def test_seed_is_lowest_energy_member(self):
+        coords, scores = _poses([BASE], jitter=0.05, n_each=6)
+        clusters = cluster_poses(coords, scores)
+        cl = clusters[0]
+        assert scores[cl.seed_index] == scores[cl.member_indices].min()
+        assert cl.best_score == pytest.approx(scores.min())
+
+    def test_native_annotation(self):
+        coords, scores = _poses([BASE], jitter=0.05, n_each=4)
+        clusters = cluster_poses(coords, scores, native=BASE)
+        assert clusters[0].seed_rmsd_to_native < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            cluster_poses(np.zeros((2, 3, 3)), np.zeros(2), tolerance=0.0)
+        with pytest.raises(ValueError, match="n_poses"):
+            cluster_poses(np.zeros((2, 3, 3)), np.zeros(3))
+
+    def test_histogram_format(self):
+        coords, scores = _poses([BASE, BASE + 8.0], jitter=0.1, n_each=3)
+        clusters = cluster_poses(coords, scores, native=BASE)
+        text = format_clustering_histogram(clusters)
+        assert "CLUSTERING HISTOGRAM" in text
+        assert "###" in text
+
+
+class TestClusterResult:
+    def test_on_docking_result(self, case_small):
+        from repro import DockingConfig, DockingEngine
+        from repro.search.lga import LGAConfig
+        cfg = DockingConfig(backend="baseline",
+                            lga=LGAConfig(pop_size=8, max_evals=800,
+                                          max_gens=15, ls_iters=8,
+                                          ls_rate=0.25))
+        res = DockingEngine(case_small, cfg).dock(n_runs=4, seed=2)
+        clusters = cluster_result(res, case_small)
+        assert sum(cl.size for cl in clusters) == 4
+        assert clusters[0].best_score == pytest.approx(res.best_score)
+        assert not np.isnan(clusters[0].seed_rmsd_to_native)

@@ -1,0 +1,96 @@
+"""Integration tests for the DockingEngine public API."""
+
+import numpy as np
+import pytest
+
+from repro import DockingConfig, DockingEngine
+from repro.search.lga import LGAConfig
+
+
+def _quick_config(backend="baseline", **kw):
+    return DockingConfig(
+        backend=backend,
+        lga=LGAConfig(pop_size=10, max_evals=1200, max_gens=25,
+                      ls_iters=15, ls_rate=0.2),
+        **kw)
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = DockingConfig()
+        assert cfg.backend == "tcec-tf32"
+        assert cfg.device == "A100"
+        assert cfg.block_size == 64
+
+    def test_backend_validation(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            DockingConfig(backend="fp8")
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError, match="block size"):
+            DockingConfig(block_size=96)
+
+    def test_cost_backend_mapping(self):
+        assert DockingConfig(backend="exact").cost_backend == "baseline"
+        assert DockingConfig(backend="tcec-tf32").cost_backend == "tcec-tf32"
+
+
+class TestDock:
+    def test_result_fields(self, case_small):
+        engine = DockingEngine(case_small, _quick_config())
+        res = engine.dock(n_runs=3, seed=0)
+        assert res.case_name == "1u4d"
+        assert len(res.runs) == len(res.outcomes) == len(res.final_rmsds) == 3
+        assert res.total_evals > 0
+        assert res.runtime_seconds > 0
+        assert np.isfinite(res.best_score)
+        assert res.us_per_eval > 0
+
+    def test_best_cross_references(self, case_small):
+        engine = DockingEngine(case_small, _quick_config())
+        res = engine.dock(n_runs=4, seed=1)
+        assert res.best_score == min(r.best_score for r in res.runs)
+        assert res.best_rmsd == min(res.final_rmsds)
+        # rmsd_of_best is the rmsd of the best-scoring run's pose
+        i = int(np.argmin([r.best_score for r in res.runs]))
+        assert res.rmsd_of_best == res.final_rmsds[i]
+
+    def test_reproducible(self, case_small):
+        engine = DockingEngine(case_small, _quick_config())
+        a = engine.dock(n_runs=2, seed=42)
+        b = engine.dock(n_runs=2, seed=42)
+        assert a.best_score == b.best_score
+        assert a.total_evals == b.total_evals
+
+    def test_small_case_finds_minimum(self, case_small):
+        """The rigid (0-torsion) case is easy — baseline should succeed."""
+        engine = DockingEngine(case_small, _quick_config())
+        res = engine.dock(n_runs=4, seed=3)
+        assert res.best_score <= case_small.global_min_score + 1.5
+
+    def test_device_changes_runtime_not_search(self, case_small):
+        ra = DockingEngine(case_small,
+                           _quick_config(device="A100")).dock(2, seed=5)
+        rb = DockingEngine(case_small,
+                           _quick_config(device="B200")).dock(2, seed=5)
+        assert ra.best_score == rb.best_score        # same numerics
+        assert ra.runtime_seconds > rb.runtime_seconds  # different pricing
+
+    def test_backend_changes_runtime_pricing(self, case_small):
+        rb = DockingEngine(case_small, _quick_config("baseline")).dock(2, seed=6)
+        rt = DockingEngine(case_small, _quick_config("tcec-tf32")).dock(2, seed=6)
+        assert rt.us_per_eval < rb.us_per_eval
+
+    def test_runtime_statistics(self, case_small):
+        engine = DockingEngine(case_small, _quick_config())
+        res = engine.dock(n_runs=2, seed=7)
+        stats = engine.runtime_statistics(res, n_samples=50, seed=0)
+        assert stats["min"] <= stats["avg"] <= stats["max"]
+        assert stats["std"] > 0
+        assert stats["std"] / stats["avg"] < 0.05   # ~1% jitter like Table 3
+
+    def test_best_pose_coords(self, case_small):
+        engine = DockingEngine(case_small, _quick_config())
+        res = engine.dock(n_runs=2, seed=8)
+        coords = engine.best_pose_coords(res)
+        assert coords.shape == (case_small.ligand.n_atoms, 3)

@@ -1,0 +1,321 @@
+"""Tests for pose kinematics, AD4 energy terms, grids and scoring."""
+
+import numpy as np
+import pytest
+
+from repro.docking import ScoringFunction, calc_coords, rmsd
+from repro.docking.energy import (
+    ECLAMP,
+    GRADCLAMP,
+    build_pair_tables,
+    dielectric,
+    dielectric_derivative,
+    intra_contributions,
+    vdw_pair_coefficients,
+)
+from repro.docking.genotype import genotype_length
+from repro.docking.grids import OUT_OF_BOX_PENALTY
+from repro.docking.rmsd import heavy_atom_mask
+
+
+class TestPose:
+    def test_identity_genotype_recovers_reference(self, butane_like):
+        g = np.zeros(genotype_length(butane_like))
+        coords = calc_coords(butane_like, g)
+        # root atom lands at the translation genes (origin)
+        np.testing.assert_allclose(coords[0], [0, 0, 0], atol=1e-12)
+        # bond lengths preserved
+        for i, j in butane_like.bonds:
+            ref = np.linalg.norm(butane_like.ref_coords[i]
+                                 - butane_like.ref_coords[j])
+            got = np.linalg.norm(coords[i] - coords[j])
+            assert got == pytest.approx(ref, rel=1e-12)
+
+    def test_translation_gene_moves_root(self, butane_like):
+        g = np.zeros(genotype_length(butane_like))
+        g[0:3] = [1.0, -2.0, 3.0]
+        coords = calc_coords(butane_like, g)
+        np.testing.assert_allclose(coords[0], [1.0, -2.0, 3.0], atol=1e-12)
+
+    def test_torsion_moves_only_subtree(self, butane_like):
+        g0 = np.zeros(genotype_length(butane_like))
+        g1 = g0.copy()
+        g1[6] = 1.2    # the single torsion
+        c0 = calc_coords(butane_like, g0)
+        c1 = calc_coords(butane_like, g1)
+        np.testing.assert_allclose(c0[:3], c1[:3], atol=1e-12)  # 0,1,2 fixed
+        assert np.linalg.norm(c0[3] - c1[3]) > 0.1
+        assert np.linalg.norm(c0[4] - c1[4]) > 0.1
+
+    def test_torsion_preserves_bond_lengths(self, butane_like):
+        rng = np.random.default_rng(0)
+        g = np.zeros((8, genotype_length(butane_like)))
+        g[:, 3:6] = rng.normal(size=(8, 3))
+        g[:, 6] = rng.uniform(-np.pi, np.pi, 8)
+        coords = calc_coords(butane_like, g)
+        for i, j in butane_like.bonds:
+            ref = np.linalg.norm(butane_like.ref_coords[i]
+                                 - butane_like.ref_coords[j])
+            got = np.linalg.norm(coords[:, i] - coords[:, j], axis=-1)
+            np.testing.assert_allclose(got, ref, rtol=1e-10)
+
+    def test_batched_matches_single(self, butane_like):
+        rng = np.random.default_rng(1)
+        g = rng.normal(size=(5, genotype_length(butane_like)))
+        batch = calc_coords(butane_like, g)
+        for k in range(5):
+            np.testing.assert_allclose(batch[k],
+                                       calc_coords(butane_like, g[k]),
+                                       atol=1e-12)
+
+    def test_wrong_genotype_length(self, butane_like):
+        with pytest.raises(ValueError, match="genotype length"):
+            calc_coords(butane_like, np.zeros(5))
+
+    def test_full_turn_torsion_is_identity(self, butane_like):
+        g0 = np.zeros(genotype_length(butane_like))
+        g1 = g0.copy()
+        g1[6] = 2 * np.pi
+        np.testing.assert_allclose(calc_coords(butane_like, g0),
+                                   calc_coords(butane_like, g1), atol=1e-9)
+
+
+class TestEnergyTerms:
+    def test_dielectric_limits(self):
+        # Mehler-Solmajer: ~epsilon of water at long range, small at contact
+        assert dielectric(np.array([50.0]))[0] == pytest.approx(78.4, abs=1.0)
+        assert dielectric(np.array([0.5]))[0] < 10.0
+
+    def test_dielectric_derivative_finite_difference(self):
+        r = np.linspace(1.0, 12.0, 40)
+        fd = (dielectric(r + 1e-6) - dielectric(r - 1e-6)) / 2e-6
+        np.testing.assert_allclose(dielectric_derivative(r), fd, rtol=1e-4)
+
+    def test_vdw_minimum_at_rij(self):
+        c, d, m = vdw_pair_coefficients(4.0, 0.15, 4.0, 0.15, hbond=False)
+        assert m == 6
+        r = 4.0
+        e_min = c / r ** 12 - d / r ** m
+        assert e_min == pytest.approx(-0.15, rel=1e-12)
+        # derivative zero at the minimum
+        de = -12 * c / r ** 13 + m * d / r ** (m + 1)
+        assert de == pytest.approx(0.0, abs=1e-12)
+
+    def test_hbond_1210_minimum(self):
+        c, d, m = vdw_pair_coefficients(0, 0, 0, 0, hbond=True,
+                                        rij_hb=1.9, epsij_hb=5.0)
+        assert m == 10
+        e_min = c / 1.9 ** 12 - d / 1.9 ** 10
+        assert e_min == pytest.approx(-5.0, rel=1e-12)
+
+    def test_pair_tables(self, butane_like):
+        t = build_pair_tables(butane_like)
+        assert t.n_pairs == butane_like.n_intra == 1
+        # pair (0=C, 4=HD): not donor-acceptor (C is not an acceptor)
+        assert t.m[0] == 6
+
+    def test_intra_energy_and_derivative(self, butane_like):
+        t = build_pair_tables(butane_like)
+        rng = np.random.default_rng(2)
+        g = rng.normal(size=(4, genotype_length(butane_like))) * 0.5
+        coords = calc_coords(butane_like, g)
+        e, de = intra_contributions(t, coords)
+        assert e.shape == (4, 1) and de.shape == (4, 1)
+        # numerical check of dE/dr along the pair axis
+        delta = coords[:, t.i[0]] - coords[:, t.j[0]]
+        r = np.linalg.norm(delta, axis=-1)
+        eps = 1e-6
+        for k in range(4):
+            d_unit = delta[k] / r[k]
+            cp = coords[k].copy()
+            cp[t.i[0]] += eps * d_unit
+            ep, _ = intra_contributions(t, cp[None])
+            cm = coords[k].copy()
+            cm[t.i[0]] -= eps * d_unit
+            em, _ = intra_contributions(t, cm[None])
+            fd = (ep[0, 0] - em[0, 0]) / (2 * eps)
+            assert de[k, 0] == pytest.approx(fd, rel=1e-4, abs=1e-7)
+
+    def test_clash_clamping(self, butane_like):
+        t = build_pair_tables(butane_like)
+        coords = np.zeros((1, 5, 3))       # every atom on top of each other
+        e, de = intra_contributions(t, coords)
+        assert np.all(e <= ECLAMP)
+        assert np.all(np.abs(de) <= GRADCLAMP)
+
+
+class TestGrids:
+    def test_box_bounds(self, small_maps):
+        np.testing.assert_allclose(small_maps.box_lo, [-8, -8, -8])
+        np.testing.assert_allclose(small_maps.box_hi, [8, 8, 8])
+
+    def test_type_index_missing_type(self, small_maps):
+        with pytest.raises(ValueError, match="no grid map"):
+            small_maps.type_index(["Br"])
+
+    def test_interpolation_exact_at_nodes(self, small_maps, butane_like):
+        """At a grid node the interpolant equals the node value."""
+        node = small_maps.origin + small_maps.spacing * np.array([10, 12, 14])
+        coords = node[None, None, :]
+        t_idx = small_maps.type_index(["C"])
+        e = small_maps.interatom_energy(
+            coords, t_idx, np.zeros(1), np.zeros(1), np.zeros(1))
+        c_map = small_maps.type_names.index("C")
+        assert e[0, 0] == pytest.approx(
+            small_maps.affinity[c_map, 10, 12, 14], rel=1e-10)
+
+    def test_gradient_matches_finite_difference(self, small_maps):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(-5, 5, size=(1, 6, 3))
+        t_idx = small_maps.type_index(["C"] * 6)
+        q = rng.normal(0, 0.2, 6)
+        sp = rng.normal(0, 0.01, 6)
+        vol = np.abs(rng.normal(20, 5, 6))
+        e, g = small_maps.interatom_energy(pts, t_idx, q, sp, vol,
+                                           with_gradient=True)
+        eps = 1e-6
+        for axis in range(3):
+            shift = np.zeros(3)
+            shift[axis] = eps
+            ep = small_maps.interatom_energy(pts + shift, t_idx, q, sp, vol)
+            em = small_maps.interatom_energy(pts - shift, t_idx, q, sp, vol)
+            fd = (ep - em) / (2 * eps)
+            np.testing.assert_allclose(g[..., axis], fd, rtol=1e-4, atol=1e-5)
+
+    def test_out_of_box_penalty(self, small_maps):
+        t_idx = small_maps.type_index(["C"])
+        inside = np.array([[[0.0, 0.0, 0.0]]])
+        outside = np.array([[[12.0, 0.0, 0.0]]])   # 4 Å beyond the box
+        zeros = np.zeros(1)
+        e_in = small_maps.interatom_energy(inside, t_idx, zeros, zeros, zeros)
+        e_out = small_maps.interatom_energy(outside, t_idx, zeros, zeros, zeros)
+        assert e_out[0, 0] > e_in[0, 0] + OUT_OF_BOX_PENALTY * 15.9
+
+    def test_out_of_box_gradient_points_inward(self, small_maps):
+        t_idx = small_maps.type_index(["C"])
+        outside = np.array([[[12.0, 0.0, 0.0]]])
+        zeros = np.zeros(1)
+        _, g = small_maps.interatom_energy(outside, t_idx, zeros, zeros,
+                                           zeros, with_gradient=True)
+        assert g[0, 0, 0] > 0.0   # dE/dx > 0 -> move -x (inward) to reduce
+
+    def test_nonfinite_coords_survive(self, small_maps):
+        t_idx = small_maps.type_index(["C"])
+        bad = np.array([[[np.nan, 0.0, 0.0]]])
+        zeros = np.zeros(1)
+        e = small_maps.interatom_energy(bad, t_idx, zeros, zeros, zeros)
+        assert np.isfinite(e[0, 0]) and e[0, 0] > 1e5
+
+
+class TestScoring:
+    def test_score_shape_and_finiteness(self, butane_like, small_maps):
+        sf = ScoringFunction(butane_like, small_maps)
+        rng = np.random.default_rng(4)
+        g = rng.normal(size=(10, genotype_length(butane_like)))
+        s = sf.score(g)
+        assert s.shape == (10,)
+        assert np.all(np.isfinite(s))
+
+    def test_torsional_penalty(self, butane_like, small_maps):
+        sf = ScoringFunction(butane_like, small_maps)
+        assert sf.torsional_penalty == pytest.approx(0.2983 * 1)
+
+    def test_components_sum_to_total(self, butane_like, small_maps):
+        sf = ScoringFunction(butane_like, small_maps)
+        comp = sf.score_components(np.zeros(genotype_length(butane_like)))
+        assert comp["total"] == pytest.approx(
+            comp["inter"] + comp["intra"] + comp["torsional"], rel=1e-9)
+
+    def test_score_deterministic(self, butane_like, small_maps):
+        sf = ScoringFunction(butane_like, small_maps)
+        g = np.zeros((1, genotype_length(butane_like)))
+        np.testing.assert_array_equal(sf.score(g), sf.score(g))
+
+
+class TestRmsd:
+    def test_zero_for_identical(self):
+        c = np.random.default_rng(5).normal(size=(7, 3))
+        assert rmsd(c, c) == 0.0
+
+    def test_translation_distance(self):
+        c = np.zeros((4, 3))
+        shifted = c + np.array([3.0, 0.0, 0.0])
+        assert rmsd(shifted, c) == pytest.approx(3.0)
+
+    def test_batched(self):
+        rng = np.random.default_rng(6)
+        native = rng.normal(size=(5, 3))
+        poses = np.stack([native, native + 1.0])
+        out = rmsd(poses, native)
+        assert out.shape == (2,)
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(np.sqrt(3.0))
+
+    def test_heavy_atom_mask(self):
+        mask = heavy_atom_mask(["C", "HD", "OA", "H"])
+        np.testing.assert_array_equal(mask, [True, False, True, False])
+
+    def test_mask_selects_atoms(self):
+        c = np.zeros((3, 3))
+        pose = c.copy()
+        pose[2] += 10.0                       # only atom 2 moved
+        mask = np.array([True, True, False])
+        assert rmsd(pose, c, mask) == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            rmsd(np.zeros((3, 3)), np.zeros((4, 3)))
+
+
+class TestSmoothing:
+    def _tables(self, butane_like):
+        from repro.docking.energy import build_pair_tables
+        return build_pair_tables(butane_like)
+
+    def test_flat_at_optimum(self, butane_like):
+        """Inside the smoothing band the energy is the well minimum and the
+        derivative vanishes."""
+        import numpy as np
+        from repro.docking.energy import intra_contributions
+        t = self._tables(butane_like)
+        r_opt = float((12.0 * t.c[0] / (t.m[0] * t.d[0]))
+                      ** (1.0 / (12.0 - t.m[0])))
+        coords = np.zeros((1, 5, 3))
+        coords[0, 4, 0] = r_opt - 0.2        # pair (0,4) inside the band,
+        e_s, de_s = intra_contributions(t, coords, smooth=True)
+        coords2 = np.zeros((1, 5, 3))        # on the steep repulsive side
+        coords2[0, 4, 0] = r_opt
+        e_min, _ = intra_contributions(t, coords2, smooth=False)
+        # vdW part flattened to the minimum (elec/desolv still vary mildly)
+        assert abs(e_s[0, 0] - e_min[0, 0]) < 0.02
+        # the steep repulsive slope is removed; only elec/desolv remain
+        _, de_raw = intra_contributions(t, coords, smooth=False)
+        assert abs(de_s[0, 0]) < 0.3 * abs(de_raw[0, 0])
+
+    def test_far_distances_shifted_by_half_width(self, butane_like):
+        import numpy as np
+        from repro.docking.energy import (SMOOTH_HALF_WIDTH,
+                                          intra_contributions)
+        t = self._tables(butane_like)
+        coords = np.zeros((1, 5, 3))
+        coords[0, 4, 0] = 8.0
+        e_s, _ = intra_contributions(t, coords, smooth=True)
+        coords2 = np.zeros((1, 5, 3))
+        coords2[0, 4, 0] = 8.0 - SMOOTH_HALF_WIDTH
+        e_ref, _ = intra_contributions(t, coords2, smooth=False)
+        # vdW evaluated at r - hw; elec/desolv at r -> compare vdW piece by
+        # subtracting the non-vdW parts computed at the native distances
+        assert e_s[0, 0] == pytest.approx(e_ref[0, 0], abs=0.01)
+
+    def test_scoring_function_smooth_flag(self, butane_like, small_maps):
+        import numpy as np
+        from repro.docking import ScoringFunction
+        from repro.docking.genotype import genotype_length
+        sf_raw = ScoringFunction(butane_like, small_maps)
+        sf_sm = ScoringFunction(butane_like, small_maps, smooth=True)
+        rng = np.random.default_rng(8)
+        g = rng.normal(size=(6, genotype_length(butane_like))) * 0.5
+        s_raw = sf_raw.score(g)
+        s_sm = sf_sm.score(g)
+        assert not np.allclose(s_raw, s_sm)   # smoothing changes scores
+        assert np.all(np.isfinite(s_sm))

@@ -1,0 +1,227 @@
+"""Tests for the molecular model: params, ligand, genotype, quaternions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.docking import (
+    ATOM_PARAMS,
+    Ligand,
+    TorsionBond,
+    genotype_length,
+    get_atom_params,
+    random_genotypes,
+)
+from repro.docking.params import FE_WEIGHTS, HBOND_ACCEPTOR, HBOND_DONOR
+from repro.docking.quaternion import (
+    axis_angle_rotate,
+    cross3,
+    quat_from_rotvec,
+    quat_multiply,
+    quat_rotate,
+    rotvec_to_matrix,
+    so3_left_jacobian,
+)
+
+
+class TestParams:
+    def test_standard_types_present(self):
+        for t in ("C", "A", "N", "NA", "OA", "SA", "S", "H", "HD",
+                  "F", "Cl", "Br", "I", "P"):
+            assert t in ATOM_PARAMS
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ValueError, match="unknown atom type"):
+            get_atom_params("Xx")
+
+    def test_hbond_roles(self):
+        assert get_atom_params("HD").hbond == HBOND_DONOR
+        assert get_atom_params("OA").hbond == HBOND_ACCEPTOR
+        assert get_atom_params("C").hbond == 0
+
+    def test_ad4_weights(self):
+        assert FE_WEIGHTS["vdw"] == 0.1662
+        assert FE_WEIGHTS["tors"] == 0.2983
+
+    def test_hydrogen_has_no_volume(self):
+        assert get_atom_params("HD").vol == 0.0
+
+
+class TestTorsionBond:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="differ"):
+            TorsionBond(atom_a=1, atom_b=1, moved=(2,))
+        with pytest.raises(ValueError, match="at least one"):
+            TorsionBond(atom_a=0, atom_b=1, moved=())
+        with pytest.raises(ValueError, match="axis atoms"):
+            TorsionBond(atom_a=0, atom_b=1, moved=(1, 2))
+
+
+class TestLigand:
+    def test_counts(self, butane_like):
+        assert butane_like.n_atoms == 5
+        assert butane_like.n_rot == 1
+        # rotation list: one rigid op per atom + one per (torsion, moved)
+        assert butane_like.n_rotlist == 5 + 2
+
+    def test_reference_centred(self, butane_like):
+        np.testing.assert_allclose(butane_like.ref_coords.mean(axis=0),
+                                   0.0, atol=1e-12)
+
+    def test_graph_distances(self, butane_like):
+        d = butane_like.graph_distances()
+        assert d[0, 4] == 4
+        assert d[0, 1] == 1
+        assert np.all(np.diag(d) == 0)
+        np.testing.assert_array_equal(d, d.T)
+
+    def test_intra_pairs_exclude_close_neighbours(self, butane_like):
+        pairs = butane_like.intra_pairs()
+        # only the 0-4 pair is >= 4 bonds apart AND torsion-separated
+        assert pairs.shape == (1, 2)
+        assert tuple(pairs[0]) == (0, 4)
+
+    def test_torsion_signature(self, butane_like):
+        sigs = butane_like.torsion_signature()
+        assert sigs[0] == sigs[1] == frozenset()
+        assert sigs[3] == sigs[4] == frozenset({0})
+
+    def test_invalid_atom_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown atom type"):
+            Ligand("bad", ["Zz"], np.zeros((1, 3)), np.zeros(1), [])
+
+    def test_bond_index_validation(self):
+        with pytest.raises(ValueError, match="invalid bond"):
+            Ligand("bad", ["C", "C"], np.zeros((2, 3)), np.zeros(2),
+                   bonds=[(0, 5)])
+
+    def test_params_arrays(self, butane_like):
+        cols = butane_like.params_arrays()
+        assert cols["rii"].shape == (5,)
+        assert cols["hbond"][3] == HBOND_ACCEPTOR
+
+    def test_type_indices(self, butane_like):
+        order, idx = butane_like.type_indices()
+        assert order == sorted(set(butane_like.atom_types))
+        assert [order[i] for i in idx] == butane_like.atom_types
+
+
+class TestGenotype:
+    def test_length(self, butane_like):
+        assert genotype_length(butane_like) == 7
+
+    def test_random_genotypes_inside_box(self, butane_like):
+        rng = np.random.default_rng(0)
+        lo = np.array([-5.0, -5.0, -5.0])
+        hi = np.array([5.0, 5.0, 5.0])
+        g = random_genotypes(rng, 200, butane_like, lo, hi)
+        assert g.shape == (200, 7)
+        assert np.all(g[:, 0:3] >= lo + 1.0) and np.all(g[:, 0:3] <= hi - 1.0)
+        assert np.all(np.abs(g[:, 6:]) <= np.pi)
+
+    def test_orientation_angles_bounded(self, butane_like):
+        rng = np.random.default_rng(1)
+        g = random_genotypes(rng, 500, butane_like,
+                             np.full(3, -5.0), np.full(3, 5.0))
+        angles = np.linalg.norm(g[:, 3:6], axis=1)
+        assert np.all(angles <= np.pi + 1e-9)
+
+    def test_box_too_small(self, butane_like):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError, match="too small"):
+            random_genotypes(rng, 1, butane_like,
+                             np.zeros(3), np.full(3, 1.5))
+
+
+class TestQuaternion:
+    def test_cross3_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(4, 6, 3))
+        b = rng.normal(size=(4, 6, 3))
+        np.testing.assert_allclose(cross3(a, b), np.cross(a, b), rtol=1e-12)
+
+    def test_quat_from_zero_rotvec(self):
+        q = quat_from_rotvec(np.zeros(3))
+        np.testing.assert_allclose(q, [1, 0, 0, 0], atol=1e-15)
+
+    def test_quat_unit_norm(self):
+        rng = np.random.default_rng(4)
+        q = quat_from_rotvec(rng.normal(size=(100, 3)))
+        np.testing.assert_allclose(np.linalg.norm(q, axis=-1), 1.0,
+                                   rtol=1e-12)
+
+    def test_rotation_preserves_lengths(self):
+        rng = np.random.default_rng(5)
+        q = quat_from_rotvec(rng.normal(size=3))
+        v = rng.normal(size=(10, 3))
+        np.testing.assert_allclose(np.linalg.norm(quat_rotate(q, v), axis=-1),
+                                   np.linalg.norm(v, axis=-1), rtol=1e-12)
+
+    def test_quat_vs_matrix(self):
+        rng = np.random.default_rng(6)
+        w = rng.normal(size=3)
+        v = rng.normal(size=(7, 3))
+        np.testing.assert_allclose(quat_rotate(quat_from_rotvec(w), v),
+                                   v @ rotvec_to_matrix(w).T, rtol=1e-10)
+
+    def test_quat_multiply_composition(self):
+        rng = np.random.default_rng(7)
+        w1, w2 = rng.normal(size=3), rng.normal(size=3)
+        q1, q2 = quat_from_rotvec(w1), quat_from_rotvec(w2)
+        v = rng.normal(size=(5, 3))
+        np.testing.assert_allclose(
+            quat_rotate(quat_multiply(q1, q2), v),
+            quat_rotate(q1, quat_rotate(q2, v)), rtol=1e-10)
+
+    def test_axis_angle_rotate_quarter_turn(self):
+        pts = np.array([[1.0, 0.0, 0.0]])
+        out = axis_angle_rotate(pts, origin=np.zeros(3),
+                                axis=np.array([0.0, 0.0, 1.0]),
+                                angle=np.pi / 2)
+        np.testing.assert_allclose(out, [[0.0, 1.0, 0.0]], atol=1e-12)
+
+    def test_axis_angle_rotate_about_offset_origin(self):
+        pts = np.array([[2.0, 0.0, 0.0]])
+        out = axis_angle_rotate(pts, origin=np.array([1.0, 0.0, 0.0]),
+                                axis=np.array([0.0, 0.0, 1.0]),
+                                angle=np.pi)
+        np.testing.assert_allclose(out, [[0.0, 0.0, 0.0]], atol=1e-12)
+
+    def test_left_jacobian_small_angle_is_identity(self):
+        np.testing.assert_allclose(so3_left_jacobian(np.zeros(3)),
+                                   np.eye(3), atol=1e-12)
+
+    def test_left_jacobian_finite_difference(self):
+        """J_l connects rotvec perturbations to world rotations:
+        exp((w+dw)^) ~= exp((J_l dw)^) exp(w^)."""
+        rng = np.random.default_rng(8)
+        w = rng.normal(size=3)
+        jl = so3_left_jacobian(w)
+        eps = 1e-6
+        for k in range(3):
+            dw = np.zeros(3)
+            dw[k] = eps
+            r1 = rotvec_to_matrix(w + dw)
+            r0 = rotvec_to_matrix(w)
+            dr = r1 @ r0.T           # = exp(delta^), small world rotation
+            delta = np.array([dr[2, 1] - dr[1, 2],
+                              dr[0, 2] - dr[2, 0],
+                              dr[1, 0] - dr[0, 1]]) / 2.0
+            np.testing.assert_allclose(delta / eps, jl[:, k], atol=1e-4)
+
+
+@given(st.floats(min_value=-3, max_value=3),
+       st.floats(min_value=-3, max_value=3),
+       st.floats(min_value=-3, max_value=3))
+@settings(max_examples=100, deadline=None)
+def test_rotation_roundtrip_property(x, y, z):
+    """Rotating by w then by -w (applied in reverse) restores the input."""
+    w = np.array([x, y, z])
+    v = np.array([[1.0, 2.0, 3.0]])
+    q = quat_from_rotvec(w)
+    qinv = quat_from_rotvec(-w) if np.linalg.norm(w) < np.pi else None
+    rotated = quat_rotate(q, v)
+    if qinv is not None:
+        back = quat_rotate(qinv, rotated)
+        np.testing.assert_allclose(back, v, atol=1e-9)

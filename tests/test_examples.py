@@ -1,0 +1,42 @@
+"""Smoke tests: the example scripts import and the cheap ones run."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart", "virtual_screening", "tensor_core_reduction",
+    "accuracy_study", "performance_model", "file_workflow",
+    "block_size_study",
+])
+def test_example_imports(name):
+    mod = _load(name)
+    assert callable(mod.main)
+
+
+def test_tensor_core_reduction_runs(capsys):
+    _load("tensor_core_reduction").main()
+    out = capsys.readouterr().out
+    assert "Equation (2)" in out
+    assert "tcec-tf32" in out
+    assert "saturation" in out.lower()
+
+
+def test_performance_model_runs(capsys):
+    _load("performance_model").main()
+    out = capsys.readouterr().out
+    assert "Amdahl" in out
+    assert "H100" in out and "B200" in out

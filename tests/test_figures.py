@@ -1,0 +1,59 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.analysis.figures import ascii_bars, ascii_scatter_loglog
+
+
+class TestScatter:
+    def test_basic_render(self):
+        pts = [("7cpa", 1000.0, 2000.0), ("3ce3", 500.0, 450.0)]
+        out = ascii_scatter_loglog(pts, xlabel="ref", ylabel="tc",
+                                   title="Fig")
+        assert "Fig" in out
+        assert "7=7cpa" in out
+        assert "diagonal" in out
+        assert out.count("|") >= 20          # plot rows
+
+    def test_point_above_diagonal_lands_above(self):
+        """A y >> x point must render above the diagonal line."""
+        out = ascii_scatter_loglog([("aa", 10.0, 1000.0)], width=20,
+                                   height=10)
+        rows = [l[1:] for l in out.splitlines() if l.startswith("|")]
+        a_row = next(i for i, r in enumerate(rows) if "a" in r)
+        a_col = rows[a_row].index("a")
+        diag_row = next(i for i, r in enumerate(rows)
+                        if len(r) > a_col and r[a_col] == ".")
+        assert a_row < diag_row              # smaller row index = higher
+
+    def test_infinite_points_dropped(self):
+        pts = [("aa", float("inf"), 10.0), ("bb", 10.0, 20.0)]
+        out = ascii_scatter_loglog(pts)
+        assert "b=bb" in out and "a=aa" not in out
+
+    def test_no_points(self):
+        out = ascii_scatter_loglog([("x", float("inf"), 1.0)], title="T")
+        assert "(no finite points)" in out
+
+    def test_collision_marker(self):
+        pts = [("aa", 100.0, 100.0), ("bb", 100.0, 100.0)]
+        out = ascii_scatter_loglog(pts, width=10, height=5)
+        assert "*" in out
+
+
+class TestBars:
+    def test_render(self):
+        out = ascii_bars([("A100", 1.14), ("H100", 1.68)], title="rel",
+                         unit="x")
+        assert "rel" in out
+        assert "1.68x" in out
+        # the larger value gets the longer bar
+        lines = out.splitlines()
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_empty(self):
+        assert "(empty)" in ascii_bars([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars([("x", -1.0)])

@@ -1,0 +1,151 @@
+"""Unit tests for reduced-precision format emulation."""
+
+import numpy as np
+import pytest
+
+from repro.fpemu import (
+    BF16,
+    FP16,
+    FP32,
+    TF32,
+    get_format,
+    quantize,
+    to_bf16,
+    to_fp16,
+    to_tf32,
+)
+
+
+class TestFormatMetadata:
+    def test_lookup_by_name(self):
+        assert get_format("tf32") is TF32
+        assert get_format("FP16") is FP16
+        assert get_format(BF16) is BF16
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError, match="unknown float format"):
+            get_format("fp8")
+
+    def test_machine_epsilon(self):
+        assert TF32.machine_epsilon == 2.0 ** -11
+        assert FP16.machine_epsilon == 2.0 ** -11
+        assert BF16.machine_epsilon == 2.0 ** -8
+        assert FP32.machine_epsilon == 2.0 ** -24
+
+    def test_split_scale_matches_ootomo(self):
+        # residual up-scaling by 2^(mantissa+1)
+        assert TF32.split_scale == 2048.0
+        assert FP16.split_scale == 2048.0
+
+    def test_tf32_shares_fp32_exponent_range(self):
+        assert TF32.exponent_bits == FP32.exponent_bits == 8
+        assert TF32.max_value == FP32.max_value
+
+
+class TestTF32:
+    def test_exactly_representable_values_unchanged(self):
+        # 10-bit mantissa lattice points
+        vals = np.array([1.0, 1.5, 2.0, 0.25, -3.0, 1.0 + 2.0 ** -10],
+                        dtype=np.float32)
+        np.testing.assert_array_equal(to_tf32(vals), vals)
+
+    def test_relative_error_bound(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=10_000).astype(np.float32) * 1e3
+        err = np.abs((to_tf32(x) - x) / x)
+        assert np.max(err) <= 2.0 ** -11
+
+    def test_rounds_to_nearest(self):
+        # TF32 keeps 10 mantissa bits -> ULP near 1.0 is 2^-10, so
+        # 1 + 2^-11 is exactly halfway to the next lattice point;
+        # ties-away rounds up.
+        x = np.float32(1.0) + np.float32(2.0 ** -11)
+        assert to_tf32(x) == np.float32(1.0 + 2.0 ** -10)
+        # below the midpoint -> rounds down
+        y = np.float32(1.0) + np.float32(2.0 ** -12)
+        assert to_tf32(y) == np.float32(1.0)
+
+    def test_rz_mode_truncates(self):
+        x = np.float32(1.0) + np.float32(2.0 ** -11)
+        assert to_tf32(x, mode="rz") == np.float32(1.0)
+
+    def test_no_overflow_for_large_fp32(self):
+        # TF32 has FP32's exponent range — huge values survive
+        x = np.array([1e38, -1e38], dtype=np.float32)
+        out = to_tf32(x)
+        assert np.all(np.isfinite(out))
+
+    def test_preserves_nan_and_inf(self):
+        x = np.array([np.nan, np.inf, -np.inf], dtype=np.float32)
+        out = to_tf32(x)
+        assert np.isnan(out[0]) and out[1] == np.inf and out[2] == -np.inf
+
+    def test_sign_symmetry(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=500).astype(np.float32)
+        np.testing.assert_array_equal(to_tf32(-x), -to_tf32(x))
+
+
+class TestFP16:
+    def test_overflow_saturates_to_inf(self):
+        x = np.array([1e5, -1e5, 70000.0], dtype=np.float32)
+        out = to_fp16(x)
+        assert out[0] == np.inf and out[1] == -np.inf and out[2] == np.inf
+
+    def test_max_finite_preserved(self):
+        assert to_fp16(np.float32(65504.0)) == np.float32(65504.0)
+
+    def test_subnormal_flush_behaviour(self):
+        # FP16 keeps subnormals down to 2^-24
+        tiny = np.float32(2.0 ** -24)
+        assert to_fp16(tiny) == tiny
+        # below half the smallest subnormal -> 0
+        assert to_fp16(np.float32(2.0 ** -26)) == 0.0
+
+    def test_rz_mode_truncates_toward_zero(self):
+        x = np.float32(1.0) + np.float32(2.0 ** -11)  # just above 1.0 lattice
+        assert to_fp16(x, mode="rz") == np.float32(1.0)
+        xn = -x
+        assert to_fp16(xn, mode="rz") == np.float32(-1.0)
+
+    def test_matches_numpy_float16(self):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=2000).astype(np.float32) * 50
+        np.testing.assert_array_equal(
+            to_fp16(x), x.astype(np.float16).astype(np.float32))
+
+
+class TestBF16:
+    def test_error_bound(self):
+        rng = np.random.default_rng(13)
+        x = rng.normal(size=5000).astype(np.float32) * 1e4
+        err = np.abs((to_bf16(x) - x) / x)
+        assert np.max(err) <= 2.0 ** -8
+
+    def test_coarser_than_tf32(self):
+        x = np.float32(1.0) + np.float32(2.0 ** -10)
+        assert to_tf32(x) == x          # representable in TF32
+        assert to_bf16(x) != x          # not representable in BF16
+
+
+class TestQuantize:
+    def test_fp32_identity(self):
+        x = np.array([1.1, 2.2, 3.3], dtype=np.float32)
+        np.testing.assert_array_equal(quantize(x, "fp32"), x)
+
+    def test_dispatch(self):
+        x = np.float32(1.0) + np.float32(2.0 ** -9)
+        np.testing.assert_array_equal(quantize(x, "tf32"), to_tf32(x))
+        np.testing.assert_array_equal(quantize(x, "fp16"), to_fp16(x))
+        np.testing.assert_array_equal(quantize(x, "bf16"), to_bf16(x))
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(17)
+        x = rng.normal(size=300).astype(np.float32)
+        for fmt in ("fp16", "bf16", "tf32"):
+            q = quantize(x, fmt)
+            np.testing.assert_array_equal(quantize(q, fmt), q)
+
+    def test_output_dtype_is_float32(self):
+        for fmt in ("fp16", "bf16", "tf32", "fp32"):
+            assert quantize(np.ones(4), fmt).dtype == np.float32

@@ -1,0 +1,135 @@
+"""Unit + property tests for directed rounding and RZ accumulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpemu import (
+    round_f64_to_f32_rn,
+    round_f64_to_f32_rz,
+    rz_add_f32,
+    ulp_f32,
+)
+
+F32_MAX = float(np.finfo(np.float32).max)
+
+
+class TestRoundRZ:
+    def test_exact_values_unchanged(self):
+        x = np.array([0.0, 1.0, -2.5, 1024.0], dtype=np.float64)
+        np.testing.assert_array_equal(round_f64_to_f32_rz(x),
+                                      x.astype(np.float32))
+
+    def test_positive_truncates_down(self):
+        x = np.float64(1.0) + np.float64(2.0 ** -25)
+        assert round_f64_to_f32_rz(x) == np.float32(1.0)
+
+    def test_negative_truncates_up(self):
+        x = -np.float64(1.0) - np.float64(2.0 ** -25)
+        assert round_f64_to_f32_rz(x) == np.float32(-1.0)
+
+    def test_never_increases_magnitude(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=20_000) * np.exp(rng.normal(size=20_000) * 10)
+        y = round_f64_to_f32_rz(x)
+        assert np.all(np.abs(y.astype(np.float64)) <= np.abs(x))
+
+    def test_overflow_clamps_to_max_finite(self):
+        x = np.array([1e39, -1e39], dtype=np.float64)
+        y = round_f64_to_f32_rz(x)
+        assert y[0] == np.float32(F32_MAX)
+        assert y[1] == np.float32(-F32_MAX)
+
+    def test_infinity_passes_through(self):
+        y = round_f64_to_f32_rz(np.array([np.inf, -np.inf]))
+        assert y[0] == np.inf and y[1] == -np.inf
+
+    def test_nan_passes_through(self):
+        assert np.isnan(round_f64_to_f32_rz(np.float64(np.nan)))
+
+    def test_within_one_ulp(self):
+        rng = np.random.default_rng(9)
+        x = rng.normal(size=5000) * 100
+        y = round_f64_to_f32_rz(x).astype(np.float64)
+        assert np.all(np.abs(x - y) <= ulp_f32(y.astype(np.float32)) + 1e-300)
+
+
+class TestRoundRN:
+    def test_matches_numpy_cast(self):
+        rng = np.random.default_rng(21)
+        x = rng.normal(size=5000) * 1e6
+        np.testing.assert_array_equal(round_f64_to_f32_rn(x),
+                                      x.astype(np.float32))
+
+
+class TestRZAdd:
+    def test_exact_when_representable(self):
+        a = np.float32(1.5)
+        b = np.float32(0.25)
+        assert rz_add_f32(a, b) == np.float32(1.75)
+
+    def test_rz_bias_is_toward_zero(self):
+        # adding a tiny positive increment to 1.0 truncates back to 1.0
+        ones = np.full(100, 1.0, dtype=np.float32)
+        tiny = np.full(100, 2.0 ** -25, dtype=np.float32)
+        np.testing.assert_array_equal(rz_add_f32(ones, tiny), ones)
+
+    def test_accumulation_drift_is_negative_for_positive_sums(self):
+        """Repeated RZ accumulation of positive values underestimates the
+        exact sum — the systematic bias Ootomo & Yokota correct."""
+        rng = np.random.default_rng(2)
+        vals = (rng.random(4096).astype(np.float32) + 0.5).astype(np.float32)
+        acc = np.float32(0.0)
+        for v in vals:
+            acc = rz_add_f32(acc, v)
+        exact = vals.astype(np.float64).sum()
+        assert float(acc) <= exact
+
+    def test_broadcasts(self):
+        a = np.ones((3, 4), dtype=np.float32)
+        b = np.float32(2.0)
+        out = rz_add_f32(a, b)
+        assert out.shape == (3, 4)
+        np.testing.assert_array_equal(out, np.full((3, 4), 3.0, np.float32))
+
+
+class TestUlp:
+    def test_ulp_of_one(self):
+        assert ulp_f32(np.float32(1.0)) == np.float32(2.0 ** -23)
+
+    def test_ulp_grows_with_magnitude(self):
+        assert ulp_f32(np.float32(1024.0)) > ulp_f32(np.float32(1.0))
+
+
+# ---------------------------------------------------------------------------
+# property-based tests
+
+finite_f64 = st.floats(min_value=-1e30, max_value=1e30,
+                       allow_nan=False, allow_infinity=False)
+
+
+@given(finite_f64)
+@settings(max_examples=200)
+def test_rz_magnitude_never_grows(x):
+    y = float(round_f64_to_f32_rz(np.float64(x)))
+    assert abs(y) <= abs(x) or np.isclose(abs(y), abs(x))
+
+
+@given(finite_f64)
+@settings(max_examples=200)
+def test_rz_vs_rn_differ_by_at_most_one_ulp(x):
+    rz = round_f64_to_f32_rz(np.float64(x))
+    rn = round_f64_to_f32_rn(np.float64(x))
+    diff = abs(float(rz) - float(rn))
+    assert diff <= float(ulp_f32(rn)) + 1e-300
+
+
+@given(st.floats(min_value=-(2.0 ** 60), max_value=2.0 ** 60,
+                 allow_nan=False, width=32),
+       st.floats(min_value=-(2.0 ** 60), max_value=2.0 ** 60,
+                 allow_nan=False, width=32))
+@settings(max_examples=200)
+def test_rz_add_commutes(a, b):
+    a32, b32 = np.float32(a), np.float32(b)
+    assert rz_add_f32(a32, b32) == rz_add_f32(b32, a32)

@@ -1,0 +1,66 @@
+"""Tests for two-term operand splitting (error-correction preprocessing)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpemu import split_operand, to_tf32
+from repro.fpemu.formats import TF32, FP16
+
+
+class TestSplitReconstruction:
+    def test_tf32_reconstruction_near_fp32_accuracy(self):
+        rng = np.random.default_rng(23)
+        x = rng.normal(size=10_000).astype(np.float32) * 100
+        hi, lo, scale = split_operand(x, "tf32")
+        recon = hi.astype(np.float64) + lo.astype(np.float64) / scale
+        # two TF32 terms carry ~21 mantissa bits -> near-FP32 accuracy
+        err = np.abs(recon - x.astype(np.float64)) / np.abs(x)
+        assert np.max(err) < 2.0 ** -21
+
+    def test_hi_is_format_quantisation(self):
+        rng = np.random.default_rng(29)
+        x = rng.normal(size=1000).astype(np.float32)
+        hi, _, _ = split_operand(x, "tf32")
+        np.testing.assert_array_equal(hi, to_tf32(x))
+
+    def test_scale_is_power_of_two(self):
+        _, _, scale = split_operand(np.ones(4, np.float32), "tf32")
+        assert scale == TF32.split_scale == 2048.0
+        assert np.log2(scale) == int(np.log2(scale))
+
+    def test_unscaled_split(self):
+        x = np.array([1.0 + 2.0 ** -12], dtype=np.float32)
+        hi, lo, scale = split_operand(x, "tf32", scale_residual=False)
+        assert scale == 1.0
+
+    def test_fp16_scaling_prevents_residual_underflow(self):
+        """The underflow-avoidance enhancement: small FP32 values' residuals
+        vanish in FP16 without scaling, but survive with it."""
+        x = np.array([2.0 ** -13 * (1 + 2 ** -12)], dtype=np.float32)
+        _, lo_scaled, s = split_operand(x, "fp16", scale_residual=True)
+        _, lo_raw, _ = split_operand(x, "fp16", scale_residual=False)
+        assert np.any(lo_scaled != 0.0)
+        assert np.all(lo_raw == 0.0)
+
+    def test_exact_values_have_zero_residual(self):
+        x = np.array([1.0, 2.0, 0.5, -4.0], dtype=np.float32)
+        _, lo, _ = split_operand(x, "tf32")
+        np.testing.assert_array_equal(lo, np.zeros_like(lo))
+
+    def test_zero_input(self):
+        hi, lo, _ = split_operand(np.zeros(8, np.float32), "fp16")
+        assert np.all(hi == 0) and np.all(lo == 0)
+
+
+@given(st.floats(min_value=-(2.0 ** 66), max_value=2.0 ** 66,
+                 allow_nan=False, allow_subnormal=False, width=32))
+@settings(max_examples=300)
+def test_split_reconstruction_property(x):
+    x32 = np.float32(x)
+    hi, lo, scale = split_operand(np.array([x32]), "tf32")
+    recon = float(hi[0]) + float(lo[0]) / scale
+    if x32 == 0.0:
+        assert recon == 0.0
+    else:
+        assert abs(recon - float(x32)) <= abs(float(x32)) * 2.0 ** -20

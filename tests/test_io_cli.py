@@ -1,0 +1,153 @@
+"""Tests for PDBQT/DLG file formats and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro import DockingConfig, DockingEngine
+from repro.cli import build_parser, main
+from repro.io import parse_dlg, read_pdbqt, write_dlg, write_pdbqt
+from repro.search.lga import LGAConfig
+
+
+class TestPdbqt:
+    def test_round_trip_structure(self, case_7cpa, tmp_path):
+        lig = case_7cpa.ligand
+        path = tmp_path / "lig.pdbqt"
+        write_pdbqt(lig, path)
+        back = read_pdbqt(path)
+        assert back.n_atoms == lig.n_atoms
+        assert back.atom_types == lig.atom_types
+        assert back.n_rot == lig.n_rot
+        np.testing.assert_allclose(back.charges, lig.charges, atol=5e-4)
+        # coordinates survive to PDB precision, re-centred
+        np.testing.assert_allclose(back.ref_coords, lig.ref_coords,
+                                   atol=2e-3)
+
+    def test_torsion_tree_round_trip(self, case_7cpa, tmp_path):
+        lig = case_7cpa.ligand
+        path = tmp_path / "lig.pdbqt"
+        write_pdbqt(lig, path)
+        back = read_pdbqt(path)
+        for a, b in zip(lig.torsions, back.torsions):
+            assert (a.atom_a, a.atom_b) == (b.atom_a, b.atom_b)
+            assert set(a.moved) == set(b.moved)
+
+    def test_file_contains_pdbqt_markers(self, butane_like, tmp_path):
+        path = tmp_path / "b.pdbqt"
+        write_pdbqt(butane_like, path)
+        text = path.read_text()
+        assert "ROOT" in text and "ENDROOT" in text
+        assert "BRANCH" in text and "TORSDOF 1" in text
+
+    def test_pose_coords(self, butane_like, tmp_path):
+        pose = butane_like.ref_coords + 5.0
+        path = tmp_path / "pose.pdbqt"
+        write_pdbqt(butane_like, path, coords=pose)
+        assert "5.0" in path.read_text() or "4.9" in path.read_text()
+
+    def test_wrong_coords_shape(self, butane_like, tmp_path):
+        with pytest.raises(ValueError, match="coords"):
+            write_pdbqt(butane_like, tmp_path / "x.pdbqt",
+                        coords=np.zeros((2, 3)))
+
+
+class TestDlg:
+    def _result(self, case):
+        cfg = DockingConfig(backend="baseline",
+                            lga=LGAConfig(pop_size=8, max_evals=600,
+                                          max_gens=10, ls_iters=8,
+                                          ls_rate=0.25))
+        return DockingEngine(case, cfg).dock(n_runs=2, seed=0)
+
+    def test_write_and_grep_phrases(self, case_small, tmp_path):
+        """The artifact-appendix grep targets must appear verbatim."""
+        res = self._result(case_small)
+        path = tmp_path / "out.dlg"
+        write_dlg(res, path)
+        text = path.read_text()
+        assert "Run time" in text
+        assert "Number of energy evaluations performed" in text
+
+    def test_parse_round_trip(self, case_small, tmp_path):
+        res = self._result(case_small)
+        path = tmp_path / "out.dlg"
+        write_dlg(res, path)
+        parsed = parse_dlg(path)
+        assert parsed["case"] == "1u4d"
+        assert parsed["evals"] == res.total_evals
+        assert parsed["runtime_s"] == pytest.approx(res.runtime_seconds,
+                                                    abs=1e-3)
+        assert len(parsed["runs"]) == 2
+        assert parsed["best_score"] == pytest.approx(res.best_score,
+                                                     abs=1e-3)
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["-case", "7cpa"])
+        assert args.nrun == 20
+        assert args.lsmet == "ad"
+        assert args.tensor == "baseline"
+
+    def test_missing_case_errors(self, capsys):
+        assert main([]) == 2
+
+    def test_end_to_end(self, tmp_path, capsys):
+        rc = main(["-case", "1u4d", "-nrun", "2", "--evals", "600",
+                   "--pop", "8", "--lsit", "8", "--tensor", "tcec-tf32",
+                   "--device", "H100", "--nwi", "128",
+                   "-resnam", str(tmp_path / "run")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Number of energy evaluations performed" in out
+        assert "Run time" in out
+        assert (tmp_path / "run.dlg").exists()
+        parsed = parse_dlg(tmp_path / "run.dlg")
+        assert parsed["backend"] == "tcec-tf32"
+
+    def test_solis_wets_method(self, capsys):
+        rc = main(["-case", "1u4d", "-nrun", "1", "--evals", "400",
+                   "--pop", "8", "--lsit", "5", "-lsmet", "sw"])
+        assert rc == 0
+
+
+class TestCliExternalLigand:
+    def test_lfile_docks_into_case_maps(self, case_small, tmp_path, capsys):
+        from repro.io import write_pdbqt
+        lig_path = tmp_path / "ext.pdbqt"
+        write_pdbqt(case_small.ligand, lig_path)
+        rc = main(["-case", "1u4d", "-lfile", str(lig_path), "-nrun", "1",
+                   "--evals", "400", "--pop", "8", "--lsit", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "external ligand" in out
+
+    def test_heuristics_flag_sets_budget(self, capsys):
+        rc = main(["-case", "1u4d", "-nrun", "1", "--evals", "2500",
+                   "--pop", "8", "--lsit", "5", "-H", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Heuristics (-H)" in out
+
+    def test_autostop_flag(self, capsys):
+        rc = main(["-case", "1u4d", "-nrun", "1", "--evals", "2000",
+                   "--pop", "8", "--lsit", "5", "-A", "1"])
+        assert rc == 0
+
+
+class TestDlgClustering:
+    def test_histogram_included_with_case(self, case_small, tmp_path):
+        from repro import DockingConfig, DockingEngine
+        cfg = DockingConfig(backend="baseline",
+                            lga=LGAConfig(pop_size=8, max_evals=600,
+                                          max_gens=10, ls_iters=8,
+                                          ls_rate=0.25))
+        res = DockingEngine(case_small, cfg).dock(n_runs=3, seed=4)
+        path = tmp_path / "c.dlg"
+        write_dlg(res, path, case=case_small)
+        text = path.read_text()
+        assert "CLUSTERING HISTOGRAM" in text
+        # without the case no histogram appears
+        path2 = tmp_path / "n.dlg"
+        write_dlg(res, path2)
+        assert "CLUSTERING HISTOGRAM" not in path2.read_text()

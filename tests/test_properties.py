@@ -1,0 +1,115 @@
+"""Cross-module property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.docking.genotype import genotype_length
+from repro.docking.pose import calc_coords
+from repro.reduction import get_reduction_backend
+from repro.reduction.matrices import pack_vectors
+
+genes7 = arrays(np.float64, (7,),
+                elements=st.floats(min_value=-3.0, max_value=3.0,
+                                   allow_nan=False))
+
+
+class TestPoseInvariants:
+    @given(genes7)
+    @settings(max_examples=80, deadline=None)
+    def test_bond_lengths_invariant(self, genes):
+        # build a local ligand (hypothesis can't take fixtures)
+        lig = _make_butane()
+        coords = calc_coords(lig, genes)
+        for i, j in lig.bonds:
+            ref = np.linalg.norm(lig.ref_coords[i] - lig.ref_coords[j])
+            got = np.linalg.norm(coords[i] - coords[j])
+            assert abs(got - ref) < 1e-9
+
+    @given(genes7)
+    @settings(max_examples=80, deadline=None)
+    def test_root_atom_at_translation(self, genes):
+        lig = _make_butane()
+        coords = calc_coords(lig, genes)
+        np.testing.assert_allclose(coords[0], genes[0:3], atol=1e-9)
+
+    @given(genes7)
+    @settings(max_examples=80, deadline=None)
+    def test_rigid_group_internal_distances(self, genes):
+        """Atoms not separated by any torsion keep their distances."""
+        lig = _make_butane()
+        coords = calc_coords(lig, genes)
+        # atoms 0,1,2 form the rigid root group
+        for i in (0, 1):
+            for j in range(i + 1, 3):
+                ref = np.linalg.norm(lig.ref_coords[i] - lig.ref_coords[j])
+                got = np.linalg.norm(coords[i] - coords[j])
+                assert abs(got - ref) < 1e-9
+
+    @given(genes7, genes7)
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic(self, g1, g2):
+        lig = _make_butane()
+        np.testing.assert_array_equal(calc_coords(lig, g1),
+                                      calc_coords(lig, g1))
+        if not np.array_equal(g1, g2):
+            pass  # different genes may or may not give different poses
+
+
+def _make_butane():
+    from repro.docking import Ligand, TorsionBond
+    coords = np.array([
+        [0.0, 0.0, 0.0], [1.5, 0.0, 0.0], [2.25, 1.3, 0.0],
+        [3.75, 1.3, 0.0], [4.5, 2.6, 0.0]])
+    return Ligand("b", ["C", "C", "C", "OA", "HD"], coords,
+                  np.array([0.02, 0.01, 0.0, -0.3, 0.2]),
+                  [(0, 1), (1, 2), (2, 3), (3, 4)],
+                  [TorsionBond(1, 2, (3, 4))])
+
+
+class TestReductionInvariants:
+    @given(st.integers(min_value=1, max_value=300))
+    @settings(max_examples=40, deadline=None)
+    def test_pack_preserves_every_vector(self, n):
+        rng = np.random.default_rng(n)
+        vecs = rng.normal(size=(n, 4)).astype(np.float32)
+        tiles = pack_vectors(vecs)
+        # total content preserved (padding is zero)
+        assert tiles.sum(dtype=np.float64) == \
+            np.float32(0) + vecs.sum(dtype=np.float64)
+        # element multiset preserved
+        assert sorted(tiles.ravel()[np.abs(tiles.ravel()) > 0]) == \
+            sorted(vecs.ravel()[np.abs(vecs.ravel()) > 0])
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_backend_permutation_invariant(self, seed):
+        rng = np.random.default_rng(seed)
+        vecs = rng.normal(size=(1, 64, 4)).astype(np.float32)
+        perm = rng.permutation(64)
+        b = get_reduction_backend("exact")
+        np.testing.assert_allclose(b.reduce4(vecs),
+                                   b.reduce4(vecs[:, perm]), atol=1e-4)
+
+    @given(st.floats(min_value=0.25, max_value=4.0))
+    @settings(max_examples=40, deadline=None)
+    def test_tcec_scale_equivariance_power_of_two(self, _):
+        """Scaling inputs by a power of two scales TCEC outputs exactly."""
+        rng = np.random.default_rng(5)
+        vecs = rng.normal(size=(1, 100, 4)).astype(np.float32)
+        b = get_reduction_backend("tcec-tf32")
+        base = b.reduce4(vecs)
+        scaled = b.reduce4(vecs * np.float32(4.0))
+        np.testing.assert_allclose(scaled, base * 4.0, rtol=1e-6)
+
+
+class TestGenotypeLength:
+    @given(st.integers(min_value=0, max_value=32))
+    @settings(max_examples=20, deadline=None)
+    def test_length_formula(self, n_rot):
+        class FakeLigand:
+            pass
+        lig = FakeLigand()
+        lig.n_rot = n_rot
+        assert genotype_length(lig) == 6 + n_rot

@@ -1,0 +1,92 @@
+"""Tests for the roofline classifier, proportional selection, bootstrap CI."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import bootstrap_e50_ci, estimate_e50
+from repro.search.ga import GAConfig, GeneticAlgorithm
+from repro.simt import KernelWorkload, classify, profile_kernel, ridge_point
+from repro.simt.devices import list_devices
+
+WL = KernelWorkload(n_rotlist=412, n_atoms=50, n_intra=325, n_genes=21,
+                    n_blocks=3000)
+
+
+class TestRoofline:
+    def test_ridge_points(self):
+        # A100 FP32: 19.49 TFLOP/s over 1.56 TB/s -> ~12.5 FLOP/B
+        assert ridge_point("A100") == pytest.approx(12.49, abs=0.05)
+        # with Tensor Cores the roof (and ridge) rises
+        assert ridge_point("A100", use_tensor_cores=True) > ridge_point("A100")
+
+    def test_kernels_compute_bound(self):
+        """Paper Section 5.2: both implementations are compute-bound on
+        every evaluated GPU."""
+        for dev in list_devices():
+            for backend in ("baseline", "tcec-tf32"):
+                p = profile_kernel(dev, 128, backend, WL)
+                pt = classify(p)
+                assert pt.bound == "compute", (dev.name, backend, pt)
+
+    def test_efficiency_below_one(self):
+        p = profile_kernel("A100", 64, "baseline", WL)
+        pt = classify(p)
+        assert 0.0 < pt.efficiency < 1.0
+        assert pt.roof_gflops <= pt.peak_gflops
+
+
+class TestProportionalSelection:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="selection"):
+            GAConfig(selection="rank")
+
+    def test_prefers_fitter(self):
+        ga = GeneticAlgorithm(GAConfig(selection="proportional"),
+                              np.random.default_rng(0))
+        scores = np.array([0.0, 10.0, 10.0, 10.0])
+        picks = ga.select_parents(scores, 4000)
+        counts = np.bincount(picks, minlength=4)
+        # individual 0 has all the rescaled fitness mass
+        assert counts[0] == 4000
+
+    def test_degenerate_population_uniform(self):
+        ga = GeneticAlgorithm(GAConfig(selection="proportional"),
+                              np.random.default_rng(1))
+        scores = np.full(6, 3.0)
+        picks = ga.select_parents(scores, 3000)
+        counts = np.bincount(picks, minlength=6)
+        assert np.all(counts > 300)   # roughly uniform
+
+    def test_full_generation_with_proportional(self):
+        ga = GeneticAlgorithm(GAConfig(selection="proportional"),
+                              np.random.default_rng(2))
+        genes = np.random.default_rng(3).normal(size=(12, 7))
+        out = ga.next_generation(genes, np.arange(12, dtype=float))
+        assert out.shape == genes.shape
+
+
+class TestBootstrapCI:
+    def test_contains_point_estimate(self):
+        times = [100, 150, 200, 250, 300, None, None, 400]
+        est = estimate_e50(times, budgets=1000)
+        lo, hi = bootstrap_e50_ci(times, budgets=1000, seed=3)
+        assert lo <= est.e50 <= hi
+
+    def test_all_censored_gives_inf(self):
+        lo, hi = bootstrap_e50_ci([None, None], budgets=100)
+        assert math.isinf(lo) and math.isinf(hi)
+
+    def test_narrower_with_more_runs(self):
+        few = [100, 200, None]
+        many = few * 8
+        lo1, hi1 = bootstrap_e50_ci(few, budgets=500, seed=1)
+        lo2, hi2 = bootstrap_e50_ci(many, budgets=500, seed=1)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_e50_ci([], budgets=10)
+        with pytest.raises(ValueError):
+            bootstrap_e50_ci([1], budgets=10, confidence=1.5)

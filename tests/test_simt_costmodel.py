@@ -1,0 +1,202 @@
+"""Tests for the kernel cost model — including the paper-shape invariants."""
+
+import numpy as np
+import pytest
+
+from repro.simt import (
+    KernelCostModel,
+    KernelWorkload,
+    REDUCTION_BACKENDS,
+)
+from repro.simt.counters import OpCounters, RegionClock
+from repro.simt.profiler import profile_kernel
+
+
+#: a 7cpa-like workload (paper-equivalent scale, 20 runs x 150 population)
+WL = KernelWorkload(n_rotlist=412, n_atoms=50, n_intra=325, n_genes=21,
+                    n_blocks=3000)
+
+
+class TestRegionClock:
+    def test_charge_and_total(self):
+        c = RegionClock()
+        c.charge("a", 10.0)
+        c.charge("b", 30.0)
+        c.charge("a", 5.0)
+        assert c.cycles("a") == 15.0
+        assert c.cycles() == 45.0
+        assert c.fraction("b") == pytest.approx(30.0 / 45.0)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            RegionClock().charge("x", -1.0)
+
+    def test_empty_fraction(self):
+        assert RegionClock().fraction("a") == 0.0
+
+    def test_merge(self):
+        a, b = RegionClock(), RegionClock()
+        a.charge("x", 1.0)
+        b.charge("x", 2.0)
+        b.charge("y", 3.0)
+        a.merge(b)
+        assert a.cycles("x") == 3.0 and a.cycles("y") == 3.0
+
+
+class TestOpCounters:
+    def test_totals(self):
+        ops = OpCounters()
+        ops.add(fma_flops=100.0, tc_flops=50.0, alu_ops=10.0, dram_bytes=8.0)
+        assert ops.total_flops == 150.0
+
+    def test_scaled(self):
+        ops = OpCounters(fma_flops=10.0, dram_bytes=4.0)
+        s = ops.scaled(3.0)
+        assert s.fma_flops == 30.0 and s.dram_bytes == 12.0
+        assert ops.fma_flops == 10.0  # original untouched
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OpCounters().add(fma_flops=-1.0)
+
+
+class TestWorkload:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_atoms"):
+            KernelWorkload(n_rotlist=1, n_atoms=0, n_intra=1, n_genes=1,
+                           n_blocks=1)
+
+
+class TestCostModelBasics:
+    def test_backend_validation(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            KernelCostModel("A100", 64, "warp-shuffle")
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError, match="block_size"):
+            KernelCostModel("A100", 48)
+
+    def test_iteration_seconds_positive(self):
+        for backend in REDUCTION_BACKENDS:
+            t = KernelCostModel("A100", 64, backend).iteration_seconds(WL)
+            assert 0 < t < 1.0
+
+    def test_score_only_cheaper_than_full(self):
+        m = KernelCostModel("A100", 64, "baseline")
+        assert m.score_only_seconds(WL) < m.iteration_seconds(WL)
+
+    def test_tc_backends_report_tc_flops(self):
+        base = KernelCostModel("A100", 64, "baseline").iteration_cost(WL)
+        tc = KernelCostModel("A100", 64, "tc-fp16").iteration_cost(WL)
+        tcec = KernelCostModel("A100", 64, "tcec-tf32").iteration_cost(WL)
+        assert base.ops.tc_flops == 0.0
+        assert tc.ops.tc_flops > 0.0
+        # TCEC issues 3x the Tensor Core work of the uncorrected version
+        assert tcec.ops.tc_flops == pytest.approx(3 * tc.ops.tc_flops)
+
+
+class TestPaperShapeInvariants:
+    """The qualitative results of Figure 4 / Tables 5-6 (see DESIGN.md)."""
+
+    @pytest.mark.parametrize("device", ["A100", "H100", "B200"])
+    @pytest.mark.parametrize("block", [64, 128, 256])
+    def test_tcec_beats_baseline_everywhere(self, device, block):
+        tb = KernelCostModel(device, block, "baseline").iteration_seconds(WL)
+        tt = KernelCostModel(device, block, "tcec-tf32").iteration_seconds(WL)
+        assert tt < tb
+
+    @pytest.mark.parametrize("device", ["A100", "H100", "B200"])
+    @pytest.mark.parametrize("backend", ["baseline", "tcec-tf32"])
+    def test_time_grows_with_block_size(self, device, backend):
+        times = [KernelCostModel(device, b, backend).iteration_seconds(WL)
+                 for b in (64, 128, 256)]
+        assert times[0] < times[1] < times[2]
+
+    @pytest.mark.parametrize("block", [64, 128, 256])
+    def test_newer_devices_faster(self, block):
+        times = [KernelCostModel(d, block, "baseline").iteration_seconds(WL)
+                 for d in ("A100", "H100", "B200")]
+        assert times[0] > times[1] > times[2]
+
+    def test_h100_has_peak_relative_speedup_at_256(self):
+        """Paper Section 5.1: highest relative speedup on H100 @ 256."""
+        rel = {}
+        for d in ("A100", "H100", "B200"):
+            for b in (64, 128, 256):
+                tb = KernelCostModel(d, b, "baseline").iteration_seconds(WL)
+                tt = KernelCostModel(d, b, "tcec-tf32").iteration_seconds(WL)
+                rel[(d, b)] = tb / tt
+        assert max(rel, key=rel.get) == ("H100", 256)
+        assert rel[("H100", 256)] > 1.5
+
+    def test_relative_speedups_all_above_one(self):
+        for d in ("A100", "H100", "B200"):
+            for b in (64, 128, 256):
+                tb = KernelCostModel(d, b, "baseline").iteration_seconds(WL)
+                tt = KernelCostModel(d, b, "tcec-tf32").iteration_seconds(WL)
+                assert tb / tt > 1.0
+
+    def test_b200_relative_speedup_dips_at_256(self):
+        """Paper: B200's relative gain at 256 falls below H100's."""
+        def rel(d, b):
+            tb = KernelCostModel(d, b, "baseline").iteration_seconds(WL)
+            tt = KernelCostModel(d, b, "tcec-tf32").iteration_seconds(WL)
+            return tb / tt
+        assert rel("B200", 256) < rel("H100", 256)
+        assert rel("B200", 256) <= rel("B200", 128) + 0.02
+
+    @pytest.mark.parametrize("device", ["A100", "H100", "B200"])
+    def test_tensor_fraction_in_paper_range(self, device):
+        """clock64-measured f_eff = 0.9 f lands in the paper's 0.10-0.20."""
+        for b in (64, 128, 256):
+            f = KernelCostModel(device, b, "baseline").tensor_fraction(WL)
+            assert 0.10 <= 0.9 * f <= 0.20
+
+    def test_a100_baseline_absolute_times_match_table6(self):
+        """Within 20% of Table 6's 82.9 / 95.9 / 124.8 ms (300 iters)."""
+        targets = {64: 82.9, 128: 95.9, 256: 124.8}
+        for b, target in targets.items():
+            t = KernelCostModel("A100", b, "baseline").iteration_seconds(WL)
+            assert t * 300 * 1e3 == pytest.approx(target, rel=0.20)
+
+
+class TestProfiler:
+    def test_profile_fields(self):
+        p = profile_kernel("A100", 64, "tcec-tf32", WL, iterations=300)
+        assert p.exec_time_ms > 0
+        assert p.gflops > 0
+        assert 0 <= p.fma_util_pct <= 100
+        assert 0 <= p.tc_util_pct <= 100
+        assert p.nsight_version == "2023.3.1"
+
+    def test_oi_in_paper_magnitude(self):
+        """Operational intensity lands in Table 6's 1.3k-3.7k FLOP/Byte."""
+        for d in ("A100", "H100", "B200"):
+            p = profile_kernel(d, 128, "baseline", WL)
+            assert 500 <= p.operational_intensity <= 6000
+
+    def test_tcec_higher_gflops_than_baseline(self):
+        for d in ("A100", "H100", "B200"):
+            pb = profile_kernel(d, 128, "baseline", WL)
+            pt = profile_kernel(d, 128, "tcec-tf32", WL)
+            assert pt.gflops > pb.gflops
+
+    def test_nsight_quirk_emulation(self):
+        """Old Nsight versions report phantom baseline TC utilisation on
+        A100/H100 but not on B200 (Section 5.2)."""
+        pa = profile_kernel("A100", 64, "baseline", WL)
+        pb = profile_kernel("B200", 64, "baseline", WL)
+        assert pa.tc_util_pct > 0.0
+        assert pb.tc_util_pct == 0.0
+        clean = profile_kernel("A100", 64, "baseline", WL,
+                               emulate_nsight_quirk=False)
+        assert clean.tc_util_pct == 0.0
+
+    def test_tc_utilisation_only_for_tc_backends(self):
+        p = profile_kernel("B200", 256, "tcec-tf32", WL)
+        assert p.tc_util_pct > 0.0
+
+    def test_as_row(self):
+        row = profile_kernel("A100", 64, "baseline", WL).as_row()
+        assert row["device"] == "A100" and row["block"] == 64
+        assert set(row) >= {"time_ms", "OI", "GFLOP/s", "FMA%", "ALU%", "TC%"}

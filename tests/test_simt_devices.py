@@ -1,0 +1,57 @@
+"""Tests for the device catalogue (paper Table 2)."""
+
+import pytest
+
+from repro.simt import A100, B200, H100, get_device, list_devices
+
+
+class TestCatalogue:
+    def test_lookup(self):
+        assert get_device("a100") is A100
+        assert get_device("H100") is H100
+        assert get_device(B200) is B200
+
+    def test_unknown_device(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            get_device("V100")
+
+    def test_paper_order(self):
+        assert [d.name for d in list_devices()] == ["A100", "H100", "B200"]
+
+    def test_table2_published_numbers(self):
+        assert (A100.sm_count, A100.fp32_cores_per_sm) == (108, 64)
+        assert (H100.sm_count, H100.fp32_cores_per_sm) == (114, 128)
+        assert (B200.sm_count, B200.fp32_cores_per_sm) == (264, 128)
+        assert A100.fp32_tflops == 19.49
+        assert H100.tf32_tflops == 378.00
+        assert B200.mem_bw_tb_s == 8.00
+        for d in list_devices():
+            assert d.tensor_cores_per_sm == 4
+
+
+class TestDerived:
+    def test_tensor_speedup_matches_section_511(self):
+        """S = 8.0x (A100), 7.4x (H100), 15.0x (B200)."""
+        assert A100.tensor_speedup == pytest.approx(8.0, abs=0.01)
+        assert H100.tensor_speedup == pytest.approx(7.38, abs=0.01)
+        assert B200.tensor_speedup == pytest.approx(15.0, abs=0.01)
+
+    def test_clock_consistent_with_peak(self):
+        for d in list_devices():
+            peak = d.clock_hz * d.sm_count * d.fp32_cores_per_sm * 2 / 1e12
+            assert peak == pytest.approx(d.fp32_tflops, rel=1e-6)
+
+    def test_tc_throughput_consistent(self):
+        for d in list_devices():
+            total = d.tc_flops_per_cycle_sm * d.sm_count * d.clock_hz / 1e12
+            assert total == pytest.approx(d.tf32_tflops, rel=1e-6)
+
+    def test_barrier_grows_with_block_size(self):
+        for d in list_devices():
+            assert d.barrier_cycles(256) > d.barrier_cycles(64) > 0
+
+    def test_resident_blocks_occupancy_limits(self):
+        assert A100.resident_blocks(64) == 32          # cap at 32 blocks
+        assert A100.resident_blocks(128) == 16         # 2048 threads / 128
+        assert A100.resident_blocks(256) == 8
+        assert A100.resident_blocks(4096) == 1         # floor at 1

@@ -1,0 +1,157 @@
+"""Tests for the SIMT machine and its kernels — the thread-program/
+vectorised equivalence proofs."""
+
+import numpy as np
+import pytest
+
+from repro.reduction.simt_backend import simt_tree_reduce, warp_shuffle_reduce
+from repro.reduction.tc_backend import tc_reduce_xyze
+from repro.simt.kernels import (
+    tc_reduce_kernel,
+    tree_reduce_kernel,
+    warp_shuffle_reduce_kernel,
+)
+from repro.simt.machine import BarrierDivergence, SharedMemory, ThreadBlock
+
+
+class TestMachineBasics:
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            ThreadBlock(48)
+        with pytest.raises(ValueError):
+            ThreadBlock(0)
+
+    def test_non_generator_kernel_rejected(self):
+        def plain_kernel(ctx):
+            return 1
+        with pytest.raises(TypeError, match="generator"):
+            ThreadBlock(32).run(plain_kernel)
+
+    def test_shared_memory(self):
+        s = SharedMemory(16)
+        s[3] = 2.5
+        assert s[3] == np.float32(2.5)
+        assert len(s) == 16
+
+    def test_every_thread_runs(self):
+        seen = []
+
+        def kernel(ctx):
+            seen.append(ctx.tid)
+            yield from ctx.syncthreads()
+
+        ThreadBlock(64).run(kernel)
+        assert sorted(seen) == list(range(64))
+
+    def test_barrier_counts(self):
+        def kernel(ctx):
+            yield from ctx.syncthreads()
+            yield from ctx.syncthreads()
+
+        block = ThreadBlock(32)
+        block.run(kernel)
+        assert block.barriers_executed == 2
+
+    def test_barrier_divergence_detected(self):
+        def kernel(ctx):
+            if ctx.tid == 0:
+                yield from ctx.syncthreads()   # only thread 0 syncs
+
+        with pytest.raises(BarrierDivergence):
+            ThreadBlock(32).run(kernel)
+
+    def test_lane_and_warp_indices(self):
+        out = {}
+
+        def kernel(ctx):
+            out[ctx.tid] = (ctx.warp, ctx.lane)
+            yield from ctx.syncthreads()
+
+        ThreadBlock(64).run(kernel)
+        assert out[0] == (0, 0)
+        assert out[33] == (1, 1)
+        assert out[63] == (1, 31)
+
+    def test_shfl_down_semantics(self):
+        """Lane k receives lane k+offset's value (own beyond the edge)."""
+        results = {}
+
+        def kernel(ctx):
+            got = yield from ctx.shfl_down(float(ctx.tid), 8)
+            results[ctx.tid] = float(got)
+
+        ThreadBlock(32).run(kernel)
+        for lane in range(32):
+            expect = lane + 8 if lane + 8 < 32 else lane
+            assert results[lane] == float(expect)
+
+    def test_warp_primitive_with_exited_lane_deadlocks(self):
+        def kernel(ctx):
+            if ctx.tid == 5:
+                return          # lane 5 exits before the shuffle
+            yield from ctx.shfl_down(1.0, 1)
+
+        with pytest.raises(BarrierDivergence, match="exited lanes"):
+            ThreadBlock(32).run(kernel)
+
+
+class TestKernelEquivalence:
+    """The thread programs compute exactly what the vectorised paths do."""
+
+    @pytest.mark.parametrize("block_size", [32, 64, 128])
+    def test_tree_reduce_bit_identical(self, block_size):
+        rng = np.random.default_rng(block_size)
+        values = (rng.normal(size=block_size) * 100).astype(np.float32)
+        out = np.zeros(1, dtype=np.float32)
+        ThreadBlock(block_size).run(tree_reduce_kernel, values, out)
+        assert out[0] == simt_tree_reduce(values)
+
+    def test_tree_reduce_short_input(self):
+        rng = np.random.default_rng(7)
+        values = rng.normal(size=40).astype(np.float32)   # < block size
+        out = np.zeros(1, dtype=np.float32)
+        ThreadBlock(64).run(tree_reduce_kernel, values, out)
+        assert out[0] == simt_tree_reduce(values)
+
+    @pytest.mark.parametrize("block_size", [32, 64, 128])
+    def test_warp_shuffle_bit_identical(self, block_size):
+        rng = np.random.default_rng(block_size + 1)
+        values = (rng.normal(size=block_size) * 50).astype(np.float32)
+        out = np.zeros(1, dtype=np.float32)
+        ThreadBlock(block_size).run(warp_shuffle_reduce_kernel, values, out)
+        assert out[0] == warp_shuffle_reduce(values)
+
+    @pytest.mark.parametrize("n_vectors", [10, 64, 100])
+    def test_tc_reduce_bit_identical(self, n_vectors):
+        """The staged-in-shared-memory Tensor Core kernel reproduces the
+        vectorised Schieffer-Peng reduction exactly."""
+        rng = np.random.default_rng(n_vectors)
+        vectors = rng.normal(size=(n_vectors, 4)).astype(np.float32)
+        out = np.zeros(4, dtype=np.float32)
+        block = ThreadBlock(64, shared_size=256)
+        block.run(tc_reduce_kernel, vectors, out)
+        expect = tc_reduce_xyze(vectors, in_format="fp16",
+                                accumulator_format="fp16")
+        np.testing.assert_array_equal(out, expect)
+        # one A*P issue per 64-vector batch + the final Q*V
+        assert block.mma_issues == max(1, -(-n_vectors // 64)) + 1
+
+    def test_tc_reduce_tf32_accumulated_fp32(self):
+        rng = np.random.default_rng(3)
+        vectors = rng.normal(size=(80, 4)).astype(np.float32)
+        out = np.zeros(4, dtype=np.float32)
+        ThreadBlock(64, shared_size=256).run(
+            tc_reduce_kernel, vectors, out, "tf32", "fp32")
+        expect = tc_reduce_xyze(vectors, in_format="tf32",
+                                accumulator_format="fp32")
+        np.testing.assert_array_equal(out, expect)
+
+    def test_32_to_1_thread_to_tc_mapping(self):
+        """Only warp 0 issues MMAs: the issue count is per-warp, not
+        per-thread (the paper's Section 3 mapping)."""
+        rng = np.random.default_rng(4)
+        vectors = rng.normal(size=(64, 4)).astype(np.float32)
+        out = np.zeros(4, dtype=np.float32)
+        block = ThreadBlock(128, shared_size=256)
+        block.run(tc_reduce_kernel, vectors, out)
+        assert block.mma_issues == 2          # one A*P + one Q*V

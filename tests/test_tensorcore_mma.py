@@ -1,0 +1,148 @@
+"""Tests for the simulated Tensor Core MMA unit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.fpemu import quantize
+from repro.tensorcore import MMA_K, MMA_M, MMA_N, mma, tc_product
+
+
+def _rand_tiles(rng, batch=(), scale=1.0):
+    a = (rng.normal(size=batch + (MMA_M, MMA_K)) * scale).astype(np.float32)
+    b = (rng.normal(size=batch + (MMA_K, MMA_N)) * scale).astype(np.float32)
+    c = (rng.normal(size=batch + (MMA_M, MMA_N)) * scale).astype(np.float32)
+    return a, b, c
+
+
+class TestMmaBasics:
+    def test_identity_product(self):
+        eye = np.eye(16, dtype=np.float32)
+        b = np.arange(256, dtype=np.float32).reshape(16, 16)
+        out = mma(eye, b, np.zeros((16, 16), np.float32), in_format="tf32")
+        np.testing.assert_array_equal(out, b)
+
+    def test_shape_validation(self):
+        bad = np.zeros((8, 16), np.float32)
+        good = np.zeros((16, 16), np.float32)
+        with pytest.raises(ValueError, match="A tile"):
+            mma(bad, good, good)
+        with pytest.raises(ValueError, match="C tile"):
+            mma(good, good, np.zeros((16, 8), np.float32))
+
+    def test_unknown_accumulate_mode(self):
+        t = np.zeros((16, 16), np.float32)
+        with pytest.raises(ValueError, match="accumulate"):
+            mma(t, t, t, accumulate="ru")
+
+    def test_accumulator_not_quantised(self):
+        """C stays FP32 even when operands are FP16 — only A/B truncate."""
+        a = np.zeros((16, 16), np.float32)
+        c = np.full((16, 16), np.float32(1.0 + 2.0 ** -20))
+        out = mma(a, a, c, in_format="fp16")
+        np.testing.assert_array_equal(out, c)
+
+    def test_batched_matches_loop(self):
+        rng = np.random.default_rng(31)
+        a, b, c = _rand_tiles(rng, batch=(5,))
+        batched = mma(a, b, c, in_format="fp16")
+        for i in range(5):
+            single = mma(a[i], b[i], c[i], in_format="fp16")
+            np.testing.assert_array_equal(batched[i], single)
+
+    def test_error_bounded_by_operand_truncation(self):
+        rng = np.random.default_rng(37)
+        a, b, c = _rand_tiles(rng)
+        out = mma(a, b, c, in_format="tf32")
+        exact = a.astype(np.float64) @ b.astype(np.float64) + c
+        # K=16 products with <=2^-11 relative operand error
+        bound = (np.abs(a) @ np.abs(b) + np.abs(c)) * (2 ** -10) * 3
+        assert np.all(np.abs(out - exact) <= bound + 1e-6)
+
+
+class TestRoundingBehaviour:
+    def test_rz_result_at_most_rn_result_in_magnitude(self):
+        rng = np.random.default_rng(41)
+        a, b, _ = _rand_tiles(rng)
+        a = np.abs(a)
+        b = np.abs(b)
+        c = np.zeros((16, 16), np.float32)
+        rz = mma(a, b, c, in_format="fp16", accumulate="rz")
+        rn = mma(a, b, c, in_format="fp16", accumulate="rn")
+        assert np.all(rz <= rn)
+
+    def test_rz_underestimates_positive_accumulation(self):
+        """Chained RZ accumulation of positive tiles drifts low — the bias
+        the error-correction scheme removes."""
+        rng = np.random.default_rng(101)
+        ones_col = np.ones((16, 16), np.float32)
+        # full-precision FP32 operands (quantize_inputs=False) make the
+        # partial sums non-representable, so the accumulator RZ bites on
+        # nearly every add
+        small = (rng.random((16, 16)) + 0.5).astype(np.float32)
+        acc_rz = np.zeros((16, 16), np.float32)
+        acc64 = np.zeros((16, 16), np.float64)
+        for _ in range(50):
+            acc_rz = mma(small, ones_col, acc_rz, in_format="tf32",
+                         quantize_inputs=False)
+            acc64 = small.astype(np.float64) @ ones_col + acc64
+        assert np.all(acc_rz.astype(np.float64) <= acc64)
+        assert np.any(acc_rz.astype(np.float64) < acc64)
+
+    def test_fp16_overflow_saturates_inside_tile(self):
+        """Operands beyond FP16 range convert to ±inf; inf propagates
+        through the product-sum (with ones it stays inf — with a zero in
+        the dot product the hardware too would produce NaN)."""
+        a = np.full((16, 16), 1e5, np.float32)   # > FP16 max
+        ones = np.ones((16, 16), dtype=np.float32)
+        with np.errstate(invalid="ignore"):
+            out = mma(a, ones, np.zeros((16, 16), np.float32),
+                      in_format="fp16")
+            assert np.all(np.isinf(out))
+            # identity B mixes inf * 0 -> NaN, matching IEEE hardware
+            out_eye = mma(a, np.eye(16, dtype=np.float32),
+                          np.zeros((16, 16), np.float32), in_format="fp16")
+        assert np.all(np.isnan(out_eye))
+
+    def test_tf32_handles_fp16_overflow_range(self):
+        a = np.full((16, 16), 1e5, np.float32)
+        b = np.eye(16, dtype=np.float32)
+        out = mma(a, b, np.zeros((16, 16), np.float32), in_format="tf32")
+        np.testing.assert_allclose(out, 1e5, rtol=2 ** -11)
+
+
+class TestTcProduct:
+    def test_zero_accumulator(self):
+        rng = np.random.default_rng(43)
+        a, b, _ = _rand_tiles(rng)
+        np.testing.assert_array_equal(
+            tc_product(a, b, in_format="tf32"),
+            mma(a, b, np.zeros((16, 16), np.float32), in_format="tf32"))
+
+    def test_quantize_inputs_flag(self):
+        rng = np.random.default_rng(47)
+        a, b, _ = _rand_tiles(rng)
+        aq = quantize(a, "tf32")
+        bq = quantize(b, "tf32")
+        np.testing.assert_array_equal(
+            tc_product(a, b, in_format="tf32"),
+            tc_product(aq, bq, in_format="tf32", quantize_inputs=False))
+
+
+tile = arrays(np.float32, (16, 16),
+              elements=st.floats(min_value=-100, max_value=100, width=32))
+
+
+@given(tile, tile)
+@settings(max_examples=50, deadline=None)
+def test_mma_linearity_in_c(a, b):
+    """D(A,B,C) - D(A,B,0) stays within one RZ rounding of C."""
+    c = np.full((16, 16), 3.0, np.float32)
+    d0 = mma(a, b, np.zeros((16, 16), np.float32), in_format="tf32")
+    dc = mma(a, b, c, in_format="tf32")
+    # adding C before a single rounding: |dc - (d0 + c)| bounded by ulp of dc
+    exact = (quantize(a, "tf32").astype(np.float64)
+             @ quantize(b, "tf32").astype(np.float64))
+    np.testing.assert_allclose(dc, exact + 3.0, rtol=1e-6, atol=1e-3)

@@ -1,0 +1,104 @@
+"""Tests for the PTX-style low-level MMA shapes."""
+
+import numpy as np
+import pytest
+
+from repro.fpemu import quantize
+from repro.tensorcore.mma import mma
+from repro.tensorcore.mma_ptx import (
+    PTX_SHAPES,
+    mma_m16n8k8,
+    mma_m16n8k16,
+    wmma_via_ptx,
+)
+
+
+class TestInstructionShapes:
+    def test_shape_table(self):
+        assert PTX_SHAPES["tf32"] == (16, 8, 8)
+        assert PTX_SHAPES["fp16"] == (16, 8, 16)
+
+    def test_m16n8k8_identity(self):
+        a = np.zeros((16, 8), np.float32)
+        a[:8, :8] = np.eye(8)
+        b = np.arange(64, dtype=np.float32).reshape(8, 8)
+        out = mma_m16n8k8(a, b, np.zeros((16, 8), np.float32))
+        np.testing.assert_array_equal(out[:8], b)
+        np.testing.assert_array_equal(out[8:], 0)
+
+    def test_m16n8k16_matches_exact_for_lattice_inputs(self):
+        rng = np.random.default_rng(0)
+        a = quantize(rng.normal(size=(16, 16)).astype(np.float32), "fp16")
+        b = quantize(rng.normal(size=(16, 8)).astype(np.float32), "fp16")
+        c = np.zeros((16, 8), np.float32)
+        out = mma_m16n8k16(a, b, c)
+        exact = a.astype(np.float64) @ b.astype(np.float64)
+        np.testing.assert_allclose(out, exact, atol=1e-5)
+
+    def test_shape_validation(self):
+        good_a = np.zeros((16, 8), np.float32)
+        good_b = np.zeros((8, 8), np.float32)
+        good_c = np.zeros((16, 8), np.float32)
+        with pytest.raises(ValueError, match="A tile"):
+            mma_m16n8k8(np.zeros((8, 8), np.float32), good_b, good_c)
+        with pytest.raises(ValueError, match="B tile"):
+            mma_m16n8k8(good_a, np.zeros((4, 8), np.float32), good_c)
+        with pytest.raises(ValueError, match="C tile"):
+            mma_m16n8k8(good_a, good_b, np.zeros((4, 8), np.float32))
+
+    def test_unknown_accumulate(self):
+        t = np.zeros((16, 8), np.float32)
+        with pytest.raises(ValueError, match="accumulate"):
+            mma_m16n8k8(t[:, :8].reshape(16, 8)[:, :8] * 0
+                        if False else np.zeros((16, 8), np.float32),
+                        np.zeros((8, 8), np.float32), t, accumulate="xx")
+
+
+class TestLowering:
+    def test_wmma_via_ptx_close_to_wmma(self):
+        """The PTX lowering agrees with the single WMMA issue up to the
+        extra accumulator roundings of the K-chunk chain."""
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(16, 16)).astype(np.float32)
+        b = rng.normal(size=(16, 16)).astype(np.float32)
+        c = rng.normal(size=(16, 16)).astype(np.float32)
+        via_ptx = wmma_via_ptx(a, b, c, in_format="tf32")
+        via_wmma = mma(a, b, c, in_format="tf32")
+        scale = np.abs(a) @ np.abs(b) + np.abs(c)
+        assert np.max(np.abs(via_ptx - via_wmma) / scale) < 2.0 ** -20
+
+    def test_exact_for_exactly_representable_problems(self):
+        """With small-integer operands everything is exact in both paths."""
+        rng = np.random.default_rng(2)
+        a = rng.integers(-4, 5, size=(16, 16)).astype(np.float32)
+        b = rng.integers(-4, 5, size=(16, 16)).astype(np.float32)
+        c = rng.integers(-4, 5, size=(16, 16)).astype(np.float32)
+        np.testing.assert_array_equal(
+            wmma_via_ptx(a, b, c, in_format="tf32"),
+            (a.astype(np.float64) @ b + c).astype(np.float32))
+
+    def test_more_roundings_than_wmma_on_rz(self):
+        """Chained K-chunks round twice per output with RZ: the lowered
+        result never exceeds the single-issue result for positive data."""
+        rng = np.random.default_rng(3)
+        a = np.abs(rng.normal(size=(16, 16))).astype(np.float32) + 0.5
+        b = np.abs(rng.normal(size=(16, 16))).astype(np.float32) + 0.5
+        c = np.zeros((16, 16), np.float32)
+        via_ptx = wmma_via_ptx(a, b, c, in_format="tf32", accumulate="rz")
+        via_wmma = mma(a, b, c, in_format="tf32", accumulate="rz")
+        assert np.all(via_ptx <= via_wmma + 1e-12)
+
+    def test_batched(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(3, 16, 16)).astype(np.float32)
+        b = rng.normal(size=(3, 16, 16)).astype(np.float32)
+        c = np.zeros((3, 16, 16), np.float32)
+        out = wmma_via_ptx(a, b, c, in_format="fp16")
+        for i in range(3):
+            np.testing.assert_array_equal(
+                out[i], wmma_via_ptx(a[i], b[i], c[i], in_format="fp16"))
+
+    def test_unsupported_format(self):
+        t = np.zeros((16, 16), np.float32)
+        with pytest.raises(ValueError, match="no PTX mma shape"):
+            wmma_via_ptx(t, t, t, in_format="fp32")

@@ -1,0 +1,125 @@
+"""Tests for the error-corrected GEMM (Ootomo & Yokota / TCEC)."""
+
+import numpy as np
+import pytest
+
+from repro.tensorcore import TcecConfig, mma, tcec_mma
+from repro.tensorcore.tcec import count_tc_issues
+
+
+def _tiles(seed, scale=1.0):
+    rng = np.random.default_rng(seed)
+    a = (rng.normal(size=(16, 16)) * scale).astype(np.float32)
+    b = (rng.normal(size=(16, 16)) * scale).astype(np.float32)
+    c = (rng.normal(size=(16, 16)) * scale).astype(np.float32)
+    return a, b, c
+
+
+def _exact(a, b, c):
+    return a.astype(np.float64) @ b.astype(np.float64) + c.astype(np.float64)
+
+
+def _max_rel(got, exact):
+    return float(np.max(np.abs(got - exact) / (np.abs(exact) + 1e-12)))
+
+
+class TestTcecAccuracy:
+    def test_beats_uncorrected_tf32(self):
+        a, b, c = _tiles(1)
+        exact = _exact(a, b, c)
+        plain = mma(a, b, c, in_format="tf32")
+        ec = tcec_mma(a, b, c, TcecConfig(in_format="tf32"))
+        assert _max_rel(ec, exact) < _max_rel(plain, exact) / 10
+
+    def test_near_fp32_accuracy(self):
+        a, b, c = _tiles(2, scale=10.0)
+        exact = _exact(a, b, c)
+        ec = tcec_mma(a, b, c)
+        # Ootomo & Yokota report error comparable to FP32 SIMT GEMM;
+        # normalise by |A||B|+|C| to factor out cancellation conditioning
+        scale = np.abs(a).astype(np.float64) @ np.abs(b) + np.abs(c)
+        err = np.max(np.abs(ec - exact) / scale)
+        assert err < 2.0 ** -20
+
+    def test_beats_uncorrected_fp16(self):
+        a, b, c = _tiles(3, scale=5.0)
+        exact = _exact(a, b, c)
+        plain = mma(a, b, c, in_format="fp16")
+        ec = tcec_mma(a, b, c, TcecConfig(in_format="fp16"))
+        assert _max_rel(ec, exact) < _max_rel(plain, exact)
+
+    def test_correction_terms_monotonic(self):
+        """More correction terms -> lower error (the term ablation)."""
+        a, b, c = _tiles(4)
+        exact = _exact(a, b, c)
+        errs = []
+        for n in (0, 1, 2):
+            got = tcec_mma(a, b, c, TcecConfig(correction_terms=n))
+            errs.append(_max_rel(got, exact))
+        assert errs[2] <= errs[1] <= errs[0]
+        assert errs[2] < errs[0] / 5
+
+    def test_zero_terms_close_to_plain_product(self):
+        """0 correction terms leaves only the head product; the remaining
+        difference from a plain TC mma is the external RN accumulation."""
+        a, b, c = _tiles(5)
+        exact = _exact(a, b, c)
+        no_ec = tcec_mma(a, b, c, TcecConfig(correction_terms=0))
+        plain = mma(a, b, c, in_format="tf32")
+        assert abs(_max_rel(no_ec, exact) - _max_rel(plain, exact)) < 1e-3
+
+    def test_tf32_dynamic_range_survives_large_values(self):
+        """Values beyond FP16 range are fine in TF32 TCEC — the reason the
+        paper picks TF32 as input datatype."""
+        a = np.full((16, 16), 1e6, np.float32)
+        b = np.eye(16, dtype=np.float32)
+        c = np.zeros((16, 16), np.float32)
+        ec = tcec_mma(a, b, c, TcecConfig(in_format="tf32"))
+        np.testing.assert_allclose(ec, 1e6, rtol=1e-6)
+        ec16 = tcec_mma(a, b, c, TcecConfig(in_format="fp16"))
+        assert not np.allclose(ec16, 1e6, rtol=1e-3)
+
+
+class TestTcecConfig:
+    def test_invalid_terms(self):
+        with pytest.raises(ValueError, match="correction_terms"):
+            TcecConfig(correction_terms=3)
+
+    def test_issue_count(self):
+        assert count_tc_issues(TcecConfig(correction_terms=2)) == 3
+        assert count_tc_issues(TcecConfig(correction_terms=0)) == 1
+
+    def test_default_is_papers_configuration(self):
+        cfg = TcecConfig()
+        assert cfg.in_format == "tf32"
+        assert cfg.scale_residual is True
+        assert cfg.correction_terms == 2
+
+
+class TestTcecBatching:
+    def test_batched_matches_loop(self):
+        rng = np.random.default_rng(6)
+        a = rng.normal(size=(4, 16, 16)).astype(np.float32)
+        b = rng.normal(size=(4, 16, 16)).astype(np.float32)
+        c = np.zeros((4, 16, 16), np.float32)
+        batched = tcec_mma(a, b, c)
+        for i in range(4):
+            np.testing.assert_array_equal(batched[i],
+                                          tcec_mma(a[i], b[i], c[i]))
+
+    def test_external_accumulation_uses_rn(self):
+        """With EC, accumulating many positive products does NOT drift low
+        the way internal RZ accumulation does."""
+        rng = np.random.default_rng(8)
+        a = np.abs(rng.normal(size=(16, 16))).astype(np.float32) + 0.5
+        p = np.ones((16, 16), dtype=np.float32)
+        acc_ec = np.zeros((16, 16), np.float32)
+        acc_rz = np.zeros((16, 16), np.float32)
+        acc64 = np.zeros((16, 16), np.float64)
+        for _ in range(60):
+            acc_ec = tcec_mma(a, p, acc_ec)
+            acc_rz = mma(a, p, acc_rz, in_format="tf32")
+            acc64 += a.astype(np.float64) @ p.astype(np.float64)
+        err_ec = np.max(np.abs(acc_ec - acc64) / np.abs(acc64))
+        err_rz = np.max(np.abs(acc_rz - acc64) / np.abs(acc64))
+        assert err_ec < err_rz / 4

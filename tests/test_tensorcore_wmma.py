@@ -1,0 +1,161 @@
+"""Tests for the wmma fragment API (Listing 1 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.tensorcore import wmma
+from repro.tensorcore.mma import mma
+
+
+class TestFragments:
+    def test_roles_and_shapes(self):
+        for role in (wmma.matrix_a, wmma.matrix_b, wmma.accumulator):
+            frag = wmma.fragment(role)
+            assert frag.shape == (16, 16)
+            assert frag.data.shape == (16, 16)
+
+    def test_unknown_role_raises(self):
+        with pytest.raises(ValueError, match="unknown fragment role"):
+            wmma.fragment("matrix_x")
+
+    def test_accumulator_default_fp32(self):
+        frag = wmma.fragment(wmma.accumulator)
+        assert frag.fmt.name == "fp32"
+
+    def test_fill_fragment_quantises_operands(self):
+        frag = wmma.fragment(wmma.matrix_a, fmt="fp16")
+        wmma.fill_fragment(frag, 1.0 + 2 ** -20)   # not representable in FP16
+        np.testing.assert_array_equal(frag.data,
+                                      np.full((16, 16), 1.0, np.float32))
+
+    def test_fill_fragment_accumulator_keeps_fp32(self):
+        frag = wmma.fragment(wmma.accumulator)
+        v = 1.0 + 2 ** -20
+        wmma.fill_fragment(frag, v)
+        np.testing.assert_array_equal(frag.data,
+                                      np.full((16, 16), np.float32(v)))
+
+
+class TestLoadStore:
+    def test_col_major_round_trip(self):
+        rng = np.random.default_rng(3)
+        buf = rng.normal(size=256).astype(np.float32)
+        frag = wmma.fragment(wmma.accumulator)
+        wmma.load_matrix_sync(frag, buf, 16, wmma.col_major)
+        out = np.zeros(256, dtype=np.float32)
+        wmma.store_matrix_sync(out, frag, 16, wmma.mem_col_major)
+        np.testing.assert_array_equal(out, buf)
+
+    def test_row_vs_col_major_transpose(self):
+        buf = np.arange(256, dtype=np.float32)
+        fr = wmma.fragment(wmma.accumulator)
+        fc = wmma.fragment(wmma.accumulator)
+        wmma.load_matrix_sync(fr, buf, 16, wmma.row_major)
+        wmma.load_matrix_sync(fc, buf, 16, wmma.col_major)
+        np.testing.assert_array_equal(fr.data, fc.data.T)
+
+    def test_leading_dimension_stride(self):
+        # a 16x16 tile embedded in a 32-wide buffer
+        big = np.arange(32 * 16, dtype=np.float32)
+        frag = wmma.fragment(wmma.accumulator)
+        wmma.load_matrix_sync(frag, big, 32, wmma.col_major)
+        expect = big[: 32 * 16].reshape(16, 32)[:, :16].T
+        np.testing.assert_array_equal(frag.data, expect)
+
+    def test_buffer_too_small_raises(self):
+        frag = wmma.fragment(wmma.accumulator)
+        with pytest.raises(ValueError, match="buffer too small"):
+            wmma.load_matrix_sync(frag, np.zeros(100, np.float32), 16)
+
+    def test_store_requires_accumulator(self):
+        frag = wmma.fragment(wmma.matrix_a, fmt="fp16")
+        with pytest.raises(ValueError, match="accumulator"):
+            wmma.store_matrix_sync(np.zeros(256, np.float32), frag, 16)
+
+
+class TestMmaSync:
+    def _frags(self, fmt="fp16"):
+        return (wmma.fragment(wmma.matrix_a, fmt=fmt),
+                wmma.fragment(wmma.matrix_b, fmt=fmt),
+                wmma.fragment(wmma.accumulator),
+                wmma.fragment(wmma.accumulator))
+
+    def test_matches_raw_mma(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=(16, 16)).astype(np.float32)
+        b = rng.normal(size=(16, 16)).astype(np.float32)
+        fa, fb, fc, fd = self._frags("tf32")
+        wmma.load_matrix_sync(fa, a.T.ravel(), 16, wmma.col_major)
+        wmma.load_matrix_sync(fb, b.T.ravel(), 16, wmma.col_major)
+        wmma.fill_fragment(fc, 0.0)
+        wmma.mma_sync(fd, fa, fb, fc)
+        expect = mma(a, b, np.zeros((16, 16), np.float32), in_format="tf32")
+        np.testing.assert_array_equal(fd.data, expect)
+
+    def test_operand_format_mismatch_raises(self):
+        fa = wmma.fragment(wmma.matrix_a, fmt="fp16")
+        fb = wmma.fragment(wmma.matrix_b, fmt="tf32")
+        fc = wmma.fragment(wmma.accumulator)
+        fd = wmma.fragment(wmma.accumulator)
+        with pytest.raises(ValueError, match="format mismatch"):
+            wmma.mma_sync(fd, fa, fb, fc)
+
+    def test_role_validation(self):
+        fa, fb, fc, fd = self._frags()
+        with pytest.raises(ValueError, match="mma_sync operands"):
+            wmma.mma_sync(fd, fb, fa, fc)  # swapped roles
+
+    def test_listing1_reduction_step(self):
+        """The exact code shape of the paper's Listing 1: V = A x P + V."""
+        rng = np.random.default_rng(7)
+        data = rng.normal(size=256).astype(np.float32)
+        frag_a = wmma.fragment(wmma.matrix_a, fmt="tf32")
+        frag_p = wmma.fragment(wmma.matrix_b, fmt="tf32")
+        frag_v = wmma.fragment(wmma.accumulator)
+        wmma.load_matrix_sync(frag_a, data, 16, wmma.col_major)
+        wmma.fill_fragment(frag_p, 1.0)
+        wmma.fill_fragment(frag_v, 0.0)
+        wmma.mma_sync(frag_v, frag_a, frag_p, frag_v)
+        tmp = np.zeros(256, dtype=np.float32)
+        wmma.store_matrix_sync(tmp, frag_v, 16, wmma.mem_col_major)
+        # every column of V holds the row sums of A
+        a_mat = data.reshape(16, 16).T
+        row_sums = a_mat.astype(np.float64).sum(axis=1)
+        abs_sums = np.abs(a_mat).astype(np.float64).sum(axis=1)
+        got = tmp.reshape(16, 16).T
+        np.testing.assert_allclose(got[:, 0], row_sums,
+                                   atol=float(np.max(abs_sums)) * 2 ** -10)
+        for col in range(16):
+            np.testing.assert_array_equal(got[:, col], got[:, 0])
+
+
+class TestHalfAccumulator:
+    def test_half_accumulator_fragment(self):
+        """Listing 1 bottom: frag_V declared as half — results quantise to
+        the FP16 lattice after every issue."""
+        frag = wmma.fragment(wmma.accumulator, fmt="fp16")
+        assert frag.fmt.name == "fp16"
+
+    def test_invalid_accumulator_format(self):
+        import pytest
+        with pytest.raises(ValueError, match="fp32 or fp16"):
+            wmma.fragment(wmma.accumulator, fmt="tf32")
+
+    def test_half_accumulator_loses_precision(self):
+        rng = np.random.default_rng(21)
+        a = rng.normal(size=(16, 16)).astype(np.float32) * 30
+        fa = wmma.fragment(wmma.matrix_a, fmt="fp16")
+        fp = wmma.fragment(wmma.matrix_b, fmt="fp16")
+        v32 = wmma.fragment(wmma.accumulator)            # fp32
+        v16 = wmma.fragment(wmma.accumulator, fmt="fp16")
+        wmma.load_matrix_sync(fa, a.T.ravel(), 16, wmma.col_major)
+        wmma.fill_fragment(fp, 1.0)
+        wmma.fill_fragment(v32, 0.0)
+        wmma.fill_fragment(v16, 0.0)
+        wmma.mma_sync(v32, fa, fp, v32)
+        wmma.mma_sync(v16, fa, fp, v16)
+        from repro.fpemu import quantize
+        np.testing.assert_array_equal(v16.data,
+                                      quantize(v16.data, "fp16"))
+        # fp32 accumulator keeps bits the half fragment drops
+        assert np.any(v32.data != v16.data)

@@ -1,0 +1,166 @@
+"""Tests for the synthetic set-of-42 generator and library."""
+
+import numpy as np
+import pytest
+
+from repro.docking.pose import calc_coords
+from repro.testcases import SET_OF_42, get_test_case, make_test_case
+from repro.testcases.library import clear_cache
+
+
+class TestLibraryCatalogue:
+    def test_42_cases(self):
+        assert len(SET_OF_42) == 42
+        names = [n for n, _ in SET_OF_42]
+        assert len(set(names)) == 42
+
+    def test_nrot_range_matches_paper(self):
+        """Molecules with up to 32 rotatable bonds (Section 5)."""
+        nrots = [r for _, r in SET_OF_42]
+        assert min(nrots) == 0
+        assert max(nrots) == 32
+
+    def test_7cpa_is_medium_complexity(self):
+        """7cpa has N_rot = 15 (Section 5.1.1)."""
+        assert dict(SET_OF_42)["7cpa"] == 15
+
+    def test_unknown_case(self):
+        with pytest.raises(ValueError, match="unknown test case"):
+            get_test_case("9xyz")
+
+    def test_cache_returns_same_object(self):
+        a = get_test_case("1u4d")
+        b = get_test_case("1u4d")
+        assert a is b
+
+
+class TestGeneratedCase:
+    def test_structure(self, case_7cpa):
+        assert case_7cpa.n_rot == 15
+        assert case_7cpa.ligand.n_atoms >= 17
+        assert case_7cpa.receptor.n_atoms >= 20
+        assert case_7cpa.maps.affinity.shape[0] == \
+            len(set(case_7cpa.ligand.atom_types))
+
+    def test_reproducible(self):
+        a = make_test_case("test", 4, seed=99)
+        b = make_test_case("test", 4, seed=99)
+        np.testing.assert_array_equal(a.native_genotype, b.native_genotype)
+        np.testing.assert_array_equal(a.receptor.coords, b.receptor.coords)
+        assert a.global_min_score == b.global_min_score
+
+    def test_different_seeds_differ(self):
+        a = make_test_case("x", 3, seed=1)
+        b = make_test_case("x", 3, seed=2)
+        assert a.ligand.n_atoms != b.ligand.n_atoms or \
+            not np.allclose(a.native_coords[:3], b.native_coords[:3])
+
+    def test_native_is_global_min_reference(self, case_7cpa):
+        """The recorded global minimum is at most the native score."""
+        sf = case_7cpa.scoring()
+        native_score = sf.score(case_7cpa.native_genotype)[0]
+        assert case_7cpa.global_min_score <= native_score + 1e-6
+
+    def test_native_pose_strongly_favourable(self, case_7cpa):
+        """The native basin beats random poses by a wide margin."""
+        sf = case_7cpa.scoring()
+        rng = np.random.default_rng(0)
+        from repro.docking.genotype import random_genotypes
+        g = random_genotypes(rng, 50, case_7cpa.ligand,
+                             case_7cpa.maps.box_lo, case_7cpa.maps.box_hi)
+        random_best = sf.score(g).min()
+        assert case_7cpa.global_min_score < random_best - 3.0
+
+    def test_native_conformation_clash_free(self, case_7cpa):
+        pairs = case_7cpa.ligand.intra_pairs()
+        if pairs.shape[0] == 0:
+            pytest.skip("no intra pairs")
+        c = case_7cpa.native_coords
+        d = np.linalg.norm(c[pairs[:, 0]] - c[pairs[:, 1]], axis=1)
+        assert d.min() > 2.0
+
+    def test_receptor_respects_clearance(self, case_7cpa):
+        """Every receptor atom >= 3.6 Å from every native ligand atom."""
+        d = np.linalg.norm(
+            case_7cpa.receptor.coords[:, None, :]
+            - case_7cpa.native_coords[None, :, :], axis=-1)
+        assert d.min() >= 3.6 - 1e-9
+
+    def test_native_inside_box(self, case_7cpa):
+        maps = case_7cpa.maps
+        c = case_7cpa.native_coords
+        assert np.all(c >= maps.box_lo) and np.all(c <= maps.box_hi)
+
+    def test_native_coords_match_genotype(self, case_7cpa):
+        np.testing.assert_allclose(
+            calc_coords(case_7cpa.ligand, case_7cpa.native_genotype),
+            case_7cpa.native_coords, atol=1e-9)
+
+    def test_workload_scaling(self, case_7cpa):
+        wl = case_7cpa.workload(3000)
+        assert wl.n_blocks == 3000
+        assert wl.n_atoms == int(case_7cpa.ligand.n_atoms * 2.5)
+        assert wl.n_genes == 6 + 15
+        unscaled = case_7cpa.workload(10, scale=1.0)
+        assert unscaled.n_atoms == case_7cpa.ligand.n_atoms
+
+    def test_zero_torsion_case(self, case_small):
+        assert case_small.n_rot == 0
+        assert case_small.native_genotype.size == 6
+
+    @pytest.mark.parametrize("n_rot", [0, 1, 7, 32])
+    def test_torsion_counts_constructible(self, n_rot):
+        case = make_test_case(f"t{n_rot}", n_rot, seed=1234, refine_iters=10)
+        assert case.ligand.n_rot == n_rot
+        assert case.native_genotype.size == 6 + n_rot
+
+
+def test_clear_cache():
+    get_test_case("1u4d")
+    clear_cache()
+    from repro.testcases.library import _CACHE
+    assert not _CACHE
+
+
+class TestValidation:
+    def test_7cpa_passes_all_gates(self, case_7cpa):
+        from repro.testcases import validate_case
+        report = validate_case(case_7cpa)
+        assert report.ok, report.failures
+        assert report.min_receptor_clearance >= 3.6 - 1e-9
+        assert report.native_score >= case_7cpa.global_min_score - 1e-6
+
+    def test_small_case_passes(self, case_small):
+        from repro.testcases import validate_case
+        report = validate_case(case_small)
+        assert report.ok, report.failures
+
+    def test_detects_broken_maps(self, case_small):
+        import copy
+        from repro.testcases import validate_case
+        broken = copy.copy(case_small)
+        broken.maps = copy.copy(case_small.maps)
+        broken.maps.affinity = case_small.maps.affinity.copy()
+        broken.maps.affinity[0, 0, 0, 0] = np.nan
+        report = validate_case(broken)
+        assert not report.ok
+        assert any("non-finite" in f for f in report.failures)
+
+    def test_detects_clearance_violation(self, case_small):
+        import copy
+        from repro.testcases import validate_case
+        from repro.docking.receptor import Receptor
+        broken = copy.copy(case_small)
+        coords = case_small.receptor.coords.copy()
+        coords[0] = case_small.native_coords[0]   # atom on top of the native
+        broken.receptor = Receptor("bad", list(case_small.receptor.atom_types),
+                                   coords, case_small.receptor.charges)
+        report = validate_case(broken)
+        assert not report.ok
+        assert any("clearance" in f for f in report.failures)
+
+    @pytest.mark.parametrize("name", ["1yv3", "3ce3", "1jyq"])
+    def test_sampled_library_cases_valid(self, name):
+        from repro.testcases import get_test_case, validate_case
+        report = validate_case(get_test_case(name))
+        assert report.ok, report.failures

@@ -1,0 +1,64 @@
+"""Tests for success-probability curves (the E50 methodology)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.trajectory import fitted_curve, format_curves, \
+    success_curve
+
+
+class TestSuccessCurve:
+    def test_monotone_and_bounded(self):
+        times = [100, 400, None, 900, None]
+        grid, p = success_curve(times, budgets=1000)
+        assert np.all(np.diff(p) >= 0)
+        assert p[0] == 0.0
+        assert p[-1] == pytest.approx(3 / 5)
+
+    def test_step_positions(self):
+        grid = np.array([0, 99, 100, 500, 1000], dtype=float)
+        _, p = success_curve([100, 100], budgets=1000, grid=grid)
+        np.testing.assert_allclose(p, [0, 0, 1, 1, 1])
+
+    def test_all_censored_flat_zero(self):
+        _, p = success_curve([None, None], budgets=500)
+        assert np.all(p == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            success_curve([], budgets=10)
+
+
+class TestFittedCurve:
+    def test_crosses_half_at_e50(self):
+        times = [200, 300, 400, 500]
+        grid = np.linspace(0, 2000, 2001)
+        g, p, e50 = fitted_curve(times, budgets=2000, grid=grid)
+        k = int(np.argmin(np.abs(p - 0.5)))
+        assert g[k] == pytest.approx(e50, rel=0.01)
+
+    def test_all_censored(self):
+        _, p, e50 = fitted_curve([None], budgets=100)
+        assert math.isinf(e50)
+        assert np.all(p == 0.0)
+
+    def test_saturates(self):
+        grid = np.linspace(0, 1e6, 11)
+        _, p, _ = fitted_curve([100] * 5, budgets=1000, grid=grid)
+        assert p[-1] > 0.999
+
+
+class TestFormatCurves:
+    def test_overlay(self):
+        g1, p1 = success_curve([100, 200, 300], budgets=1000)
+        g2, p2 = success_curve([500, None, None], budgets=1000)
+        out = format_curves({"baseline": (g1, p1), "tc-fp16": (g2, p2)},
+                            title="demo")
+        assert "demo" in out
+        assert "b=baseline" in out and "t=tc-fp16" in out
+        assert "E50" in out
+
+    def test_empty(self):
+        assert "(no curves)" in format_curves({})
