@@ -14,7 +14,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.tables import format_table
-from repro.reduction.tc_backend import tc_reduce_xyze
 
 
 def _sweep():

@@ -64,10 +64,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pop", type=int, default=30, help="population size")
     p.add_argument("--lsit", type=int, default=100,
                    help="max local-search iterations")
+    r = p.add_argument_group("robustness (repro.robustness)")
+    r.add_argument("--fault-policy", default="off",
+                   choices=("off", "raise", "degrade", "ignore"),
+                   help="guard the reduction backend against NaN/Inf/FP16 "
+                        "overflow: raise on fault, degrade to the exact "
+                        "FP32 block fallback, or audit only")
+    r.add_argument("--inject-rate", type=float, default=0.0,
+                   help="deterministic fault-injection rate per reduction "
+                        "block (0 disables)")
+    r.add_argument("--inject-mode", default="nan",
+                   choices=("nan", "inf", "overflow", "bitflip"),
+                   help="kind of fault injected")
+    r.add_argument("--inject-seed", type=int, default=0,
+                   help="seed of the injector's lane/bit choices")
     return p
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "inject":
+        return inject_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.case is None and args.ffile is None:
@@ -99,6 +117,12 @@ def main(argv: list[str] | None = None) -> int:
                                         scale=args.evals / 2_500_000)
         print(f"Heuristics (-H): eval budget set to {max_evals} "
               f"(N_rot={case.n_rot})")
+    fault_policy = None if args.fault_policy == "off" else args.fault_policy
+    if args.inject_rate > 0 and fault_policy is None:
+        # injection without a guard is pure sabotage; audit at minimum
+        fault_policy = "ignore"
+        print("Fault injection requested without --fault-policy; "
+              "auditing with policy 'ignore'")
     cfg = DockingConfig(
         backend=args.tensor,
         device=args.device,
@@ -106,6 +130,10 @@ def main(argv: list[str] | None = None) -> int:
         lga=LGAConfig(pop_size=args.pop, max_evals=max_evals,
                       ls_method=args.lsmet, ls_iters=args.lsit,
                       ls_rate=0.15, autostop=bool(args.autostop)),
+        fault_policy=fault_policy,
+        inject_rate=args.inject_rate,
+        inject_mode=args.inject_mode,
+        inject_seed=args.inject_seed,
     )
     engine = DockingEngine(case, cfg)
     print(f"Docking {case.name} (N_rot={case.n_rot}) with "
@@ -120,6 +148,12 @@ def main(argv: list[str] | None = None) -> int:
           f"@ score {result.score_of_best_rmsd:+.3f} kcal/mol")
     print(f"Run time {result.runtime_seconds:.3f} sec (simulated on "
           f"{args.device}); {result.us_per_eval:.3f} us/eval")
+    if result.fault_stats is not None:
+        fs = result.fault_stats
+        print(f"Fault ledger: {fs['blocks_faulty']}/{fs['blocks_checked']} "
+              f"reduction blocks faulty, {fs['blocks_recovered']} recovered "
+              f"by exact fallback, {fs['blocks_unrecoverable']} "
+              f"unrecoverable")
 
     if args.resnam:
         from repro.io import write_dlg
@@ -157,6 +191,62 @@ def case_from_files(fld_path: str, pdbqt_path: str):
                     maps=maps, native_genotype=native,
                     native_coords=calc_coords(ligand, native),
                     global_min_score=float("-inf"))
+
+
+def build_inject_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="autodock-py inject",
+        description="Fault-injection recovery study: run the same docking "
+                    "ensemble under the clean FP32 baseline and under an "
+                    "injected Tensor Core backend with the 'ignore' and "
+                    "'degrade' fault policies, and report best scores plus "
+                    "the fault ledger (see EXPERIMENTS.md).")
+    p.add_argument("-case", default="1u4d",
+                   help="named test case (default 1u4d)")
+    p.add_argument("--base", default="tc-fp16",
+                   choices=("tc-fp16", "tcec-tf32", "baseline"),
+                   help="backend the faults are injected into")
+    p.add_argument("--rate", type=float, default=1e-3,
+                   help="injection rate per reduction block")
+    p.add_argument("--mode", default="overflow",
+                   choices=("nan", "inf", "overflow", "bitflip"))
+    p.add_argument("-nrun", type=int, default=4)
+    p.add_argument("-seed", type=int, default=0)
+    p.add_argument("--evals", type=int, default=4_000)
+    p.add_argument("--pop", type=int, default=16)
+    p.add_argument("--lsit", type=int, default=20)
+    return p
+
+
+def inject_main(argv: list[str] | None = None) -> int:
+    """The ``autodock-py inject`` subcommand."""
+    from repro.robustness.inject import run_injection_study
+
+    args = build_inject_parser().parse_args(argv)
+    lga = LGAConfig(pop_size=args.pop, max_evals=args.evals,
+                    max_gens=max(1, args.evals // args.pop),
+                    ls_iters=args.lsit, ls_rate=0.25)
+    print(f"Injecting {args.mode} faults into {args.base} at rate "
+          f"{args.rate:g} ({args.case}, {args.nrun} runs) ...")
+    study = run_injection_study(args.case, base=args.base, rate=args.rate,
+                                mode=args.mode, n_runs=args.nrun,
+                                seed=args.seed, lga=lga)
+    print(f"baseline (clean FP32)      best score "
+          f"{study['baseline_best']:+.3f} kcal/mol")
+    for policy in ("ignore", "degrade"):
+        d = study["policies"][policy]
+        led = d["ledger"]
+        print(f"{args.base} + policy={policy:<8} best score "
+              f"{d['best_score']:+.3f} kcal/mol | {d['injected']} injected, "
+              f"{led['blocks_faulty']} detected, "
+              f"{led['blocks_recovered']} recovered")
+    drift_ignore = abs(study["policies"]["ignore"]["best_score"]
+                       - study["baseline_best"])
+    drift_degrade = abs(study["policies"]["degrade"]["best_score"]
+                        - study["baseline_best"])
+    print(f"best-score drift vs baseline: ignore {drift_ignore:.3f}, "
+          f"degrade {drift_degrade:.3f} kcal/mol")
+    return 0
 
 
 def replace_case_ligand(case, ligand):

@@ -33,6 +33,14 @@ class DockingConfig:
         :class:`~repro.search.lga.LGAConfig`).
     criteria:
         Success thresholds for the E50/outcome analysis.
+    fault_policy:
+        ``None`` runs the raw back-end; ``"raise"`` / ``"degrade"`` /
+        ``"ignore"`` wraps it in a fault-checking
+        :class:`~repro.robustness.GuardedReduction` and surfaces the
+        :class:`~repro.robustness.FaultLedger` in the result.
+    inject_rate / inject_mode / inject_seed:
+        Deterministic fault injection into the reduction outputs
+        (:mod:`repro.robustness.inject`); rate 0 disables.
     """
 
     backend: str = "tcec-tf32"
@@ -42,6 +50,10 @@ class DockingConfig:
         pop_size=30, max_evals=15_000, max_gens=300,
         ls_iters=100, ls_rate=0.15))
     criteria: SuccessCriteria = field(default_factory=SuccessCriteria)
+    fault_policy: str | None = None
+    inject_rate: float = 0.0
+    inject_mode: str = "nan"
+    inject_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.backend not in _BACKENDS:
@@ -49,6 +61,16 @@ class DockingConfig:
                 f"unknown backend {self.backend!r}; expected one of {_BACKENDS}")
         if self.block_size not in (32, 64, 128, 256, 512):
             raise ValueError(f"unsupported block size {self.block_size}")
+        if self.fault_policy not in (None, "raise", "degrade", "ignore"):
+            raise ValueError(
+                f"unknown fault policy {self.fault_policy!r}; expected "
+                f"None, 'raise', 'degrade' or 'ignore'")
+        if not 0.0 <= self.inject_rate <= 1.0:
+            raise ValueError("inject_rate must be in [0, 1]")
+        if self.inject_rate > 0 and self.fault_policy is None:
+            raise ValueError(
+                "fault injection requires a fault_policy so the faults are "
+                "at least audited ('ignore') or handled")
 
     @property
     def cost_backend(self) -> str:

@@ -28,6 +28,9 @@ from repro.analysis.success import RunOutcome, evaluate_run
 from repro.core.config import DockingConfig
 from repro.docking.pose import calc_coords
 from repro.docking.rmsd import rmsd
+from repro.reduction.api import ReductionBackend, get_reduction_backend
+from repro.robustness import FaultLedger, GuardedReduction
+from repro.robustness.inject import FaultInjector, InjectingReduction
 from repro.search.lga import LGAResult, LGARun
 from repro.search.parallel import ParallelLGA
 from repro.testcases.generator import TestCase
@@ -50,6 +53,8 @@ class DockingResult:
     runtime_seconds: float
     #: RMSD of each run's final best pose against the native pose [Å]
     final_rmsds: list[float] = field(default_factory=list)
+    #: fault-ledger summary when the run was guarded (config.fault_policy)
+    fault_stats: dict | None = None
 
     @property
     def best_score(self) -> float:
@@ -78,7 +83,13 @@ class DockingResult:
 
     @property
     def us_per_eval(self) -> float:
-        """The paper's primary performance metric [µs/eval]."""
+        """The paper's primary performance metric [µs/eval].
+
+        ``nan`` when no evaluations ran (e.g. a zero-budget dry run) —
+        there is no meaningful per-eval cost to report.
+        """
+        if self.total_evals == 0:
+            return float("nan")
         return self.runtime_seconds * 1e6 / self.total_evals
 
 
@@ -100,18 +111,34 @@ class DockingEngine:
         return RuntimeModel(cfg.device, cfg.block_size, cfg.cost_backend,
                             self.case.workload(n_blocks))
 
+    def _build_backend(self) -> tuple[str | ReductionBackend,
+                                      FaultLedger | None]:
+        """Reduction back-end per config: raw, or guarded (+ injected)."""
+        cfg = self.config
+        if cfg.fault_policy is None:
+            return cfg.backend, None
+        inner = get_reduction_backend(cfg.backend)
+        if cfg.inject_rate > 0:
+            inner = InjectingReduction(
+                inner, FaultInjector(cfg.inject_rate, mode=cfg.inject_mode,
+                                     seed=cfg.inject_seed))
+        ledger = FaultLedger()
+        return GuardedReduction(inner, policy=cfg.fault_policy,
+                                ledger=ledger), ledger
+
     def dock(self, n_runs: int = 20, seed: int = 0) -> DockingResult:
         """Run ``n_runs`` independent LGA runs and collect all metrics."""
         cfg = self.config
+        backend, ledger = self._build_backend()
         if not cfg.lga.autostop:
-            runner = ParallelLGA(self.scoring, cfg.backend, cfg.lga,
+            runner = ParallelLGA(self.scoring, backend, cfg.lga,
                                  seed=seed)
             runs = runner.run(n_runs)
         else:
             # AutoStop needs per-run termination control; run sequentially
             # with independent spawned generators
             sseq = np.random.SeedSequence(seed)
-            runs = [LGARun(self.scoring, cfg.backend, cfg.lga,
+            runs = [LGARun(self.scoring, backend, cfg.lga,
                            np.random.Generator(np.random.PCG64(s))).run()
                     for s in sseq.spawn(n_runs)]
         outcomes = [evaluate_run(r, self.case, cfg.criteria) for r in runs]
@@ -143,6 +170,7 @@ class DockingEngine:
             generations=generations,
             runtime_seconds=runtime,
             final_rmsds=final_rmsds,
+            fault_stats=ledger.summary() if ledger is not None else None,
         )
 
     def runtime_statistics(self, result: DockingResult, n_samples: int = 100,

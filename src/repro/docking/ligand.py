@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.docking.params import ATOM_PARAMS, get_atom_params
+from repro.docking.params import get_atom_params
 
 __all__ = ["TorsionBond", "Ligand"]
 

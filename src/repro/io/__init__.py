@@ -8,7 +8,8 @@ reproduce that workflow for the synthetic molecules.
 
 from repro.io.autogrid import read_maps, write_maps
 from repro.io.dlg import parse_dlg, write_dlg
+from repro.io.errors import ParseError
 from repro.io.pdbqt import read_pdbqt, write_pdbqt
 
 __all__ = ["parse_dlg", "write_dlg", "read_pdbqt", "write_pdbqt",
-           "read_maps", "write_maps"]
+           "read_maps", "write_maps", "ParseError"]

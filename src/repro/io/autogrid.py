@@ -31,6 +31,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.docking.grids import GridMaps
+from repro.io.errors import ParseError
 
 __all__ = ["write_maps", "read_maps"]
 
@@ -60,20 +61,51 @@ def _read_one_map(path: Path) -> tuple[np.ndarray, np.ndarray, float]:
     spacing = None
     nelements = None
     centre = None
-    for line in lines[:_HEADER_LINES]:
-        key, *rest = line.split()
-        if key == "SPACING":
-            spacing = float(rest[0])
-        elif key == "NELEMENTS":
-            nelements = tuple(int(v) + 1 for v in rest)
-        elif key == "CENTER":
-            centre = np.array([float(v) for v in rest])
+    for lineno, line in enumerate(lines[:_HEADER_LINES], start=1):
+        key, *rest = line.split() or [""]
+        try:
+            if key == "SPACING":
+                spacing = float(rest[0])
+            elif key == "NELEMENTS":
+                nelements = tuple(int(v) + 1 for v in rest)
+                if len(nelements) != 3:
+                    raise ValueError("expected three dimensions")
+            elif key == "CENTER":
+                centre = np.array([float(v) for v in rest])
+                if centre.shape != (3,):
+                    raise ValueError("expected three coordinates")
+        except (ValueError, IndexError) as exc:
+            raise ParseError(path, f"malformed {key} header: {exc}",
+                             line=lineno, text=line) from exc
     if spacing is None or nelements is None or centre is None:
-        raise ValueError(f"malformed AutoGrid header in {path}")
+        missing = [k for k, v in (("SPACING", spacing),
+                                  ("NELEMENTS", nelements),
+                                  ("CENTER", centre)) if v is None]
+        raise ParseError(path, "incomplete AutoGrid header: missing "
+                               + ", ".join(missing))
     nx, ny, nz = nelements
-    data = np.fromiter((float(v) for v in lines[_HEADER_LINES:]
-                        if v.strip()), dtype=np.float64,
-                       count=nx * ny * nz)
+    expected = nx * ny * nz
+    body = [(lineno, line)
+            for lineno, line in enumerate(lines[_HEADER_LINES:],
+                                          start=_HEADER_LINES + 1)
+            if line.strip()]
+    if len(body) != expected:
+        raise ParseError(path, f"expected {expected} grid values "
+                               f"({nx}x{ny}x{nz}), found {len(body)} — "
+                               f"file truncated?")
+    try:
+        # fast path: one vectorised conversion of the whole body
+        data = np.fromiter((float(line) for _, line in body),
+                           dtype=np.float64, count=expected)
+    except ValueError:
+        # slow diagnostic pass: locate the offending line
+        for lineno, line in body:
+            try:
+                float(line)
+            except ValueError as exc:
+                raise ParseError(path, f"bad grid value: {exc}",
+                                 line=lineno, text=line) from exc
+        raise  # pragma: no cover - unreachable: some line must fail
     values = data.reshape(nz, ny, nx).transpose(2, 1, 0)
     origin = centre - spacing * (np.array([nx, ny, nz]) - 1) / 2.0
     return values, origin, spacing
@@ -135,8 +167,18 @@ def read_maps(fld_path: str | Path) -> GridMaps:
             for token in line.split():
                 if token.startswith("file="):
                     files.append(token[5:])
-    if not type_names or len(files) != len(type_names) + 3:
-        raise ValueError(f"malformed .maps.fld index: {fld_path}")
+    if not type_names:
+        raise ParseError(fld_path, "no '# TYPES' line in index")
+    if len(files) != len(type_names) + 3:
+        raise ParseError(
+            fld_path, f"index lists {len(files)} map files but "
+                      f"{len(type_names)} probe types need "
+                      f"{len(type_names) + 3} (types + e + d1 + d2)")
+    for name in files:
+        if not (directory / name).exists():
+            raise ParseError(fld_path,
+                             f"referenced map file {name!r} not found "
+                             f"next to the index")
 
     affinity = []
     origin = spacing = None

@@ -1,0 +1,48 @@
+"""Structured parse errors for the file-format readers.
+
+Malformed input files are an operational reality at production scale
+(truncated uploads, foreign PDBQT dialects, corrupted grid maps); the
+readers raise :class:`ParseError` — carrying the file path, the 1-based
+line number and the offending text — instead of leaking bare
+``ValueError``/``IndexError`` from deep inside the parsing code.
+
+``ParseError`` subclasses :class:`ValueError` so existing ``except
+ValueError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["ParseError"]
+
+
+class ParseError(ValueError):
+    """A file could not be parsed; pinpoints where and why.
+
+    Attributes
+    ----------
+    path:
+        The file being parsed.
+    line:
+        1-based line number of the offending line (``None`` for
+        whole-file problems such as unbalanced blocks).
+    reason:
+        Human-readable description of what was wrong.
+    text:
+        The offending line's text, when available.
+    """
+
+    def __init__(self, path: str | Path, reason: str, *,
+                 line: int | None = None, text: str | None = None) -> None:
+        self.path = Path(path)
+        self.line = line
+        self.reason = reason
+        self.text = text
+        location = f"{self.path}"
+        if line is not None:
+            location += f":{line}"
+        message = f"{location}: {reason}"
+        if text is not None:
+            message += f" (line: {text.strip()!r})"
+        super().__init__(message)

@@ -14,6 +14,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.docking.ligand import Ligand, TorsionBond
+from repro.io.errors import ParseError
 
 __all__ = ["write_pdbqt", "read_pdbqt"]
 
@@ -77,26 +78,39 @@ def read_pdbqt(path: str | Path, name: str | None = None) -> Ligand:
     branch_stack: list[tuple[int, int, list[int]]] = []
     torsions_raw: list[tuple[int, int, list[int]]] = []
 
-    for line in path.read_text().splitlines():
-        if line.startswith("ATOM"):
-            idx = int(line[6:11]) - 1
-            atoms[idx] = (line[12:16].strip(),
-                          [float(line[30:38]), float(line[38:46]),
-                           float(line[46:54])],
-                          float(line[66:76].split()[0]))
-            for _, _, moved in branch_stack:
-                moved.append(idx)
-        elif line.startswith("BRANCH"):
-            _, a, b = line.split()
-            branch_stack.append((int(a) - 1, int(b) - 1, []))
-        elif line.startswith("ENDBRANCH"):
-            a, b, moved = branch_stack.pop()
-            torsions_raw.append((a, b, moved))
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        try:
+            if line.startswith("ATOM"):
+                idx = int(line[6:11]) - 1
+                charge_field = line[66:76].split()
+                if not charge_field:
+                    raise ValueError("missing partial charge")
+                atoms[idx] = (line[12:16].strip(),
+                              [float(line[30:38]), float(line[38:46]),
+                               float(line[46:54])],
+                              float(charge_field[0]))
+                for _, _, moved in branch_stack:
+                    moved.append(idx)
+            elif line.startswith("BRANCH"):
+                _, a, b = line.split()
+                branch_stack.append((int(a) - 1, int(b) - 1, []))
+            elif line.startswith("ENDBRANCH"):
+                if not branch_stack:
+                    raise ValueError("ENDBRANCH without open BRANCH")
+                a, b, moved = branch_stack.pop()
+                torsions_raw.append((a, b, moved))
+        except (ValueError, IndexError) as exc:
+            record = line.split()[0] if line.split() else "record"
+            raise ParseError(path, f"malformed {record}: {exc}",
+                             line=lineno, text=line) from exc
 
     if branch_stack:
-        raise ValueError(f"unbalanced BRANCH blocks in {path}")
+        raise ParseError(path, f"{len(branch_stack)} unbalanced BRANCH "
+                               f"block(s) never closed by ENDBRANCH")
+    if not atoms:
+        raise ParseError(path, "no ATOM records found")
     if sorted(atoms) != list(range(len(atoms))):
-        raise ValueError(f"non-contiguous atom serials in {path}")
+        raise ParseError(path, "non-contiguous atom serials")
 
     n = len(atoms)
     atom_types = [atoms[i][0] for i in range(n)]

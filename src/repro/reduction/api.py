@@ -133,12 +133,22 @@ def get_reduction_backend(name: str | ReductionBackend, **kwargs) -> ReductionBa
     """Instantiate a reduction back-end by name.
 
     Accepts an already-constructed back-end (returned unchanged) so APIs can
-    take either form.
+    take either form.  A ``"guarded:<name>"`` spec wraps the named back-end
+    in a fault-checking :class:`~repro.robustness.GuardedReduction` (keyword
+    arguments — ``policy``, ``ledger``, ... — go to the wrapper)::
+
+        get_reduction_backend("guarded:tc-fp16", policy="degrade")
     """
     if isinstance(name, ReductionBackend):
         return name
+    spec = name.lower()
+    if spec.startswith("guarded:"):
+        # local import: robustness builds on this module
+        from repro.robustness.guarded import GuardedReduction
+        inner = get_reduction_backend(spec.removeprefix("guarded:"))
+        return GuardedReduction(inner, **kwargs)
     try:
-        cls = _REGISTRY[name.lower()]
+        cls = _REGISTRY[spec]
     except KeyError:
         raise ValueError(
             f"unknown reduction backend {name!r}; available: {sorted(_REGISTRY)}"

@@ -28,7 +28,7 @@ from repro.reduction.matrices import (
     pack_vectors,
     unpack_result,
 )
-from repro.tensorcore.mma import mma, tc_product
+from repro.tensorcore.mma import mma
 from repro.tensorcore.tcec import TcecConfig, tcec_mma
 
 __all__ = ["tc_reduce_xyze", "tcec_reduce_xyze"]

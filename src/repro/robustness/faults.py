@@ -1,0 +1,128 @@
+"""Fault detection primitives and the per-run fault ledger.
+
+A "fault" is any reduction output the docking kernels cannot safely
+consume: NaN, ±Inf, or a magnitude beyond the FP16 representable range
+(values an FP16 accumulator fragment would have saturated).  Detection
+operates on ``reduce4`` output blocks — one ``(4,)`` lane group per thread
+block — because that is the granularity at which the CUDA kernels could
+re-issue work to a fallback path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FP16_MAX", "NumericalFaultError", "fault_mask", "FaultLedger"]
+
+#: Largest finite FP16 magnitude; beyond it an FP16 accumulator saturates.
+FP16_MAX = 65504.0
+
+
+class NumericalFaultError(ArithmeticError):
+    """A guarded reduction produced non-finite or out-of-range values.
+
+    Raised by :class:`~repro.robustness.guarded.GuardedReduction` under the
+    ``raise`` policy.  Carries the number of faulty blocks and the site
+    label so campaign-level retry logic can classify the failure.
+    """
+
+    def __init__(self, message: str, *, n_blocks: int = 0,
+                 site: str = "reduce4") -> None:
+        super().__init__(message)
+        self.n_blocks = n_blocks
+        self.site = site
+
+
+def fault_mask(values: np.ndarray, *, check_overflow: bool = False,
+               overflow_limit: float = FP16_MAX) -> np.ndarray:
+    """Boolean per-block fault mask for ``(..., 4)`` reduction outputs.
+
+    A block is faulty when any of its four lanes is NaN/Inf or — with
+    ``check_overflow`` — reaches ``overflow_limit`` in magnitude (saturated
+    FP16 sums sit exactly at the limit, hence ``>=``).
+    """
+    v = np.asarray(values)
+    bad = ~np.isfinite(v)
+    if check_overflow:
+        with np.errstate(invalid="ignore"):
+            bad |= np.abs(v) >= overflow_limit
+    return np.any(bad, axis=-1)
+
+
+@dataclass
+class FaultLedger:
+    """Running account of detected faults and the actions taken.
+
+    One ledger is attached per run (engine, campaign cell, or test); all
+    guarded reductions sharing it accumulate into the same counters, so the
+    totals reflect the whole docking experiment.
+    """
+
+    #: reduce4 blocks inspected
+    blocks_checked: int = 0
+    #: blocks that failed the fault check
+    blocks_faulty: int = 0
+    #: faulty blocks repaired by the exact fallback (``degrade`` policy)
+    blocks_recovered: int = 0
+    #: faulty blocks the fallback could not repair (corrupt *inputs*)
+    blocks_unrecoverable: int = 0
+    #: non-finite gene-space gradient entries zeroed by the consumer
+    #: (ADADELTA's last-line guard; counted only when a ledger is attached)
+    consumer_zeroed: int = 0
+    #: detections broken down by site label ("reduce4", "grid", ...)
+    by_site: dict[str, int] = field(default_factory=dict)
+
+    def record_checked(self, n_blocks: int) -> None:
+        self.blocks_checked += int(n_blocks)
+
+    def record_faults(self, n_blocks: int, site: str = "reduce4") -> None:
+        if n_blocks:
+            self.blocks_faulty += int(n_blocks)
+            self.by_site[site] = self.by_site.get(site, 0) + int(n_blocks)
+
+    def record_recovered(self, n_blocks: int) -> None:
+        self.blocks_recovered += int(n_blocks)
+
+    def record_unrecoverable(self, n_blocks: int) -> None:
+        self.blocks_unrecoverable += int(n_blocks)
+
+    def record_consumer_zeroed(self, n_values: int) -> None:
+        self.consumer_zeroed += int(n_values)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def fault_rate(self) -> float:
+        """Faulty fraction of inspected blocks (nan before any check)."""
+        if self.blocks_checked == 0:
+            return float("nan")
+        return self.blocks_faulty / self.blocks_checked
+
+    def merge(self, other: "FaultLedger") -> None:
+        """Fold another ledger's counters into this one."""
+        self.blocks_checked += other.blocks_checked
+        self.blocks_faulty += other.blocks_faulty
+        self.blocks_recovered += other.blocks_recovered
+        self.blocks_unrecoverable += other.blocks_unrecoverable
+        self.consumer_zeroed += other.consumer_zeroed
+        for site, n in other.by_site.items():
+            self.by_site[site] = self.by_site.get(site, 0) + n
+
+    def summary(self) -> dict:
+        """JSON-ready counter snapshot (surfaced in DockingResult)."""
+        return {
+            "blocks_checked": self.blocks_checked,
+            "blocks_faulty": self.blocks_faulty,
+            "blocks_recovered": self.blocks_recovered,
+            "blocks_unrecoverable": self.blocks_unrecoverable,
+            "consumer_zeroed": self.consumer_zeroed,
+            "fault_rate": self.fault_rate,
+            "by_site": dict(self.by_site),
+        }
+
+    def __str__(self) -> str:
+        return (f"FaultLedger({self.blocks_faulty}/{self.blocks_checked} "
+                f"blocks faulty, {self.blocks_recovered} recovered, "
+                f"{self.blocks_unrecoverable} unrecoverable)")

@@ -1,0 +1,131 @@
+"""Guarded reduction: fault checks and per-block exact fallback.
+
+:class:`GuardedReduction` wraps any reduction back-end and inspects every
+``reduce4`` output block.  The mirror in a real deployment is a guarded
+CUDA kernel: after the Tensor Core epilogue each block tests its four
+totals, and a block whose totals are non-finite (or pinned at the FP16
+saturation limit) re-runs its reduction on the FP32 SIMT tree — the
+baseline path that is resident in the binary anyway — before the gradient
+conversion consumes them.
+
+Policies
+--------
+``raise``
+    Turn the first detected fault into a
+    :class:`~repro.robustness.faults.NumericalFaultError` (fail-stop; for
+    campaigns whose retry layer re-runs the cell).
+``degrade``
+    Re-reduce only the offending blocks with the exact FP32 SIMT backend
+    and continue — graceful degradation, the production default.
+``ignore``
+    Audit only: count faults in the ledger but return the raw output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reduction.api import ReductionBackend, SimtReduction
+from repro.robustness.faults import (
+    FP16_MAX,
+    FaultLedger,
+    NumericalFaultError,
+    fault_mask,
+)
+
+__all__ = ["POLICIES", "GuardedReduction"]
+
+POLICIES = ("raise", "degrade", "ignore")
+
+
+class GuardedReduction(ReductionBackend):
+    """Fault-checking wrapper around a reduction back-end.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped back-end whose outputs are checked.
+    policy:
+        ``"raise"`` / ``"degrade"`` / ``"ignore"`` (see module docstring).
+    ledger:
+        Shared :class:`FaultLedger`; a private one is created if omitted.
+    fallback:
+        Exact back-end used to re-reduce faulty blocks under ``degrade``
+        (default: the FP32 SIMT baseline, mirroring the hardware fallback).
+    check_overflow:
+        Treat ``|x| >= 65504`` as a fault.  Defaults to automatic: enabled
+        when the wrapped back-end carries an FP16 accumulator (whose sums
+        saturate there), disabled otherwise.
+    """
+
+    def __init__(self, inner: ReductionBackend,
+                 policy: str = "degrade",
+                 ledger: FaultLedger | None = None,
+                 fallback: ReductionBackend | None = None,
+                 check_overflow: bool | None = None) -> None:
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown fault policy {policy!r}; expected one of {POLICIES}")
+        self.inner = inner
+        self.policy = policy
+        self.ledger = ledger if ledger is not None else FaultLedger()
+        self.fallback = fallback if fallback is not None else SimtReduction()
+        if check_overflow is None:
+            check_overflow = (
+                getattr(inner, "accumulator_format", None) == "fp16")
+        self.check_overflow = check_overflow
+        # the guard adds epilogue compares, not reduction work: priced and
+        # named after the wrapped back-end
+        self.cost_key = inner.cost_key
+        self.name = f"guarded({inner.name})"
+
+    def __repr__(self) -> str:
+        return (f"GuardedReduction({self.inner!r}, policy={self.policy!r}, "
+                f"check_overflow={self.check_overflow})")
+
+    # ------------------------------------------------------------------
+
+    def reduce4(self, vectors: np.ndarray) -> np.ndarray:
+        out = self.inner.reduce4(vectors)
+        mask = fault_mask(out, check_overflow=self.check_overflow,
+                          overflow_limit=FP16_MAX)
+        n_blocks = int(np.prod(mask.shape)) if mask.shape else 1
+        self.ledger.record_checked(n_blocks)
+        n_faulty = int(np.count_nonzero(mask))
+        if n_faulty == 0:
+            return out
+        # attribute detections to the injection harness where ground truth
+        # is available, so tests can demand exact injected-fault accounting
+        injected = getattr(self.inner, "last_injected_mask", None)
+        if injected is not None and injected.shape == mask.shape:
+            n_injected = int(np.count_nonzero(mask & injected))
+            self.ledger.record_faults(n_injected, site="injected")
+            self.ledger.record_faults(n_faulty - n_injected)
+        else:
+            self.ledger.record_faults(n_faulty)
+
+        if self.policy == "raise":
+            raise NumericalFaultError(
+                f"{n_faulty} of {n_blocks} reduction blocks returned "
+                f"non-finite or FP16-overflowed totals "
+                f"(backend {self.inner.name})",
+                n_blocks=n_faulty)
+        if self.policy == "ignore":
+            return out
+
+        # degrade: re-reduce only the offending blocks exactly
+        out = np.array(out, copy=True)
+        if mask.shape:
+            repaired = self.fallback.reduce4(
+                np.asarray(vectors)[mask])
+            out[mask] = repaired
+        else:                                   # single unbatched block
+            repaired = self.fallback.reduce4(vectors)
+            out = repaired
+        still_bad = fault_mask(repaired, check_overflow=False)
+        n_unrecoverable = int(np.count_nonzero(still_bad))
+        self.ledger.record_recovered(n_faulty - n_unrecoverable)
+        # inputs themselves were corrupt (e.g. NaN grid lookups): no
+        # reduction order can repair that; the consumer-side guards take over
+        self.ledger.record_unrecoverable(n_unrecoverable)
+        return out

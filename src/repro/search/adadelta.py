@@ -84,15 +84,31 @@ class AdadeltaLocalSearch:
         best_x = x.copy()
         best_e = np.full(batch, np.inf)
         evals = 0
+        # audit consumer-level repairs into the run's fault ledger when the
+        # reduction back-end is guarded (repro.robustness); duck-typed
+        # gradient callables without a back-end simply skip the audit
+        ledger = getattr(getattr(self.gradient, "backend", None),
+                         "ledger", None)
 
         for _ in range(iters):
             energy, grad = self.gradient(x)
             evals += batch
             # a lossy reduction back-end can return non-finite values
             # (FP16 accumulator overflow); treat them as "no information":
-            # the comparison below is then False and the step is zeroed,
-            # like the guarded CUDA kernel
-            grad = np.nan_to_num(grad, nan=0.0, posinf=0.0, neginf=0.0)
+            # the gradient step is zeroed and the energy cannot win the
+            # best-pose comparison, like the guarded CUDA kernel
+            bad_grad = ~np.isfinite(grad)
+            bad_energy = ~np.isfinite(energy)
+            if ledger is not None:
+                ledger.record_consumer_zeroed(
+                    int(np.count_nonzero(bad_grad))
+                    + int(np.count_nonzero(bad_energy)))
+            if bad_grad.any():
+                grad = np.where(bad_grad, 0.0, grad)
+            if bad_energy.any():
+                # -inf would hijack the best-pose bookkeeping; NaN merely
+                # fails the comparison — neutralise both explicitly
+                energy = np.where(bad_energy, np.inf, energy)
             improved = energy < best_e
             best_e = np.where(improved, energy, best_e)
             best_x[improved] = x[improved]

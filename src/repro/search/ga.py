@@ -13,8 +13,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.docking.genotype import N_RIGID_GENES
-
 __all__ = ["GAConfig", "GeneticAlgorithm"]
 
 

@@ -70,8 +70,13 @@ class ParallelLGA:
                 scoring, sw_cfg,
                 np.random.Generator(np.random.PCG64(sw_seq.spawn(1)[0])))
 
-    def run(self, n_runs: int) -> list[LGAResult]:
-        """Execute ``n_runs`` lock-step LGA runs; one result per run."""
+    def run(self, n_runs: int, on_generation=None) -> list[LGAResult]:
+        """Execute ``n_runs`` lock-step LGA runs; one result per run.
+
+        ``on_generation(generations, evals)`` is invoked after every
+        generation; a watchdog (:class:`repro.robustness.Watchdog`) may
+        raise from it to abort a runaway cell cleanly.
+        """
         cfg = self.config
         sf = self.scoring
         maps = sf.maps
@@ -127,6 +132,8 @@ class ParallelLGA:
                     R, n_ls, glen)
                 evals += ls_evals // R       # per-run share (uniform)
             gens += 1
+            if on_generation is not None:
+                on_generation(gens, evals)
 
         scores = sf.score(genes.reshape(R * pop, glen)).reshape(R, pop)
         evals += pop

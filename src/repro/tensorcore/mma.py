@@ -18,12 +18,15 @@ to issuing them one by one.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 
 from repro.fpemu.formats import FloatFormat, get_format, quantize
 from repro.fpemu.rounding import round_f64_to_f32_rn, round_f64_to_f32_rz
 
-__all__ = ["MMA_M", "MMA_N", "MMA_K", "mma", "tc_product"]
+__all__ = ["MMA_M", "MMA_N", "MMA_K", "mma", "tc_product", "fault_hook",
+           "set_fault_hook", "apply_fault_hook"]
 
 #: Fragment shape of the WMMA 16x16x16 tile the paper's kernels use.
 MMA_M = 16
@@ -34,6 +37,40 @@ _ROUNDERS = {
     "rz": round_f64_to_f32_rz,
     "rn": round_f64_to_f32_rn,
 }
+
+# ----------------------------------------------------------------------
+# fault-injection hook (repro.robustness.inject)
+#
+# When set, the hook sees every accumulator tile the simulated Tensor Core
+# produces — ``hook(tile, site) -> tile`` — and may return a corrupted
+# copy.  ``None`` (the default) costs one pointer check per mma issue.
+
+_FAULT_HOOK = None
+
+
+def set_fault_hook(hook) -> object:
+    """Install a tile fault hook; returns the previous one (for restore)."""
+    global _FAULT_HOOK
+    prev = _FAULT_HOOK
+    _FAULT_HOOK = hook
+    return prev
+
+
+@contextmanager
+def fault_hook(hook):
+    """Scoped installation of a tile fault hook (always restored)."""
+    prev = set_fault_hook(hook)
+    try:
+        yield hook
+    finally:
+        set_fault_hook(prev)
+
+
+def apply_fault_hook(tile: np.ndarray, site: str) -> np.ndarray:
+    """Run the installed hook (if any) over an accumulator tile."""
+    if _FAULT_HOOK is None:
+        return tile
+    return _FAULT_HOOK(tile, site)
 
 
 def _check_tile(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
@@ -105,7 +142,7 @@ def mma(
         out = rounder(prod + c.astype(np.float64))
         if accumulator_format == "fp16":
             out = quantize(out, "fp16", mode="rz")
-        return out
+        return apply_fault_hook(out, "mma-accumulator")
 
 
 def tc_product(

@@ -31,7 +31,7 @@ import numpy as np
 from repro.fpemu.formats import FloatFormat, get_format
 from repro.fpemu.rounding import round_f64_to_f32_rn
 from repro.fpemu.split import split_operand
-from repro.tensorcore.mma import tc_product
+from repro.tensorcore.mma import apply_fault_hook, tc_product
 
 __all__ = ["TcecConfig", "tcec_mma", "count_tc_issues"]
 
@@ -132,4 +132,6 @@ def tcec_mma(
         t = tc_product(a_lo, b_hi, in_format=fmt, quantize_inputs=False)
         acc = rn_add(acc, (t / np.float32(s_a)).astype(np.float32))
 
-    return rn_add(acc, c)
+    # the external FP32/RN accumulator lives in SIMT registers — a distinct
+    # fault-injection site from the Tensor Core accumulator fragments
+    return apply_fault_hook(rn_add(acc, c), "tcec-simt-acc")

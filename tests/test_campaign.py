@@ -4,8 +4,19 @@ import math
 
 import pytest
 
-from repro.analysis.campaign import CampaignResult, E50Campaign
+from repro.analysis.campaign import E50Campaign
+from repro.robustness.watchdog import CellFailure, Watchdog, WatchdogTimeout
 from repro.search.lga import LGAConfig
+
+TINY_LGA = LGAConfig(pop_size=8, max_evals=600, max_gens=12,
+                     ls_iters=6, ls_rate=0.25)
+
+
+def tiny(**kwargs):
+    defaults = dict(cases=["1u4d"], backends=["baseline", "tcec-tf32"],
+                    n_runs=3, seed=5, lga=TINY_LGA)
+    defaults.update(kwargs)
+    return E50Campaign(**defaults)
 
 
 @pytest.fixture(scope="module")
@@ -64,3 +75,184 @@ class TestCampaign:
         b = tiny_campaign.run_cell("1u4d", "baseline")
         assert a.best_score == b.best_score
         assert a.e50_score == b.e50_score
+
+    def test_budget_reflects_actual_consumption(self, tiny_results):
+        # budget is the max evals actually consumed; budget_mean the mean —
+        # not the configured cap (runs terminate heterogeneously)
+        r = tiny_results[0]
+        assert 0 < r.budget_mean <= r.budget <= TINY_LGA.max_evals
+
+
+class TestAtomicCheckpoint:
+    def test_save_leaves_no_temp_file(self, tiny_results, tmp_path):
+        path = tmp_path / "sweep.json"
+        E50Campaign.save(tiny_results, path)
+        assert path.exists()
+        assert not path.with_name("sweep.json.tmp").exists()
+        assert len(E50Campaign.load(path)) == len(tiny_results)
+
+    def test_save_replaces_not_appends(self, tiny_results, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text("{corrupt json that must be replaced")
+        E50Campaign.save(tiny_results, path)
+        assert len(E50Campaign.load(path)) == len(tiny_results)
+
+    def test_interrupted_write_keeps_old_checkpoint(self, tiny_results,
+                                                    tmp_path, monkeypatch):
+        # kill the sweep *inside* the write: os.replace never ran, so the
+        # previous checkpoint must still load
+        path = tmp_path / "sweep.json"
+        E50Campaign.save(tiny_results[:1], path)
+        monkeypatch.setattr("repro.analysis.campaign.os.replace",
+                            lambda *a: (_ for _ in ()).throw(
+                                KeyboardInterrupt()))
+        with pytest.raises(KeyboardInterrupt):
+            E50Campaign.save(tiny_results, path)
+        assert len(E50Campaign.load(path)) == 1
+
+
+class TestResume:
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(ValueError, match="checkpoint"):
+            tiny().run(resume=True)
+
+    def test_killed_sweep_resumes_incomplete_cells_only(self, tmp_path):
+        path = tmp_path / "sweep.json"
+
+        # first attempt dies after the first cell completes (simulated
+        # kill while the second cell is in flight)
+        class Kill(Exception):
+            pass
+
+        campaign = tiny()
+        calls = []
+
+        def die_on_second(case, backend):
+            if calls:
+                raise Kill()
+            calls.append((case, backend))
+
+        with pytest.raises(Kill):
+            campaign.run(progress=die_on_second, checkpoint=path)
+        assert len(E50Campaign.load(path)) == 1  # one cell checkpointed
+
+        # the resumed sweep re-runs only the incomplete cell...
+        resumed_cells = []
+        results = tiny().run(progress=lambda c, b: resumed_cells.append(
+            (c, b)), checkpoint=path, resume=True)
+        assert resumed_cells == [("1u4d", "tcec-tf32")]
+        # ...and still returns the full grid, identical to a clean sweep
+        clean = tiny().run()
+        assert [(r.case, r.backend) for r in results] == \
+            [(r.case, r.backend) for r in clean]
+        assert [r.best_score for r in results] == \
+            [r.best_score for r in clean]
+
+    def test_resume_with_complete_checkpoint_runs_nothing(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        first = tiny().run(checkpoint=path)
+        ran = []
+        again = tiny().run(progress=lambda c, b: ran.append((c, b)),
+                           checkpoint=path, resume=True)
+        assert ran == []
+        assert [r.best_score for r in again] == \
+            [r.best_score for r in first]
+
+    def test_resume_without_existing_checkpoint_runs_all(self, tmp_path):
+        ran = []
+        tiny().run(progress=lambda c, b: ran.append((c, b)),
+                   checkpoint=tmp_path / "fresh.json", resume=True)
+        assert len(ran) == 2
+
+
+class TestRetryAndWatchdog:
+    def test_transient_error_retried_with_backoff(self):
+        campaign = tiny(backends=["baseline"], retries=2, backoff=0.5)
+        sleeps = []
+        attempts = []
+        real = campaign.run_cell
+
+        def flaky(case, backend):
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient filesystem hiccup")
+            return real(case, backend)
+
+        campaign.run_cell = flaky
+        results = campaign.run(sleep=sleeps.append)
+        assert len(results) == 1            # cell succeeded on attempt 3
+        assert len(attempts) == 3
+        assert sleeps == [0.5, 1.0]         # exponential backoff
+        assert campaign.failures == []
+
+    def test_exhausted_retries_record_failure_and_continue(self):
+        campaign = tiny(retries=1, backoff=0.1)
+        sleeps = []
+        real = campaign.run_cell
+
+        def broken(case, backend):
+            if backend == "baseline":
+                raise OSError("cell permanently broken")
+            return real(case, backend)
+
+        campaign.run_cell = broken
+        results = campaign.run(sleep=sleeps.append)
+        # the broken cell is dropped; the sweep still finishes the rest
+        assert [(r.case, r.backend) for r in results] == [
+            ("1u4d", "tcec-tf32")]
+        assert sleeps == [0.1]
+        [failure] = campaign.failures
+        assert failure.backend == "baseline"
+        assert failure.error_type == "OSError"
+        assert failure.attempts == 2
+        assert failure.retryable
+
+    def test_watchdog_abort_is_terminal_not_retried(self):
+        # an eval watchdog below one generation's consumption always fires
+        campaign = tiny(backends=["baseline"], retries=3, cell_max_evals=1)
+        sleeps = []
+        results = campaign.run(sleep=sleeps.append)
+        assert results == []
+        assert sleeps == []                  # deterministic: never retried
+        [failure] = campaign.failures
+        assert failure.error_type == "WatchdogTimeout"
+        assert not failure.retryable
+        assert failure.attempts == 1
+        assert failure.extra["evals"] > 1
+
+    def test_failures_reset_between_runs(self):
+        campaign = tiny(backends=["baseline"], retries=0, cell_max_evals=1)
+        campaign.run()
+        campaign.run()
+        assert len(campaign.failures) == 1
+
+
+class TestWatchdogUnit:
+    def test_wall_clock_limit(self):
+        t = [0.0]
+        dog = Watchdog(wall_seconds=10.0, clock=lambda: t[0])
+        dog.check(1, 100)
+        t[0] = 10.5
+        with pytest.raises(WatchdogTimeout) as exc:
+            dog.check(2, 200)
+        assert exc.value.elapsed == pytest.approx(10.5)
+        assert exc.value.evals == 200
+
+    def test_eval_limit(self):
+        dog = Watchdog(max_evals=1000)
+        dog.check(1, 1000)
+        with pytest.raises(WatchdogTimeout):
+            dog.check(2, 1001)
+
+    def test_disabled_watchdog_never_fires(self):
+        dog = Watchdog()
+        dog.check(10 ** 6, 10 ** 9)
+
+    def test_cell_failure_as_dict(self):
+        f = CellFailure(case="7cpa", backend="tc-fp16",
+                        error_type="OSError", message="boom", attempts=2,
+                        retryable=True, extra={"k": 1})
+        d = f.as_dict()
+        assert d["case"] == "7cpa" and d["extra"] == {"k": 1}
+        d["extra"]["k"] = 2                  # a copy, not the record
+        assert f.extra == {"k": 1}

@@ -1,0 +1,189 @@
+"""Structured ParseError reporting for malformed PDBQT and AutoGrid files."""
+
+import numpy as np
+import pytest
+
+from repro.docking.grids import GridMaps
+from repro.io import ParseError, read_maps, read_pdbqt, write_maps, write_pdbqt
+from repro.testcases import get_test_case
+
+
+@pytest.fixture(scope="module")
+def ligand():
+    # 5kao has rotatable bonds, so the PDBQT has BRANCH/ENDBRANCH blocks
+    return get_test_case("5kao").ligand
+
+
+@pytest.fixture()
+def pdbqt_lines(ligand, tmp_path):
+    path = tmp_path / "lig.pdbqt"
+    write_pdbqt(ligand, path)
+    return path, path.read_text().splitlines()
+
+
+def rewrite(path, lines):
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestParseErrorType:
+    def test_is_a_value_error(self):
+        # existing `except ValueError` call sites keep working
+        assert issubclass(ParseError, ValueError)
+
+    def test_message_pinpoints_location(self):
+        err = ParseError("lig.pdbqt", "malformed ATOM", line=7,
+                         text="ATOM garbage")
+        assert str(err) == "lig.pdbqt:7: malformed ATOM (line: 'ATOM garbage')"
+        assert err.line == 7
+        assert err.path.name == "lig.pdbqt"
+        assert err.reason == "malformed ATOM"
+
+    def test_whole_file_error_has_no_line(self):
+        err = ParseError("x.map", "no ATOM records found")
+        assert str(err) == "x.map: no ATOM records found"
+        assert err.line is None
+
+
+class TestMalformedPdbqt:
+    def test_bad_atom_coordinates(self, pdbqt_lines):
+        path, lines = pdbqt_lines
+        i = next(k for k, line in enumerate(lines)
+                 if line.startswith("ATOM"))
+        lines[i] = lines[i][:30] + "x" * 8 + lines[i][38:]
+        with pytest.raises(ParseError) as exc:
+            read_pdbqt(rewrite(path, lines))
+        assert exc.value.line == i + 1
+        assert "malformed ATOM" in exc.value.reason
+        assert str(path) in str(exc.value)
+
+    def test_atom_missing_charge(self, pdbqt_lines):
+        path, lines = pdbqt_lines
+        i = next(k for k, line in enumerate(lines)
+                 if line.startswith("ATOM"))
+        lines[i] = lines[i][:60]
+        with pytest.raises(ParseError, match="missing partial charge"):
+            read_pdbqt(rewrite(path, lines))
+
+    def test_bad_branch_record(self, pdbqt_lines):
+        path, lines = pdbqt_lines
+        i = next(k for k, line in enumerate(lines)
+                 if line.startswith("BRANCH"))
+        lines[i] = "BRANCH 3"
+        with pytest.raises(ParseError) as exc:
+            read_pdbqt(rewrite(path, lines))
+        assert exc.value.line == i + 1
+        assert "malformed BRANCH" in exc.value.reason
+
+    def test_endbranch_without_branch(self, pdbqt_lines):
+        path, lines = pdbqt_lines
+        lines = [line for line in lines if not line.startswith("BRANCH")]
+        with pytest.raises(ParseError, match="ENDBRANCH without open"):
+            read_pdbqt(rewrite(path, lines))
+
+    def test_unbalanced_branch(self, pdbqt_lines):
+        path, lines = pdbqt_lines
+        lines = [line for line in lines if not line.startswith("ENDBRANCH")]
+        with pytest.raises(ParseError, match="unbalanced BRANCH"):
+            read_pdbqt(rewrite(path, lines))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.pdbqt"
+        path.write_text("REMARK nothing here\n")
+        with pytest.raises(ParseError, match="no ATOM records"):
+            read_pdbqt(path)
+
+    def test_non_contiguous_serials(self, pdbqt_lines):
+        path, lines = pdbqt_lines
+        i = next(k for k, line in enumerate(lines)
+                 if line.startswith("ATOM"))
+        lines[i] = lines[i][:6] + f"{999:>5d}" + lines[i][11:]
+        with pytest.raises(ParseError, match="non-contiguous"):
+            read_pdbqt(rewrite(path, lines))
+
+
+@pytest.fixture()
+def maps_dir(tmp_path):
+    rng = np.random.default_rng(0)
+    maps = GridMaps(origin=np.zeros(3), spacing=0.5, type_names=["C"],
+                    affinity=rng.standard_normal((1, 3, 3, 3)),
+                    elec=rng.standard_normal((3, 3, 3)),
+                    desolv_v=rng.standard_normal((3, 3, 3)),
+                    desolv_s=rng.standard_normal((3, 3, 3)))
+    fld = write_maps(maps, tmp_path, stem="p")
+    return tmp_path, fld
+
+
+def edit_map(directory, name, fn):
+    path = directory / name
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(fn(lines)) + "\n")
+
+
+class TestMalformedAutogrid:
+    def test_round_trip_is_clean(self, maps_dir):
+        _, fld = maps_dir
+        assert read_maps(fld).type_names == ["C"]
+
+    def test_bad_header_value(self, maps_dir):
+        directory, fld = maps_dir
+
+        def corrupt(lines):
+            lines[3] = "SPACING not-a-number"
+            return lines
+
+        edit_map(directory, "p.C.map", corrupt)
+        with pytest.raises(ParseError) as exc:
+            read_maps(fld)
+        assert exc.value.line == 4
+        assert "SPACING" in exc.value.reason
+
+    def test_missing_header_fields(self, maps_dir):
+        directory, fld = maps_dir
+        edit_map(directory, "p.C.map",
+                 lambda lines: ["REMARK pad" if line.startswith("CENTER")
+                                else line for line in lines])
+        with pytest.raises(ParseError, match="missing CENTER"):
+            read_maps(fld)
+
+    def test_truncated_body(self, maps_dir):
+        directory, fld = maps_dir
+        edit_map(directory, "p.e.map", lambda lines: lines[:-5])
+        with pytest.raises(ParseError, match="truncated"):
+            read_maps(fld)
+
+    def test_bad_grid_value_pinpointed(self, maps_dir):
+        directory, fld = maps_dir
+
+        def corrupt(lines):
+            lines[10] = "oops"
+            return lines
+
+        edit_map(directory, "p.C.map", corrupt)
+        with pytest.raises(ParseError) as exc:
+            read_maps(fld)
+        assert exc.value.line == 11
+        assert exc.value.text == "oops"
+        assert "bad grid value" in exc.value.reason
+
+    def test_index_without_types(self, maps_dir):
+        directory, fld = maps_dir
+        lines = [line for line in fld.read_text().splitlines()
+                 if not line.startswith("# TYPES")]
+        fld.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ParseError, match="TYPES"):
+            read_maps(fld)
+
+    def test_index_with_wrong_file_count(self, maps_dir):
+        directory, fld = maps_dir
+        lines = [line for line in fld.read_text().splitlines()
+                 if "file=p.e.map" not in line]
+        fld.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ParseError, match="index lists"):
+            read_maps(fld)
+
+    def test_missing_referenced_map_file(self, maps_dir):
+        directory, fld = maps_dir
+        (directory / "p.d1.map").unlink()
+        with pytest.raises(ParseError, match="not found"):
+            read_maps(fld)

@@ -1,0 +1,249 @@
+"""Tests for repro.robustness: fault detection and guarded reductions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reduction.api import (
+    ExactReduction,
+    SimtReduction,
+    TcFp16Reduction,
+    TcecReduction,
+    WarpShuffleReduction,
+    get_reduction_backend,
+)
+from repro.robustness import (
+    FP16_MAX,
+    FaultLedger,
+    GuardedReduction,
+    NumericalFaultError,
+    fault_mask,
+)
+
+BACKENDS = [SimtReduction, WarpShuffleReduction, TcFp16Reduction,
+            TcecReduction, ExactReduction]
+
+
+def blocks(n_blocks=6, n=16, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return (scale * rng.standard_normal((n_blocks, n, 4))).astype(np.float32)
+
+
+class _CorruptOutput:
+    """Wrapper corrupting one lane of one output block (test double)."""
+
+    def __init__(self, inner, block, lane, value):
+        self.inner = inner
+        self.block, self.lane, self.value = block, lane, value
+        self.cost_key = inner.cost_key
+        self.name = f"corrupt({inner.name})"
+
+    def reduce4(self, vectors):
+        out = np.array(self.inner.reduce4(vectors), copy=True)
+        out[self.block, self.lane] = self.value
+        return out
+
+
+class TestFaultMask:
+    def test_clean_blocks_pass(self):
+        out = np.ones((5, 4), dtype=np.float32)
+        assert not fault_mask(out).any()
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_nonfinite_detected(self, bad):
+        out = np.ones((5, 4), dtype=np.float32)
+        out[2, 1] = bad
+        mask = fault_mask(out)
+        assert mask.tolist() == [False, False, True, False, False]
+
+    def test_overflow_needs_opt_in(self):
+        out = np.full((2, 4), 70000.0, dtype=np.float32)
+        assert not fault_mask(out).any()
+        assert fault_mask(out, check_overflow=True).all()
+
+    def test_overflow_limit_is_inclusive(self):
+        # FP16 saturation pins sums exactly at the limit; >= must catch it
+        out = np.array([[FP16_MAX, 0, 0, 0], [-FP16_MAX, 0, 0, 0],
+                        [FP16_MAX - 1, 0, 0, 0]], dtype=np.float32)
+        assert fault_mask(out, check_overflow=True).tolist() == [
+            True, True, False]
+
+    def test_multidim_blocks(self):
+        out = np.zeros((3, 5, 4), dtype=np.float32)
+        out[1, 4, 0] = np.nan
+        mask = fault_mask(out)
+        assert mask.shape == (3, 5)
+        assert mask.sum() == 1 and mask[1, 4]
+
+
+class TestFaultLedger:
+    def test_counters_and_rate(self):
+        led = FaultLedger()
+        assert math.isnan(led.fault_rate)
+        led.record_checked(100)
+        led.record_faults(3)
+        led.record_faults(2, site="injected")
+        led.record_recovered(4)
+        led.record_unrecoverable(1)
+        led.record_consumer_zeroed(7)
+        assert led.blocks_faulty == 5
+        assert led.fault_rate == pytest.approx(0.05)
+        assert led.by_site == {"reduce4": 3, "injected": 2}
+        s = led.summary()
+        assert s["blocks_recovered"] == 4
+        assert s["blocks_unrecoverable"] == 1
+        assert s["consumer_zeroed"] == 7
+
+    def test_zero_faults_not_recorded_by_site(self):
+        led = FaultLedger()
+        led.record_faults(0)
+        assert led.by_site == {} and led.blocks_faulty == 0
+
+    def test_merge(self):
+        a, b = FaultLedger(), FaultLedger()
+        a.record_checked(10)
+        a.record_faults(1)
+        b.record_checked(20)
+        b.record_faults(2, site="grid")
+        b.record_consumer_zeroed(3)
+        a.merge(b)
+        assert a.blocks_checked == 30
+        assert a.blocks_faulty == 3
+        assert a.by_site == {"reduce4": 1, "grid": 2}
+        assert a.consumer_zeroed == 3
+
+
+class TestGuardedReduction:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            GuardedReduction(SimtReduction(), policy="panic")
+
+    def test_clean_passthrough(self):
+        v = blocks()
+        guard = GuardedReduction(SimtReduction(), policy="raise")
+        np.testing.assert_array_equal(guard.reduce4(v),
+                                      SimtReduction().reduce4(v))
+        assert guard.ledger.blocks_checked == v.shape[0]
+        assert guard.ledger.blocks_faulty == 0
+
+    def test_naming_and_cost_follow_inner(self):
+        guard = GuardedReduction(TcFp16Reduction())
+        assert guard.name == "guarded(tc-fp16)"
+        assert guard.cost_key == "tc-fp16"
+
+    def test_overflow_check_auto_enabled_for_fp16_accumulator(self):
+        assert GuardedReduction(TcFp16Reduction()).check_overflow
+        assert not GuardedReduction(SimtReduction()).check_overflow
+        assert not GuardedReduction(TcecReduction()).check_overflow
+        assert GuardedReduction(SimtReduction(),
+                                check_overflow=True).check_overflow
+
+    def test_raise_policy(self):
+        inner = _CorruptOutput(SimtReduction(), 1, 2, np.nan)
+        guard = GuardedReduction(inner, policy="raise")
+        with pytest.raises(NumericalFaultError) as exc:
+            guard.reduce4(blocks())
+        assert exc.value.n_blocks == 1
+        assert guard.ledger.blocks_faulty == 1
+
+    def test_ignore_policy_audits_only(self):
+        inner = _CorruptOutput(SimtReduction(), 0, 0, np.inf)
+        guard = GuardedReduction(inner, policy="ignore")
+        out = guard.reduce4(blocks())
+        assert np.isinf(out[0, 0])
+        assert guard.ledger.blocks_faulty == 1
+        assert guard.ledger.blocks_recovered == 0
+
+    def test_degrade_repairs_with_exact_fallback(self):
+        v = blocks()
+        inner = _CorruptOutput(SimtReduction(), 3, 1, np.nan)
+        guard = GuardedReduction(inner, policy="degrade")
+        out = guard.reduce4(v)
+        clean = SimtReduction().reduce4(v)
+        np.testing.assert_array_equal(out, clean)
+        assert guard.ledger.blocks_recovered == 1
+        assert guard.ledger.blocks_unrecoverable == 0
+
+    def test_degrade_fp16_overflow(self):
+        # fp16 accumulator saturates on these sums; the guard must both
+        # detect the saturated blocks and restore FP32 totals
+        v = blocks(scale=9000.0)
+        guard = GuardedReduction(TcFp16Reduction(), policy="degrade")
+        out = guard.reduce4(v)
+        assert guard.ledger.blocks_faulty > 0
+        assert np.all(np.isfinite(out))
+        clean = SimtReduction().reduce4(v)
+        mask = fault_mask(TcFp16Reduction().reduce4(v), check_overflow=True)
+        np.testing.assert_array_equal(out[mask], clean[mask])
+
+    def test_degrade_cannot_repair_corrupt_inputs(self):
+        # NaN in the *inputs* survives any reduction order: the fallback
+        # re-reduction fails too and the ledger records it as unrecoverable
+        v = blocks()
+        v[2, 5, 0] = np.nan
+        guard = GuardedReduction(SimtReduction(), policy="degrade")
+        out = guard.reduce4(v)
+        assert np.isnan(out[2, 0])
+        assert guard.ledger.blocks_unrecoverable == 1
+        assert guard.ledger.blocks_recovered == 0
+
+    def test_shared_ledger_accumulates(self):
+        led = FaultLedger()
+        g1 = GuardedReduction(SimtReduction(), ledger=led)
+        g2 = GuardedReduction(TcFp16Reduction(), ledger=led)
+        g1.reduce4(blocks())
+        g2.reduce4(blocks())
+        assert led.blocks_checked == 12
+
+    def test_guarded_spec_in_backend_registry(self):
+        guard = get_reduction_backend("guarded:tc-fp16", policy="ignore")
+        assert isinstance(guard, GuardedReduction)
+        assert guard.inner.name == "tc-fp16"
+        assert guard.policy == "ignore"
+        with pytest.raises(ValueError, match="unknown reduction backend"):
+            get_reduction_backend("guarded:nope")
+
+
+class TestGuardedProperties:
+    """Hypothesis properties over all back-ends and fault positions."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(backend=st.sampled_from(BACKENDS),
+           n_blocks=st.integers(1, 8),
+           block=st.integers(0, 7),
+           lane=st.integers(0, 3),
+           bad=st.sampled_from([float("nan"), float("inf"), float("-inf")]),
+           seed=st.integers(0, 2 ** 16))
+    def test_injected_nonfinite_always_detected(self, backend, n_blocks,
+                                                block, lane, bad, seed):
+        """A NaN/Inf in any output block of any back-end is always caught."""
+        block = block % n_blocks
+        inner = _CorruptOutput(backend(), block, lane, bad)
+        guard = GuardedReduction(inner, policy="ignore")
+        guard.reduce4(blocks(n_blocks=n_blocks, seed=seed))
+        assert guard.ledger.blocks_faulty >= 1
+        assert guard.ledger.blocks_checked == n_blocks
+
+    @settings(max_examples=40, deadline=None)
+    @given(backend=st.sampled_from(BACKENDS),
+           n_blocks=st.integers(1, 8),
+           block=st.integers(0, 7),
+           lane=st.integers(0, 3),
+           seed=st.integers(0, 2 ** 16))
+    def test_degrade_matches_exact_backend_bitwise(self, backend, n_blocks,
+                                                   block, lane, seed):
+        """Repaired blocks equal the FP32 SIMT fallback bit-for-bit, and
+        untouched blocks keep the wrapped back-end's own totals."""
+        block = block % n_blocks
+        v = blocks(n_blocks=n_blocks, seed=seed)
+        inner = _CorruptOutput(backend(), block, lane, float("nan"))
+        guard = GuardedReduction(inner, policy="degrade",
+                                 check_overflow=False)
+        out = guard.reduce4(v)
+        expect = np.array(backend().reduce4(v), copy=True)
+        expect[block] = SimtReduction().reduce4(v[block])
+        np.testing.assert_array_equal(out, expect)
+        assert guard.ledger.blocks_recovered == 1

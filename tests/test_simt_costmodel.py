@@ -1,6 +1,5 @@
 """Tests for the kernel cost model — including the paper-shape invariants."""
 
-import numpy as np
 import pytest
 
 from repro.simt import (
