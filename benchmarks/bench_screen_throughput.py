@@ -1,0 +1,82 @@
+"""Virtual-screening service throughput: jobs/s and cache hit rate.
+
+Screens a small ligand library that shares one receptor through
+:class:`repro.serve.VirtualScreen` at several worker counts, and emits
+one JSON record per configuration::
+
+    SCREEN-THROUGHPUT {"workers": 2, "jobs_per_second": ..., \
+"cache_hit_rate": ..., ...}
+
+The shared receptor is the interesting part: every job after a worker's
+first should hit the content-addressed grid cache, so the hit rate is a
+direct measure of how much redundant parsing the service removes.  Run
+with ``pytest benchmarks/bench_screen_throughput.py -s``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import DockingConfig
+from repro.io import write_maps, write_pdbqt
+from repro.search.lga import LGAConfig
+from repro.serve import VirtualScreen
+from repro.testcases import get_test_case
+
+#: small budgets: the benchmark measures service overhead + cache reuse,
+#: not LGA convergence
+BENCH_CONFIG = DockingConfig(
+    backend="baseline",
+    lga=LGAConfig(pop_size=8, max_evals=400, max_gens=8,
+                  ls_iters=5, ls_rate=0.25))
+N_LIGANDS = 6
+N_RUNS = 2
+WORKER_COUNTS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def library(tmp_path_factory):
+    """One receptor map set + N jittered ligand poses sharing it."""
+    root = tmp_path_factory.mktemp("screen-bench")
+    case = get_test_case("1u4d")
+    fld = write_maps(case.maps, root, stem="receptor")
+    rng = np.random.default_rng(0)
+    ligands = []
+    for i in range(N_LIGANDS):
+        path = root / f"lig{i}.pdbqt"
+        jitter = rng.normal(0, 0.05, size=case.ligand.ref_coords.shape)
+        write_pdbqt(case.ligand, path,
+                    coords=case.ligand.ref_coords + jitter)
+        ligands.append(str(path))
+    return fld, ligands
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_screen_throughput(library, workers, capsys):
+    fld, ligands = library
+    screen = VirtualScreen(fld=fld, ligands=ligands,
+                           config=BENCH_CONFIG, n_runs=N_RUNS, seed=11)
+    report = screen.run(workers=workers)
+
+    s = report.stats
+    record = {
+        "workers": workers,
+        "ligands": N_LIGANDS,
+        "runs_per_ligand": N_RUNS,
+        "jobs_completed": s["jobs_completed"],
+        "jobs_failed": s["jobs_failed"],
+        "wall_seconds": round(s["wall_seconds"], 3),
+        "jobs_per_second": round(s["jobs_per_second"], 3),
+        "cache_hits": s["cache"]["hits"],
+        "cache_misses": s["cache"]["misses"],
+        "cache_hit_rate": round(s["cache"]["hit_rate"], 3),
+    }
+    with capsys.disabled():
+        print(f"\nSCREEN-THROUGHPUT {json.dumps(record)}")
+
+    assert s["jobs_completed"] == N_LIGANDS
+    assert s["jobs_failed"] == 0
+    assert s["jobs_per_second"] > 0
+    # ligands share one receptor: the grid cache must be doing work
+    assert record["cache_hit_rate"] > 0

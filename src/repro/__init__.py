@@ -22,6 +22,7 @@ Quick start::
 """
 
 from repro.core import DockingConfig, DockingEngine, DockingResult
+from repro.serve import VirtualScreen
 from repro.testcases import get_test_case, set_of_42
 
 __version__ = "1.0.0"
@@ -30,6 +31,7 @@ __all__ = [
     "DockingConfig",
     "DockingEngine",
     "DockingResult",
+    "VirtualScreen",
     "get_test_case",
     "set_of_42",
     "__version__",

@@ -43,6 +43,30 @@ class RunOutcome:
     first_success_score: int | None
     first_success_rmsd: int | None
 
+    def to_dict(self) -> dict:
+        """JSON-ready dict (``inf`` RMSDs survive as the string "inf")."""
+        rmsd_ = float(self.best_rmsd)
+        return {
+            "best_score": float(self.best_score),
+            "best_rmsd": "inf" if np.isinf(rmsd_) else rmsd_,
+            "evals_used": int(self.evals_used),
+            "first_success_score": self.first_success_score,
+            "first_success_rmsd": self.first_success_rmsd,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunOutcome":
+        """Inverse of :meth:`to_dict`."""
+        first_s = d["first_success_score"]
+        first_r = d["first_success_rmsd"]
+        return cls(
+            best_score=float(d["best_score"]),
+            best_rmsd=float(d["best_rmsd"]),
+            evals_used=int(d["evals_used"]),
+            first_success_score=None if first_s is None else int(first_s),
+            first_success_rmsd=None if first_r is None else int(first_r),
+        )
+
 
 def evaluate_run(result: LGAResult, case: TestCase,
                  criteria: SuccessCriteria | None = None) -> RunOutcome:

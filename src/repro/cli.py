@@ -86,6 +86,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "inject":
         return inject_main(argv[1:])
+    if argv and argv[0] == "screen":
+        return screen_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.case is None and args.ffile is None:
@@ -247,6 +249,125 @@ def inject_main(argv: list[str] | None = None) -> int:
     print(f"best-score drift vs baseline: ignore {drift_ignore:.3f}, "
           f"degrade {drift_degrade:.3f} kcal/mol")
     return 0
+
+
+def build_screen_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="autodock-py screen",
+        description="Virtual screening service: fan a ligand library "
+                    "across a sharded worker pool (repro.serve), with a "
+                    "content-addressed grid cache, crash recovery and a "
+                    "resumable ranked manifest.")
+    t = p.add_argument_group("target (pick one style)")
+    t.add_argument("-ffile", default=None,
+                   help="AutoGrid .maps.fld index shared by every ligand")
+    t.add_argument("-case", default=None,
+                   help="named library case whose maps every ligand "
+                        "docks into")
+    t.add_argument("--cases", nargs="+", default=None, metavar="NAME",
+                   help="screen named library cases (each docks its own "
+                        "ligand; no files needed)")
+    p.add_argument("-l", "--ligands", nargs="+", default=None,
+                   metavar="PDBQT", help="ligand PDBQT files to screen")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes (0 = run inline)")
+    p.add_argument("-nrun", type=int, default=4,
+                   help="LGA runs per ligand")
+    p.add_argument("-seed", type=int, default=2025,
+                   help="master entropy; job i uses the spawned stream "
+                        "(seed, spawn_key=(i,))")
+    p.add_argument("--tensor", default="tcec-tf32",
+                   choices=("baseline", "tc-fp16", "tcec-tf32", "exact"),
+                   help="reduction backend for every job")
+    p.add_argument("--device", default="A100",
+                   choices=("A100", "H100", "B200"))
+    p.add_argument("--nwi", type=int, default=64,
+                   choices=(32, 64, 128, 256))
+    p.add_argument("--evals", type=int, default=4_000,
+                   help="max score evaluations per run")
+    p.add_argument("--pop", type=int, default=16, help="population size")
+    p.add_argument("--lsit", type=int, default=20,
+                   help="max local-search iterations")
+    p.add_argument("--manifest", default="screen_manifest.json",
+                   help="resumable ranked manifest path (JSON, written "
+                        "atomically after every job)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip jobs already completed in --manifest")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retry budget per crashed/failed job")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   metavar="SEC", help="per-job watchdog budget")
+    p.add_argument("--cache-mb", type=int, default=256,
+                   help="per-worker content cache capacity [MiB]")
+    p.add_argument("--top", type=int, default=10,
+                   help="ranked hits to print")
+    return p
+
+
+def screen_main(argv: list[str] | None = None) -> int:
+    """The ``autodock-py screen`` subcommand."""
+    from repro.serve import VirtualScreen
+
+    args = build_screen_parser().parse_args(argv)
+    styles = sum(x is not None for x in (args.ffile, args.case, args.cases))
+    if styles != 1:
+        print("error: pass exactly one of -ffile, -case or --cases",
+              file=sys.stderr)
+        return 2
+    if args.cases is None and not args.ligands:
+        print("error: -ffile/-case need -l <ligand.pdbqt> ...",
+              file=sys.stderr)
+        return 2
+
+    cfg = DockingConfig(
+        backend=args.tensor, device=args.device, block_size=args.nwi,
+        lga=LGAConfig(pop_size=args.pop, max_evals=args.evals,
+                      max_gens=max(1, args.evals // args.pop),
+                      ls_iters=args.lsit, ls_rate=0.25))
+    screen = VirtualScreen(
+        cases=args.cases, ligands=args.ligands, fld=args.ffile,
+        case=args.case, config=cfg, n_runs=args.nrun, seed=args.seed)
+
+    n_jobs = (len(args.cases) if args.cases is not None
+              else len(args.ligands))
+    print(f"Screening {n_jobs} ligands with backend={args.tensor} on "
+          f"{args.device}/{args.nwi}wi, {args.workers} workers, "
+          f"{args.nrun} runs each ...")
+
+    done = {"n": 0}
+
+    def stream(result):
+        done["n"] += 1
+        if result.status == "ok":
+            print(f"  [{done['n']}/{n_jobs}] {result.label}: "
+                  f"best {result.best_score:+.3f} kcal/mol "
+                  f"({result.attempts} attempt(s), "
+                  f"{result.wall_seconds:.2f}s)")
+        else:
+            err = (result.error or {}).get("error_type", "unknown")
+            print(f"  [{done['n']}/{n_jobs}] {result.label}: FAILED "
+                  f"({err} after {result.attempts} attempt(s))")
+
+    report = screen.run(workers=args.workers, manifest=args.manifest,
+                        resume=args.resume, stream=stream,
+                        retries=args.retries,
+                        job_wall_seconds=args.job_timeout,
+                        cache_bytes=args.cache_mb * 1024 * 1024)
+
+    s = report.stats
+    print(f"\nScreen finished: {s['jobs_completed']} new, "
+          f"{s['jobs_cached']} cached, {s['jobs_failed']} failed "
+          f"({s['jobs_per_second']:.2f} jobs/s over "
+          f"{s['wall_seconds']:.1f}s)")
+    c = s["cache"]
+    print(f"Grid cache: {c['hits']} hits / {c['misses']} misses "
+          f"(hit rate {c['hit_rate']:.0%})")
+    print(f"\nTop hits (of {len(report.ranking)} ranked):")
+    for hit in report.ranking[: args.top]:
+        print(f"  #{hit['rank']:<3} {hit['label']:<24} "
+              f"{hit['best_score']:+9.3f} kcal/mol  [{hit['status']}]")
+    print(f"Manifest written to {report.manifest_path}")
+    return 1 if s["jobs_failed"] else 0
 
 
 def replace_case_ligand(case, ligand):

@@ -1,11 +1,37 @@
-"""Engine configuration: back-end, target device, block size, LGA budgets."""
+"""Engine configuration: back-end, target device, block size, LGA budgets.
+
+Seeding contract (entropy vs spawn keys)
+----------------------------------------
+Every entry point that takes a ``seed`` (:meth:`DockingEngine.dock
+<repro.core.engine.DockingEngine.dock>`,
+:class:`~repro.search.parallel.ParallelLGA`) accepts either a plain int or
+a :class:`numpy.random.SeedSequence`, and the two occupy *disjoint* stream
+keyspaces:
+
+* a plain int ``s`` is interpreted as ``SeedSequence(entropy=s)`` — root of
+  the keyspace, empty ``spawn_key``;
+* multi-process callers (the :mod:`repro.serve` worker pool) must derive
+  per-job sequences by *spawning* —
+  ``SeedSequence(entropy=master, spawn_key=(job_index,))`` — never by
+  handing sibling workers arithmetic ints (``master + i`` collides with a
+  user who passes those same ints as independent experiment seeds).
+
+Internally every consumer only ever **spawns children** from the sequence
+it is given (run streams are children ``(i,)``; the Solis-Wets sampler
+uses a reserved high stream key, see
+:data:`repro.search.parallel.SW_STREAM_KEY`), so two sibling spawned
+sequences can never collide with each other or with any plain-int seed.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
 from repro.analysis.success import SuccessCriteria
+from repro.search.adadelta import AdadeltaConfig
+from repro.search.ga import GAConfig
 from repro.search.lga import LGAConfig
+from repro.search.solis_wets import SolisWetsConfig
 from repro.simt.costmodel import REDUCTION_BACKENDS
 
 __all__ = ["DockingConfig"]
@@ -76,3 +102,29 @@ class DockingConfig:
     def cost_backend(self) -> str:
         """Cost-model key ('exact' prices like the FP32 baseline)."""
         return "baseline" if self.backend == "exact" else self.backend
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (service manifests, job hashing, future RPC)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict covering every nested config dataclass."""
+        from dataclasses import asdict
+        d = asdict(self)
+        d["lga"]["adadelta"] = (None if self.lga.adadelta is None
+                                else asdict(self.lga.adadelta))
+        d["lga"]["solis_wets"] = (None if self.lga.solis_wets is None
+                                  else asdict(self.lga.solis_wets))
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DockingConfig":
+        """Inverse of :meth:`to_dict`."""
+        d = dict(d)
+        lga = dict(d.pop("lga"))
+        lga["ga"] = GAConfig(**lga.pop("ga"))
+        ad = lga.pop("adadelta")
+        lga["adadelta"] = None if ad is None else AdadeltaConfig(**ad)
+        sw = lga.pop("solis_wets")
+        lga["solis_wets"] = None if sw is None else SolisWetsConfig(**sw)
+        criteria = SuccessCriteria(**d.pop("criteria"))
+        return cls(lga=LGAConfig(**lga), criteria=criteria, **d)

@@ -32,7 +32,7 @@ from repro.reduction.api import ReductionBackend, get_reduction_backend
 from repro.robustness import FaultLedger, GuardedReduction
 from repro.robustness.inject import FaultInjector, InjectingReduction
 from repro.search.lga import LGAResult, LGARun
-from repro.search.parallel import ParallelLGA
+from repro.search.parallel import ParallelLGA, as_seed_sequence
 from repro.testcases.generator import TestCase
 
 __all__ = ["DockingEngine", "DockingResult"]
@@ -92,6 +92,43 @@ class DockingResult:
             return float("nan")
         return self.runtime_seconds * 1e6 / self.total_evals
 
+    # ------------------------------------------------------------------
+    # JSON round-trip (service manifests, RPC payloads)
+
+    def to_dict(self, include_history: bool = True) -> dict:
+        """JSON-ready dict; round-trips through :meth:`from_dict`.
+
+        ``include_history=False`` drops the per-run improvement traces —
+        virtual-screen manifests only need the final poses and metrics.
+        """
+        return {
+            "case_name": self.case_name,
+            "config": self.config.to_dict(),
+            "runs": [r.to_dict(include_history=include_history)
+                     for r in self.runs],
+            "outcomes": [o.to_dict() for o in self.outcomes],
+            "total_evals": int(self.total_evals),
+            "generations": int(self.generations),
+            "runtime_seconds": float(self.runtime_seconds),
+            "final_rmsds": [float(x) for x in self.final_rmsds],
+            "fault_stats": self.fault_stats,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DockingResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            case_name=d["case_name"],
+            config=DockingConfig.from_dict(d["config"]),
+            runs=[LGAResult.from_dict(r) for r in d["runs"]],
+            outcomes=[RunOutcome.from_dict(o) for o in d["outcomes"]],
+            total_evals=int(d["total_evals"]),
+            generations=int(d["generations"]),
+            runtime_seconds=float(d["runtime_seconds"]),
+            final_rmsds=[float(x) for x in d["final_rmsds"]],
+            fault_stats=d.get("fault_stats"),
+        )
+
 
 class DockingEngine:
     """Dock one test case under a full experiment configuration."""
@@ -126,18 +163,29 @@ class DockingEngine:
         return GuardedReduction(inner, policy=cfg.fault_policy,
                                 ledger=ledger), ledger
 
-    def dock(self, n_runs: int = 20, seed: int = 0) -> DockingResult:
-        """Run ``n_runs`` independent LGA runs and collect all metrics."""
+    def dock(self, n_runs: int = 20,
+             seed: int | np.random.SeedSequence = 0,
+             on_generation=None) -> DockingResult:
+        """Run ``n_runs`` independent LGA runs and collect all metrics.
+
+        ``seed`` is a plain int or a spawned
+        :class:`numpy.random.SeedSequence` (the multi-process seeding
+        contract is documented in :mod:`repro.core.config`).
+        ``on_generation(generations, evals)`` is forwarded to the
+        lock-step runner so a :class:`repro.robustness.Watchdog` can abort
+        a runaway job cleanly (AutoStop runs terminate per run and ignore
+        the hook).
+        """
         cfg = self.config
         backend, ledger = self._build_backend()
         if not cfg.lga.autostop:
             runner = ParallelLGA(self.scoring, backend, cfg.lga,
                                  seed=seed)
-            runs = runner.run(n_runs)
+            runs = runner.run(n_runs, on_generation=on_generation)
         else:
             # AutoStop needs per-run termination control; run sequentially
             # with independent spawned generators
-            sseq = np.random.SeedSequence(seed)
+            sseq = as_seed_sequence(seed)
             runs = [LGARun(self.scoring, backend, cfg.lga,
                            np.random.Generator(np.random.PCG64(s))).run()
                     for s in sseq.spawn(n_runs)]

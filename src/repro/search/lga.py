@@ -71,6 +71,34 @@ class LGAResult:
     #: (evals_used, score, genotype-copy) at every best-score improvement
     history: list[tuple[int, float, np.ndarray]]
 
+    def to_dict(self, include_history: bool = True) -> dict:
+        """JSON-ready dict (genotypes become plain lists).
+
+        ``include_history=False`` drops the improvement trace — manifests
+        of large virtual screens only need the final pose.
+        """
+        return {
+            "best_genotype": [float(x) for x in self.best_genotype],
+            "best_score": float(self.best_score),
+            "evals_used": int(self.evals_used),
+            "generations": int(self.generations),
+            "history": [[int(e), float(s), [float(x) for x in g]]
+                        for e, s, g in self.history] if include_history
+                       else [],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LGAResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            best_genotype=np.asarray(d["best_genotype"], dtype=np.float64),
+            best_score=float(d["best_score"]),
+            evals_used=int(d["evals_used"]),
+            generations=int(d["generations"]),
+            history=[(int(e), float(s), np.asarray(g, dtype=np.float64))
+                     for e, s, g in d.get("history", [])],
+        )
+
 
 class LGARun:
     """One independent LGA run bound to a scoring function and back-end.

@@ -24,7 +24,29 @@ from repro.search.ga import GeneticAlgorithm
 from repro.search.lga import LGAConfig, LGAResult
 from repro.search.solis_wets import SolisWetsConfig, SolisWetsLocalSearch
 
-__all__ = ["ParallelLGA"]
+__all__ = ["ParallelLGA", "SW_STREAM_KEY", "as_seed_sequence"]
+
+#: reserved spawn-key component of the Solis-Wets sampler stream.  Run
+#: streams are children ``(0,), (1,), ...`` of the master sequence; keying
+#: the SW stream at ``2**31`` keeps it disjoint from any realistic run
+#: count, and extending the *given* sequence's spawn_key keeps sibling
+#: spawned sequences disjoint from each other (see the seeding contract in
+#: :mod:`repro.core.config`).
+SW_STREAM_KEY = 2 ** 31
+
+
+def as_seed_sequence(seed: int | np.random.SeedSequence) \
+        -> np.random.SeedSequence:
+    """Normalise a plain-int or SeedSequence seed to a *fresh* sequence.
+
+    A fresh (never-spawned-from) copy is returned even for SeedSequence
+    inputs, so repeated calls spawn identical children — callers stay
+    deterministic without sharing spawn state.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.SeedSequence(entropy=seed.entropy,
+                                      spawn_key=seed.spawn_key)
+    return np.random.SeedSequence(seed)
 
 
 class ParallelLGA:
@@ -63,12 +85,16 @@ class ParallelLGA:
         else:
             sw_cfg = self.config.solis_wets or SolisWetsConfig(
                 max_iters=self.config.ls_iters)
+            base = as_seed_sequence(seed)
+            # reserved stream: disjoint from the run streams (children
+            # (i,)) and, because the base spawn_key is extended rather
+            # than discarded, from every sibling spawned sequence
             sw_seq = np.random.SeedSequence(
-                seed if not isinstance(seed, np.random.SeedSequence)
-                else seed.entropy)
+                entropy=base.entropy,
+                spawn_key=(*base.spawn_key, SW_STREAM_KEY))
             self.local_search = SolisWetsLocalSearch(
                 scoring, sw_cfg,
-                np.random.Generator(np.random.PCG64(sw_seq.spawn(1)[0])))
+                np.random.Generator(np.random.PCG64(sw_seq)))
 
     def run(self, n_runs: int, on_generation=None) -> list[LGAResult]:
         """Execute ``n_runs`` lock-step LGA runs; one result per run.
@@ -80,8 +106,7 @@ class ParallelLGA:
         cfg = self.config
         sf = self.scoring
         maps = sf.maps
-        sseq = (self.seed if isinstance(self.seed, np.random.SeedSequence)
-                else np.random.SeedSequence(self.seed))
+        sseq = as_seed_sequence(self.seed)
         rngs = [np.random.Generator(np.random.PCG64(s))
                 for s in sseq.spawn(n_runs)]
         gas = [GeneticAlgorithm(cfg.ga, rng) for rng in rngs]

@@ -1,0 +1,46 @@
+"""Sharded virtual-screening service layer.
+
+Turns the one-shot :class:`~repro.core.engine.DockingEngine` into a
+multi-process screening pipeline, the deployment shape the paper's
+throughput argument is about (screening large ligand libraries):
+
+* :mod:`repro.serve.queue` — priority :class:`JobQueue` of
+  content-addressed :class:`DockingJob` units, with dedup and bounded
+  backpressure (:class:`QueueFull`);
+* :mod:`repro.serve.cache` — per-worker content-addressed LRU
+  :class:`ContentCache` so a screen parses its receptor grids once, not
+  once per ligand;
+* :mod:`repro.serve.pool` — spawn-safe multiprocessing
+  :class:`WorkerPool` with crash recovery, watchdog timeouts and
+  retry-with-backoff;
+* :mod:`repro.serve.screen` — the high-level :class:`VirtualScreen` API:
+  streamed :class:`JobResult` records, an atomic resumable manifest and
+  a ranked hit list (also the ``screen`` CLI subcommand).
+"""
+
+from repro.serve.cache import ContentCache, file_sha256, maps_digest
+from repro.serve.pool import JobResult, WorkerPool, execute_job
+from repro.serve.queue import (
+    DockingJob,
+    JobQueue,
+    QueueFull,
+    seed_from_spec,
+    spawn_seed,
+)
+from repro.serve.screen import ScreenReport, VirtualScreen
+
+__all__ = [
+    "ContentCache",
+    "DockingJob",
+    "JobQueue",
+    "JobResult",
+    "QueueFull",
+    "ScreenReport",
+    "VirtualScreen",
+    "WorkerPool",
+    "execute_job",
+    "file_sha256",
+    "maps_digest",
+    "seed_from_spec",
+    "spawn_seed",
+]

@@ -1,0 +1,265 @@
+"""Content-addressed LRU cache for receptor grids and parsed ligands.
+
+A 1000-ligand virtual screen re-uses one receptor: without a cache every
+job re-parses the ``.maps.fld`` index and its per-type ``.map`` files —
+by far the most expensive part of small docking jobs.  The
+:class:`ContentCache` keys everything by the SHA-256 of the *file bytes*
+(plus grid parameters where relevant), so renamed or copied inputs still
+hit, while any content change misses — and is bounded by a byte capacity
+with LRU eviction, so a long-running worker cannot grow without limit.
+
+Workers each own a private cache (caches are process-local; the service
+layer aggregates the per-job hit/miss deltas into screen-level stats).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["ContentCache", "file_sha256", "maps_digest",
+           "load_ligand", "load_maps", "load_case"]
+
+#: default worker cache capacity [bytes]
+DEFAULT_CAPACITY = 256 * 1024 * 1024
+
+
+def file_sha256(*paths: str | Path) -> str:
+    """SHA-256 over the concatenated bytes of one or more files."""
+    h = hashlib.sha256()
+    for path in paths:
+        h.update(Path(path).read_bytes())
+    return h.hexdigest()
+
+
+def maps_digest(fld_path: str | Path) -> str:
+    """Content digest of a ``.maps.fld`` grid set.
+
+    Covers the index *and* every referenced ``.map`` file, in index
+    order — editing any single grid value changes the digest.
+    """
+    fld_path = Path(fld_path)
+    referenced = [fld_path]
+    for line in fld_path.read_text().splitlines():
+        if line.startswith("variable"):
+            for token in line.split():
+                if token.startswith("file="):
+                    referenced.append(fld_path.parent / token[5:])
+    return file_sha256(*referenced)
+
+
+class ContentCache:
+    """Byte-capacity-bounded LRU mapping content keys to parsed objects.
+
+    Thread-safe; hit / miss / eviction counters are cumulative and
+    :meth:`stats` snapshots are cheap, so per-job deltas can be taken by
+    subtracting two snapshots.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total size budget.  Entries larger than the whole capacity are
+        returned to the caller but never stored (counted under
+        ``oversize``).
+    """
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CAPACITY) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self._entries: OrderedDict[str, tuple[object, int]] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.oversize = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes
+
+    def get_or_build(self, key: str, builder, size_of=None):
+        """Return the cached value for ``key``, building it on a miss.
+
+        ``builder()`` produces the value; ``size_of(value)`` its byte
+        cost (defaults to :func:`sizeof`).  The LRU order is refreshed on
+        hits.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry[0]
+            self.misses += 1
+        value = builder()
+        size = int((size_of or sizeof)(value))
+        with self._lock:
+            if key in self._entries:      # racing builder won; keep ours
+                return value
+            if size > self.capacity_bytes:
+                self.oversize += 1
+                return value
+            self._entries[key] = (value, size)
+            self._bytes += size
+            while self._bytes > self.capacity_bytes:
+                _, (_, evicted_size) = self._entries.popitem(last=False)
+                self._bytes -= evicted_size
+                self.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def stats(self) -> dict:
+        """Cumulative counters (JSON-ready)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "oversize": self.oversize,
+                "entries": len(self._entries),
+                "bytes_used": self._bytes,
+                "capacity_bytes": self.capacity_bytes,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }
+
+    @staticmethod
+    def delta(before: dict, after: dict) -> dict:
+        """Per-job counter delta between two :meth:`stats` snapshots."""
+        d = {k: after[k] - before[k]
+             for k in ("hits", "misses", "evictions", "oversize")}
+        lookups = d["hits"] + d["misses"]
+        d["hit_rate"] = d["hits"] / lookups if lookups else 0.0
+        return d
+
+
+def sizeof(value) -> int:
+    """Byte-cost estimate for the objects the service layer caches."""
+    arrays = []
+    if isinstance(value, np.ndarray):
+        arrays.append(value)
+    for attr in ("affinity", "elec", "desolv_v", "desolv_s",
+                 "ref_coords", "charges", "coords",
+                 "native_genotype", "native_coords"):
+        arr = getattr(value, attr, None)
+        if isinstance(arr, np.ndarray):
+            arrays.append(arr)
+    for attr in ("maps", "ligand", "receptor"):
+        nested = getattr(value, attr, None)
+        if nested is not None:
+            arrays.extend(a for a in (
+                getattr(nested, n, None)
+                for n in ("affinity", "elec", "desolv_v", "desolv_s",
+                          "ref_coords", "charges", "coords"))
+                if isinstance(a, np.ndarray))
+    return sum(a.nbytes for a in arrays) + 1024
+
+
+# ---------------------------------------------------------------------------
+# cached loaders (the keys ARE the content addresses)
+
+
+def load_ligand(path: str | Path, cache: ContentCache | None = None,
+                digest: str | None = None):
+    """Parse a PDBQT ligand through the cache (key: file SHA-256)."""
+    from repro.io import read_pdbqt
+    if cache is None:
+        return read_pdbqt(path)
+    digest = digest or file_sha256(path)
+    return cache.get_or_build(f"ligand/{digest}",
+                              lambda: read_pdbqt(path))
+
+
+def load_maps(fld_path: str | Path, cache: ContentCache | None = None,
+              digest: str | None = None):
+    """Load AutoGrid maps through the cache.
+
+    The key covers the bytes of the index and every referenced map file
+    — i.e. the full grid content including spacing/shape parameters,
+    which live in the map headers.
+    """
+    from repro.io import read_maps
+    if cache is None:
+        return read_maps(fld_path)
+    digest = digest or maps_digest(fld_path)
+    return cache.get_or_build(f"maps/{digest}",
+                              lambda: read_maps(fld_path))
+
+
+def load_case(spec: dict, cache: ContentCache | None = None):
+    """Assemble the :class:`~repro.testcases.generator.TestCase` a job
+    spec describes, sharing parsed receptors/ligands via the cache.
+
+    Spec kinds (see :class:`repro.serve.queue.DockingJob`):
+
+    * ``{"kind": "case", "case": name}`` — a named library case;
+    * ``{"kind": "case-ligand", "case": name, "ligand": path}`` — an
+      external PDBQT ligand docked into a library case's maps;
+    * ``{"kind": "files", "fld": path, "ligand": path}`` — AutoGrid maps
+      plus a PDBQT ligand, fully file-based.
+
+    ``*_sha256`` entries (stamped by the screen layer at submit time) are
+    reused as cache keys so workers skip re-hashing.
+    """
+    kind = spec.get("kind")
+    if kind == "case":
+        from repro.testcases import get_test_case
+        if cache is None:
+            return get_test_case(spec["case"])
+        return cache.get_or_build(
+            f"case/{spec['case']}",
+            lambda: get_test_case(spec["case"]))
+    if kind == "case-ligand":
+        from repro.cli import replace_case_ligand
+        base = load_case({"kind": "case", "case": spec["case"]}, cache)
+        ligand = load_ligand(spec["ligand"], cache,
+                             spec.get("ligand_sha256"))
+        return replace_case_ligand(base, ligand)
+    if kind == "files":
+        from repro.cli import case_from_files
+        if cache is None:
+            return case_from_files(spec["fld"], spec["ligand"])
+        maps = load_maps(spec["fld"], cache, spec.get("fld_sha256"))
+        ligand = load_ligand(spec["ligand"], cache,
+                             spec.get("ligand_sha256"))
+        return _assemble_file_case(maps, ligand)
+    raise ValueError(f"unknown job spec kind {kind!r}")
+
+
+def _assemble_file_case(maps, ligand):
+    """File-based case assembly against already-parsed maps/ligand.
+
+    Mirrors :func:`repro.cli.case_from_files` but takes parsed objects so
+    the cache, not the filesystem, is the source of truth.
+    """
+    from repro.docking.pose import calc_coords
+    from repro.docking.receptor import Receptor
+    from repro.testcases.generator import TestCase
+
+    missing = set(ligand.atom_types) - set(maps.type_names)
+    if missing:
+        raise ValueError(f"maps lack atom types {sorted(missing)}")
+    native = np.zeros(6 + ligand.n_rot)
+    native[0:3] = (maps.box_lo + maps.box_hi) / 2.0
+    placeholder = Receptor(name="from-maps", atom_types=["C"],
+                           coords=np.array([[1e6, 1e6, 1e6]]),
+                           charges=np.zeros(1))
+    return TestCase(name=ligand.name, ligand=ligand, receptor=placeholder,
+                    maps=maps, native_genotype=native,
+                    native_coords=calc_coords(ligand, native),
+                    global_min_score=float("-inf"))

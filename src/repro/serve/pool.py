@@ -1,0 +1,434 @@
+"""Sharded multiprocessing worker pool with crash recovery.
+
+Workers are spawn-started processes (spawn-safe by construction: no
+inherited RNG or cache state) that steal :class:`~repro.serve.queue.DockingJob`
+work from a shared task queue, each owning a private
+:class:`~repro.serve.cache.ContentCache`.  The parent tracks in-flight
+jobs through ``started`` acknowledgements, so a worker that is killed
+mid-job (OOM, segfault, operator) is detected by liveness polling, its
+job re-queued with exponential backoff (the
+:class:`~repro.analysis.campaign.E50Campaign` retry idiom) and a
+replacement worker spawned.  Per-job wall-clock budgets reuse the
+cooperative :class:`~repro.robustness.Watchdog` inside the worker, backed
+by a parent-side hard lease for workers too wedged to cooperate.
+
+Completions are idempotent by job id, so the at-least-once dispatch that
+crash recovery implies can never produce duplicate results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from repro.serve.cache import DEFAULT_CAPACITY, ContentCache, load_case
+from repro.serve.queue import DockingJob, seed_from_spec
+
+__all__ = ["JobResult", "WorkerPool", "execute_job"]
+
+#: exit code a worker uses for the injected-crash test hook
+_CRASH_EXIT = 17
+
+
+@dataclass
+class JobResult:
+    """Terminal record of one job (streamed and manifest-persisted)."""
+
+    job_id: str
+    label: str
+    status: str                       # "ok" | "failed" | "cached"
+    attempts: int = 1
+    worker_id: int | None = None
+    wall_seconds: float = 0.0
+    #: serialized :class:`~repro.core.engine.DockingResult` (``ok`` only)
+    result: dict | None = None
+    #: per-job cache hit/miss/eviction deltas
+    cache: dict | None = None
+    error: dict | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def best_score(self) -> float | None:
+        if self.result is None:
+            return None
+        return min(r["best_score"] for r in self.result["runs"])
+
+    def to_dict(self) -> dict:
+        return {"job_id": self.job_id, "label": self.label,
+                "status": self.status, "attempts": self.attempts,
+                "worker_id": self.worker_id,
+                "wall_seconds": self.wall_seconds, "result": self.result,
+                "cache": self.cache, "error": self.error,
+                "extra": dict(self.extra)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JobResult":
+        return cls(job_id=d["job_id"], label=d.get("label", ""),
+                   status=d["status"], attempts=int(d.get("attempts", 1)),
+                   worker_id=d.get("worker_id"),
+                   wall_seconds=float(d.get("wall_seconds", 0.0)),
+                   result=d.get("result"), cache=d.get("cache"),
+                   error=d.get("error"), extra=d.get("extra", {}))
+
+
+def execute_job(job: DockingJob, cache: ContentCache | None = None,
+                wall_seconds: float | None = None,
+                include_history: bool = False) -> dict:
+    """Run one docking job; returns the ``ok`` payload dict.
+
+    Raises whatever the engine raises — the caller (worker loop or
+    inline pool) decides on retry policy.
+    """
+    from repro.core.engine import DockingEngine
+    from repro.robustness import Watchdog
+
+    before = cache.stats() if cache is not None else None
+    t0 = time.monotonic()
+    case = load_case(job.spec, cache)
+    engine = DockingEngine(case, job.config)
+    watchdog = (Watchdog(wall_seconds=wall_seconds)
+                if wall_seconds is not None else None)
+    result = engine.dock(
+        n_runs=job.n_runs, seed=seed_from_spec(job.seed),
+        on_generation=watchdog.check if watchdog is not None else None)
+    payload = {
+        "result": result.to_dict(include_history=include_history),
+        "wall_seconds": time.monotonic() - t0,
+    }
+    if cache is not None:
+        payload["cache"] = ContentCache.delta(before, cache.stats())
+    return payload
+
+
+def _maybe_inject_crash(job: DockingJob) -> None:
+    """Crash-once fault-injection hook for the recovery tests.
+
+    A job spec carrying ``"crash_once": <path>`` makes the *first* worker
+    that picks it up die hard (``os._exit``, no cleanup — the closest
+    portable stand-in for a kill -9 mid-job); the path acts as the
+    fired-once marker, so the retry proceeds normally.  Mirrors the
+    deterministic fault injection of :mod:`repro.robustness.inject`.
+    """
+    marker = job.spec.get("crash_once")
+    if marker and not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write(job.job_id)
+        # give the result queue's feeder thread a beat to flush the
+        # "started" ack — a crash *mid-job* (ack delivered) exercises the
+        # worker-liveness recovery path; a crash before the ack lands in
+        # the slower lost-dispatch backstop instead
+        time.sleep(0.25)
+        os._exit(_CRASH_EXIT)
+
+
+def _worker_main(task_q, result_q, worker_id: int, cache_bytes: int,
+                 wall_seconds: float | None,
+                 include_history: bool) -> None:
+    """Worker loop: steal a job, ack, execute, report; ``None`` drains."""
+    cache = ContentCache(cache_bytes)
+    while True:
+        job = task_q.get()
+        if job is None:
+            result_q.put(("bye", None, worker_id, None))
+            return
+        result_q.put(("started", job.job_id, worker_id, None))
+        _maybe_inject_crash(job)
+        try:
+            payload = execute_job(job, cache, wall_seconds=wall_seconds,
+                                  include_history=include_history)
+            result_q.put(("done", job.job_id, worker_id, payload))
+        except Exception as exc:
+            from repro.robustness import WatchdogTimeout
+            result_q.put(("failed", job.job_id, worker_id, {
+                "error_type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(limit=10),
+                # watchdog aborts are deterministic: retrying burns the
+                # same budget again (the campaign convention)
+                "retryable": not isinstance(exc, WatchdogTimeout),
+            }))
+
+
+class WorkerPool:
+    """Fan :class:`DockingJob` work across spawn-safe worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; ``0`` executes inline in the parent (no
+        multiprocessing — deterministic and convenient for tests and as
+        the sequential baseline of the throughput benchmark).
+    retries:
+        Extra attempts for a job whose worker crashed or raised a
+        transient error.
+    backoff:
+        Base of the exponential re-queue delay: attempt ``k`` waits
+        ``backoff * 2**(k-1)`` seconds.
+    job_wall_seconds:
+        Cooperative per-job watchdog budget (``None`` disables).
+    lease_seconds:
+        Parent-side hard lease: an in-flight job older than this gets its
+        worker terminated and is treated as a crash.  Defaults to
+        ``4 * job_wall_seconds`` when a watchdog budget is set.
+    cache_bytes:
+        Per-worker :class:`ContentCache` capacity.
+    start_method:
+        ``multiprocessing`` start method; ``"spawn"`` (default) is the
+        portable, state-leak-free choice.
+    include_history:
+        Keep per-run improvement traces in result payloads (large).
+    max_respawns:
+        Crash-loop breaker: worker replacements allowed per :meth:`map`
+        call before the pool aborts with ``RuntimeError`` instead of
+        respawning forever (default ``8 * workers``).  Guards against
+        systematically-broken worker environments — e.g. a ``spawn``
+        ``__main__`` that cannot be re-imported, where every worker dies
+        on startup before ever taking a job.
+    """
+
+    def __init__(self, workers: int = 2, retries: int = 2,
+                 backoff: float = 0.25,
+                 job_wall_seconds: float | None = None,
+                 lease_seconds: float | None = None,
+                 cache_bytes: int = DEFAULT_CAPACITY,
+                 start_method: str = "spawn",
+                 include_history: bool = False,
+                 poll_seconds: float = 0.1,
+                 stall_seconds: float = 10.0,
+                 max_respawns: int | None = None) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers
+        self.retries = retries
+        self.backoff = backoff
+        self.job_wall_seconds = job_wall_seconds
+        if lease_seconds is None and job_wall_seconds is not None:
+            lease_seconds = 4.0 * job_wall_seconds
+        self.lease_seconds = lease_seconds
+        self.cache_bytes = cache_bytes
+        self.start_method = start_method
+        self.include_history = include_history
+        self.poll_seconds = poll_seconds
+        self.stall_seconds = stall_seconds
+        self.max_respawns = (max_respawns if max_respawns is not None
+                             else 8 * max(workers, 1))
+        #: workers replaced after a crash (cumulative over map calls)
+        self.workers_replaced = 0
+
+    # ------------------------------------------------------------------
+
+    def map(self, jobs: list[DockingJob]):
+        """Yield one terminal :class:`JobResult` per job, as completed.
+
+        Completion order follows execution, not submission; callers that
+        need ranking sort afterwards.  Every job yields exactly one
+        result even across worker crashes (idempotent completion by job
+        id).
+        """
+        if self.workers == 0:
+            yield from self._map_inline(jobs)
+            return
+        yield from self._map_processes(jobs)
+
+    # -- inline (workers=0) -------------------------------------------
+
+    def _map_inline(self, jobs):
+        cache = ContentCache(self.cache_bytes)
+        for job in jobs:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    payload = execute_job(
+                        job, cache, wall_seconds=self.job_wall_seconds,
+                        include_history=self.include_history)
+                    yield JobResult(
+                        job_id=job.job_id, label=job.label, status="ok",
+                        attempts=attempts, worker_id=None,
+                        wall_seconds=payload["wall_seconds"],
+                        result=payload["result"],
+                        cache=payload.get("cache"))
+                    break
+                except Exception as exc:
+                    from repro.robustness import WatchdogTimeout
+                    retryable = not isinstance(exc, WatchdogTimeout)
+                    if retryable and attempts <= self.retries:
+                        time.sleep(self.backoff * 2 ** (attempts - 1))
+                        continue
+                    yield JobResult(
+                        job_id=job.job_id, label=job.label,
+                        status="failed", attempts=attempts,
+                        error={"error_type": type(exc).__name__,
+                               "message": str(exc),
+                               "retryable": retryable})
+                    break
+
+    # -- multiprocessing ----------------------------------------------
+
+    def _spawn_worker(self, ctx, task_q, result_q, worker_id):
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(task_q, result_q, worker_id, self.cache_bytes,
+                  self.job_wall_seconds, self.include_history),
+            daemon=True, name=f"repro-serve-worker-{worker_id}")
+        proc.start()
+        return proc
+
+    def _map_processes(self, jobs):
+        import queue as _queue
+
+        ctx = mp.get_context(self.start_method)
+        task_q = ctx.Queue()
+        result_q = ctx.Queue()
+
+        pending: dict[str, DockingJob] = {}
+        attempts: dict[str, int] = {}
+        in_flight: dict[str, tuple[int, float]] = {}   # id -> (wid, t0)
+        worker_job: dict[int, str] = {}
+        retry_at: list[tuple[float, DockingJob]] = []
+        procs: dict[int, mp.process.BaseProcess] = {}
+        respawns = {"n": 0}
+        self._next_wid = 0
+
+        def clear_flight(job_id: str) -> None:
+            entry = in_flight.pop(job_id, None)
+            if entry is not None:
+                worker_job.pop(entry[0], None)
+
+        def schedule_retry(job: DockingJob) -> None:
+            delay = self.backoff * 2 ** max(attempts[job.job_id] - 1, 0)
+            retry_at.append((time.monotonic() + delay, job))
+
+        def reap_dead_workers() -> list[JobResult]:
+            """Dead/over-lease workers: re-queue or fail their jobs."""
+            now = time.monotonic()
+            if self.lease_seconds is not None:
+                for jid, (wid, t0) in list(in_flight.items()):
+                    proc = procs.get(wid)
+                    if (now - t0 > self.lease_seconds and proc is not None
+                            and proc.is_alive()):
+                        proc.terminate()     # handled as a crash below
+            lost: list[JobResult] = []
+            for wid, proc in list(procs.items()):
+                if proc.is_alive():
+                    continue
+                del procs[wid]
+                job_id = worker_job.pop(wid, None)
+                if job_id is not None and job_id in pending:
+                    in_flight.pop(job_id, None)
+                    job = pending[job_id]
+                    if attempts[job_id] <= self.retries:
+                        schedule_retry(job)
+                    else:
+                        pending.pop(job_id)
+                        lost.append(JobResult(
+                            job_id=job_id, label=job.label,
+                            status="failed", attempts=attempts[job_id],
+                            worker_id=wid,
+                            error={"error_type": "WorkerCrash",
+                                   "message": f"worker {wid} died "
+                                              f"(exit {proc.exitcode})",
+                                   "retryable": False}))
+                if pending:                  # keep the pool at strength
+                    if respawns["n"] >= self.max_respawns:
+                        raise RuntimeError(
+                            f"worker pool crash-looping: "
+                            f"{respawns['n']} workers replaced (cap "
+                            f"{self.max_respawns}) with "
+                            f"{len(pending)} jobs unfinished — the "
+                            f"worker environment is broken (last exit "
+                            f"code {proc.exitcode})")
+                    procs[self._next_wid] = self._spawn_worker(
+                        ctx, task_q, result_q, self._next_wid)
+                    self._next_wid += 1
+                    respawns["n"] += 1
+                    self.workers_replaced += 1
+            return lost
+
+        for job in jobs:
+            if job.job_id in pending:
+                continue                       # content-identical dup
+            pending[job.job_id] = job
+            attempts[job.job_id] = 0
+            task_q.put(job)
+
+        try:
+            for _ in range(self.workers):
+                procs[self._next_wid] = self._spawn_worker(
+                    ctx, task_q, result_q, self._next_wid)
+                self._next_wid += 1
+
+            last_activity = time.monotonic()
+            while pending:
+                now = time.monotonic()
+
+                # due retries back onto the shared queue
+                while retry_at and retry_at[0][0] <= now:
+                    _, job = retry_at.pop(0)
+                    task_q.put(job)
+                    last_activity = now
+
+                try:
+                    kind, job_id, wid, payload = result_q.get(
+                        timeout=self.poll_seconds)
+                except _queue.Empty:
+                    yield from reap_dead_workers()
+                    if (time.monotonic() - last_activity
+                            > self.stall_seconds and not in_flight
+                            and not retry_at):
+                        # lost-dispatch backstop: re-queue whatever is
+                        # still unaccounted for (completions dedup)
+                        for job in pending.values():
+                            task_q.put(job)
+                        last_activity = time.monotonic()
+                    continue
+
+                last_activity = time.monotonic()
+                if kind == "started":
+                    if job_id in pending:
+                        attempts[job_id] += 1
+                        in_flight[job_id] = (wid, last_activity)
+                        worker_job[wid] = job_id
+                elif kind == "done":
+                    if job_id not in pending:
+                        continue               # duplicate completion
+                    job = pending.pop(job_id)
+                    clear_flight(job_id)
+                    yield JobResult(
+                        job_id=job_id, label=job.label, status="ok",
+                        attempts=max(attempts[job_id], 1), worker_id=wid,
+                        wall_seconds=payload["wall_seconds"],
+                        result=payload["result"],
+                        cache=payload.get("cache"))
+                elif kind == "failed":
+                    if job_id not in pending:
+                        continue
+                    job = pending[job_id]
+                    clear_flight(job_id)
+                    if (payload.get("retryable", True)
+                            and attempts[job_id] <= self.retries):
+                        schedule_retry(job)
+                    else:
+                        pending.pop(job_id)
+                        yield JobResult(
+                            job_id=job_id, label=job.label,
+                            status="failed",
+                            attempts=max(attempts[job_id], 1),
+                            worker_id=wid, error=payload)
+                # "bye" needs no handling: drain happens after the loop
+
+            # graceful drain: every job accounted for
+            for _ in procs:
+                task_q.put(None)
+        finally:
+            for proc in procs.values():
+                proc.join(timeout=2.0)
+            for proc in procs.values():
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+            task_q.cancel_join_thread()
+            result_q.cancel_join_thread()

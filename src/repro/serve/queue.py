@@ -1,0 +1,223 @@
+"""Priority job queue with content-hash dedup and bounded backpressure.
+
+A :class:`DockingJob` is the unit of work of the service layer: one
+(case, config, seed, n_runs) tuple, content-addressed by the SHA-256 of
+its canonical JSON payload — two submissions of the same work share one
+job id and run once.  The :class:`JobQueue` orders jobs by priority (then
+FIFO), skips jobs whose deadline has passed, and applies backpressure:
+``submit`` on a full queue either blocks or rejects with a structured
+:class:`QueueFull`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import DockingConfig
+
+__all__ = ["DockingJob", "JobQueue", "QueueFull",
+           "canonical_spec", "spawn_seed", "seed_from_spec"]
+
+
+def canonical_spec(spec: dict) -> dict:
+    """The identity-bearing part of a job spec.
+
+    File paths are transport, content digests are identity: when a spec
+    carries ``ligand_sha256``/``fld_sha256``, the corresponding path is
+    dropped so the same bytes under two names hash to the same job.
+    """
+    out = dict(spec)
+    if "ligand_sha256" in out:
+        out.pop("ligand", None)
+    if "fld_sha256" in out:
+        out.pop("fld", None)
+    return out
+
+
+def spawn_seed(entropy: int, index: int) -> dict:
+    """JSON-able per-job seed spec under the entropy-spawn contract.
+
+    Encodes ``SeedSequence(entropy=entropy, spawn_key=(index,))`` — the
+    collision-free way to give every job of a screen its own stream (see
+    the seeding contract in :mod:`repro.core.config`).
+    """
+    return {"entropy": int(entropy), "spawn_key": [int(index)]}
+
+
+def seed_from_spec(seed: int | dict) -> int | np.random.SeedSequence:
+    """Materialise a job seed: plain ints pass through, spawn specs
+    become the :class:`numpy.random.SeedSequence` they encode."""
+    if isinstance(seed, dict):
+        return np.random.SeedSequence(
+            entropy=int(seed["entropy"]),
+            spawn_key=tuple(int(k) for k in seed["spawn_key"]))
+    return int(seed)
+
+
+@dataclass(frozen=True)
+class DockingJob:
+    """One unit of docking work, content-addressed via :attr:`job_id`.
+
+    Parameters
+    ----------
+    spec:
+        What to dock — see :func:`repro.serve.cache.load_case` for the
+        recognised kinds.
+    config:
+        Full engine configuration.
+    n_runs:
+        LGA runs for this job.
+    seed:
+        Plain int or a :func:`spawn_seed` spec (JSON-able either way).
+    priority:
+        Lower runs first (unix-nice convention); ties are FIFO.
+    deadline:
+        Absolute :func:`time.monotonic` timestamp after which the job is
+        dropped as expired instead of dispatched (``None`` = never).
+    label:
+        Human-readable tag for logs/manifests (not part of the hash —
+        the same work under two labels is still the same work).
+    """
+
+    spec: dict
+    config: DockingConfig = field(default_factory=DockingConfig)
+    n_runs: int = 4
+    seed: int | dict = 0
+    priority: int = 0
+    deadline: float | None = None
+    label: str = ""
+
+    @property
+    def job_id(self) -> str:
+        """SHA-256 of the canonical job payload (spec+config+runs+seed)."""
+        payload = json.dumps(
+            {"spec": canonical_spec(self.spec),
+             "config": self.config.to_dict(),
+             "n_runs": self.n_runs, "seed": self.seed},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def to_dict(self) -> dict:
+        return {"spec": dict(self.spec), "config": self.config.to_dict(),
+                "n_runs": self.n_runs, "seed": self.seed,
+                "priority": self.priority, "deadline": self.deadline,
+                "label": self.label}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DockingJob":
+        return cls(spec=dict(d["spec"]),
+                   config=DockingConfig.from_dict(d["config"]),
+                   n_runs=int(d["n_runs"]), seed=d["seed"],
+                   priority=int(d.get("priority", 0)),
+                   deadline=d.get("deadline"),
+                   label=d.get("label", ""))
+
+
+class QueueFull(RuntimeError):
+    """Structured backpressure signal: the queue is at capacity."""
+
+    def __init__(self, capacity: int, pending: int) -> None:
+        super().__init__(
+            f"job queue full ({pending}/{capacity} jobs pending)")
+        self.capacity = capacity
+        self.pending = pending
+
+
+class JobQueue:
+    """Bounded, deduplicating priority queue of :class:`DockingJob`.
+
+    Parameters
+    ----------
+    maxsize:
+        Pending-job capacity (``None`` = unbounded).
+    clock:
+        Injectable monotonic clock for deadline checks (tests).
+    """
+
+    def __init__(self, maxsize: int | None = None,
+                 clock=time.monotonic) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._clock = clock
+        self._heap: list[tuple[int, int, DockingJob]] = []
+        self._seq = 0
+        self._seen: set[str] = set()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        #: jobs dropped at pop time because their deadline had passed
+        self.expired: list[DockingJob] = []
+        self.submitted = 0
+        self.deduped = 0
+        self.popped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def submit(self, job: DockingJob, block: bool = False,
+               timeout: float | None = None) -> str:
+        """Enqueue a job; returns its content-hash id.
+
+        A job whose id was already submitted (still queued, running, or
+        done) is *not* enqueued again — the id is returned and the
+        duplicate counted.  On a full queue, ``block=True`` waits up to
+        ``timeout`` seconds for space; otherwise :class:`QueueFull`.
+        """
+        job_id = job.job_id
+        with self._not_full:
+            if job_id in self._seen:
+                self.deduped += 1
+                return job_id
+            if self.maxsize is not None:
+                if not block and len(self._heap) >= self.maxsize:
+                    raise QueueFull(self.maxsize, len(self._heap))
+                ok = self._not_full.wait_for(
+                    lambda: len(self._heap) < self.maxsize, timeout)
+                if not ok:
+                    raise QueueFull(self.maxsize, len(self._heap))
+            self._seen.add(job_id)
+            heapq.heappush(self._heap, (job.priority, self._seq, job))
+            self._seq += 1
+            self.submitted += 1
+            return job_id
+
+    def pop(self) -> DockingJob | None:
+        """Highest-priority unexpired job, or ``None`` when empty.
+
+        Jobs whose deadline has passed are recorded in :attr:`expired`
+        and skipped.
+        """
+        with self._not_full:
+            now = self._clock()
+            while self._heap:
+                _, _, job = heapq.heappop(self._heap)
+                self._not_full.notify()
+                if job.deadline is not None and now > job.deadline:
+                    self.expired.append(job)
+                    continue
+                self.popped += 1
+                return job
+            return None
+
+    def drain(self) -> list[DockingJob]:
+        """Pop every unexpired job, in priority order."""
+        out = []
+        while True:
+            job = self.pop()
+            if job is None:
+                return out
+            out.append(job)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"submitted": self.submitted, "deduped": self.deduped,
+                    "popped": self.popped, "expired": len(self.expired),
+                    "pending": len(self._heap)}

@@ -1,0 +1,297 @@
+"""`VirtualScreen`: fan a ligand library across the worker pool.
+
+The high-level service API: build one content-addressed
+:class:`~repro.serve.queue.DockingJob` per ligand, order them through the
+priority :class:`~repro.serve.queue.JobQueue`, execute on a
+:class:`~repro.serve.pool.WorkerPool`, stream
+:class:`~repro.serve.pool.JobResult` records as they complete, and keep
+an atomically-updated manifest on disk so an interrupted screen resumes
+without re-docking anything already finished.
+
+::
+
+    from repro.serve import VirtualScreen
+
+    screen = VirtualScreen(fld="protein.maps.fld",
+                           ligands=["l1.pdbqt", "l2.pdbqt"],
+                           config=DockingConfig(backend="tcec-tf32"),
+                           n_runs=4, seed=2025)
+    report = screen.run(workers=4, manifest="screen.json", resume=True)
+    for hit in report.ranking[:10]:
+        print(hit["label"], hit["best_score"])
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.config import DockingConfig
+from repro.serve.cache import DEFAULT_CAPACITY, file_sha256, maps_digest
+from repro.serve.pool import JobResult, WorkerPool
+from repro.serve.queue import (DockingJob, JobQueue, canonical_spec,
+                               spawn_seed)
+
+__all__ = ["VirtualScreen", "ScreenReport"]
+
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class ScreenReport:
+    """Terminal state of one screen invocation."""
+
+    #: job_id -> terminal JobResult (ok / failed / cached)
+    results: dict[str, JobResult]
+    #: completed jobs sorted best-score-first
+    ranking: list[dict]
+    stats: dict
+    manifest_path: str | None = None
+
+    @property
+    def completed(self) -> list[JobResult]:
+        return [r for r in self.results.values() if r.status != "failed"]
+
+    @property
+    def failed(self) -> list[JobResult]:
+        return [r for r in self.results.values() if r.status == "failed"]
+
+
+@dataclass
+class VirtualScreen:
+    """A docking screen of many ligands against one receptor.
+
+    Exactly one target style must be given:
+
+    * ``cases`` — named library cases, each docking its own ligand;
+    * ``case`` + ``ligands`` — external PDBQT ligands into a named
+      library case's maps;
+    * ``fld`` + ``ligands`` — AutoGrid map files plus PDBQT ligands.
+
+    Parameters
+    ----------
+    config:
+        Engine configuration shared by every job.
+    n_runs:
+        LGA runs per ligand.
+    seed:
+        Master entropy; job ``i`` gets the spawned stream
+        ``SeedSequence(seed, spawn_key=(i,))`` (see the seeding contract
+        in :mod:`repro.core.config`).
+    priorities:
+        Optional per-ligand priority list (lower runs first).
+    deadline_seconds:
+        Relative deadline applied to every job at queue-build time.
+    queue_size:
+        Backpressure bound of the staging queue (``None`` = unbounded).
+    """
+
+    cases: list[str] | None = None
+    ligands: list[str | Path] | None = None
+    fld: str | Path | None = None
+    case: str | None = None
+    config: DockingConfig = field(default_factory=DockingConfig)
+    n_runs: int = 4
+    seed: int = 2025
+    priorities: list[int] | None = None
+    deadline_seconds: float | None = None
+    queue_size: int | None = None
+
+    def __post_init__(self) -> None:
+        styles = [self.cases is not None,
+                  self.case is not None,
+                  self.fld is not None]
+        if sum(styles) != 1:
+            raise ValueError(
+                "give exactly one of cases=, case=+ligands=, fld=+ligands=")
+        if (self.case is not None or self.fld is not None) \
+                and not self.ligands:
+            raise ValueError("ligand file list must not be empty")
+        n = len(self.cases) if self.cases is not None else len(self.ligands)
+        if self.priorities is not None and len(self.priorities) != n:
+            raise ValueError("priorities length must match the library")
+
+    # ------------------------------------------------------------------
+
+    def _specs(self) -> list[tuple[str, dict]]:
+        """(label, spec) per library entry, with content digests stamped."""
+        out: list[tuple[str, dict]] = []
+        if self.cases is not None:
+            for name in self.cases:
+                out.append((name, {"kind": "case", "case": name}))
+            return out
+        fld_digest = maps_digest(self.fld) if self.fld is not None else None
+        for path in self.ligands:
+            path = str(path)
+            label = Path(path).stem
+            lig_digest = file_sha256(path)
+            if self.case is not None:
+                out.append((label, {
+                    "kind": "case-ligand", "case": self.case,
+                    "ligand": path, "ligand_sha256": lig_digest}))
+            else:
+                out.append((label, {
+                    "kind": "files", "fld": str(self.fld),
+                    "fld_sha256": fld_digest,
+                    "ligand": path, "ligand_sha256": lig_digest}))
+        return out
+
+    def jobs(self) -> list[DockingJob]:
+        """One content-addressed job per library entry."""
+        deadline = (time.monotonic() + self.deadline_seconds
+                    if self.deadline_seconds is not None else None)
+        jobs = []
+        # Seed streams are spawned per unique *content*, not per list
+        # position, so byte-identical duplicate ligands share one seed
+        # (and thus one job id — the queue dedups them).
+        stream_index: dict[str, int] = {}
+        for k, (label, spec) in enumerate(self._specs()):
+            key = json.dumps(canonical_spec(spec), sort_keys=True)
+            i = stream_index.setdefault(key, len(stream_index))
+            jobs.append(DockingJob(
+                spec=spec, config=self.config, n_runs=self.n_runs,
+                seed=spawn_seed(self.seed, i),
+                priority=(self.priorities[k]
+                          if self.priorities is not None else 0),
+                deadline=deadline, label=label))
+        return jobs
+
+    # ------------------------------------------------------------------
+
+    def run(self, workers: int = 2,
+            manifest: str | Path | None = None,
+            resume: bool = False,
+            stream=None,
+            retries: int = 2,
+            backoff: float = 0.25,
+            job_wall_seconds: float | None = None,
+            cache_bytes: int = DEFAULT_CAPACITY,
+            start_method: str = "spawn",
+            include_history: bool = False) -> ScreenReport:
+        """Execute the screen; returns the final :class:`ScreenReport`.
+
+        ``manifest`` is rewritten atomically after *every* completed job
+        (the :class:`~repro.analysis.campaign.E50Campaign` tmp +
+        ``os.replace`` pattern), so a killed screen loses at most the
+        jobs in flight; ``resume=True`` reloads it and skips every job
+        whose id is already terminal — identical inputs do zero new
+        docking work.  ``stream(result)`` is called per terminal
+        :class:`JobResult` as it arrives.
+        """
+        if resume and manifest is None:
+            raise ValueError("resume=True requires a manifest path")
+        t0 = time.monotonic()
+
+        results: dict[str, JobResult] = {}
+        if resume and manifest is not None and Path(manifest).exists():
+            for job_id, rd in self._load_manifest(manifest).items():
+                prior = JobResult.from_dict(rd)
+                if prior.status == "ok":
+                    prior.status = "cached"
+                    results[prior.job_id] = prior
+
+        queue = JobQueue(maxsize=self.queue_size)
+        for job in self.jobs():
+            queue.submit(job, block=True)    # dedups identical content
+        to_run = [job for job in queue.drain()
+                  if job.job_id not in results]   # manifest-cached skip
+
+        new_results: list[JobResult] = []
+        if to_run:
+            pool = WorkerPool(workers=workers, retries=retries,
+                              backoff=backoff,
+                              job_wall_seconds=job_wall_seconds,
+                              cache_bytes=cache_bytes,
+                              start_method=start_method,
+                              include_history=include_history)
+            for result in pool.map(to_run):
+                results[result.job_id] = result
+                new_results.append(result)
+                # persist before notifying: a crash in the consumer must
+                # not lose a job that already finished
+                if manifest is not None:
+                    self._save_manifest(manifest, results, queue,
+                                        t0, workers)
+                if stream is not None:
+                    stream(result)
+
+        report = ScreenReport(
+            results=results,
+            ranking=self._ranking(results),
+            stats=self._stats(results, new_results, queue, t0, workers),
+            manifest_path=str(manifest) if manifest is not None else None)
+        if manifest is not None:
+            self._save_manifest(manifest, results, queue, t0, workers)
+        return report
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _ranking(results: dict[str, JobResult]) -> list[dict]:
+        ranked = [r for r in results.values()
+                  if r.status in ("ok", "cached") and r.result is not None]
+        ranked.sort(key=lambda r: r.best_score)
+        return [{"rank": k + 1, "label": r.label, "job_id": r.job_id,
+                 "best_score": r.best_score,
+                 "total_evals": r.result["total_evals"],
+                 "status": r.status}
+                for k, r in enumerate(ranked)]
+
+    @staticmethod
+    def _stats(results, new_results, queue: JobQueue, t0: float,
+               workers: int) -> dict:
+        wall = time.monotonic() - t0
+        cache = {"hits": 0, "misses": 0, "evictions": 0}
+        for r in new_results:
+            if r.cache:
+                for key in cache:
+                    cache[key] += r.cache.get(key, 0)
+        lookups = cache["hits"] + cache["misses"]
+        cache["hit_rate"] = cache["hits"] / lookups if lookups else 0.0
+        n_new = sum(1 for r in new_results if r.status == "ok")
+        return {
+            "workers": workers,
+            "wall_seconds": wall,
+            "jobs_total": len(results),
+            "jobs_completed": n_new,
+            "jobs_cached": sum(1 for r in results.values()
+                               if r.status == "cached"),
+            "jobs_failed": sum(1 for r in results.values()
+                               if r.status == "failed"),
+            "jobs_per_second": n_new / wall if wall > 0 else 0.0,
+            "queue": queue.stats(),
+            "cache": cache,
+        }
+
+    def _save_manifest(self, path: str | Path,
+                       results: dict[str, JobResult], queue: JobQueue,
+                       t0: float, workers: int) -> None:
+        """Atomic write: a killed screen never leaves a torn manifest."""
+        path = Path(path)
+        payload = {
+            "version": MANIFEST_VERSION,
+            "screen": {
+                "seed": self.seed, "n_runs": self.n_runs,
+                "config": self.config.to_dict(),
+                "written_at": time.time(),
+            },
+            "jobs": {jid: r.to_dict() for jid, r in results.items()},
+            "ranking": self._ranking(results),
+            "stats": self._stats(results, list(results.values()),
+                                 queue, t0, workers),
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2))
+        os.replace(tmp, path)
+
+    @staticmethod
+    def _load_manifest(path: str | Path) -> dict:
+        """job_id -> JobResult dict from a manifest written by run()."""
+        payload = json.loads(Path(path).read_text())
+        if payload.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported manifest version {payload.get('version')!r}")
+        return payload.get("jobs", {})

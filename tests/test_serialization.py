@@ -1,0 +1,118 @@
+"""JSON round-trip tests for result/config serialization.
+
+These are the payloads the serve layer persists in screen manifests, so
+every round trip must survive ``json.dumps``/``loads`` (strict JSON — no
+NaN/Infinity literals) and reproduce the original object exactly.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.success import RunOutcome
+from repro.core import DockingConfig, DockingEngine
+from repro.core.config import (AdadeltaConfig, GAConfig, SolisWetsConfig,
+                               SuccessCriteria)
+from repro.search.lga import LGAConfig, LGAResult
+from repro.testcases import get_test_case
+
+TINY = DockingConfig(backend="baseline",
+                     lga=LGAConfig(pop_size=8, max_evals=300, max_gens=6,
+                                   ls_iters=5, ls_rate=0.25))
+
+
+def _roundtrip(obj):
+    """dict -> strict JSON text -> dict -> from_dict."""
+    return type(obj).from_dict(json.loads(
+        json.dumps(obj.to_dict(), allow_nan=False)))
+
+
+class TestRunOutcome:
+    def test_round_trip(self):
+        out = RunOutcome(best_score=-7.25, best_rmsd=1.5, evals_used=900,
+                         first_success_score=450, first_success_rmsd=None)
+        assert _roundtrip(out) == out
+
+    def test_infinite_rmsd_survives_strict_json(self):
+        out = RunOutcome(best_score=-1.0, best_rmsd=float("inf"),
+                         evals_used=10, first_success_score=None,
+                         first_success_rmsd=None)
+        back = _roundtrip(out)
+        assert np.isinf(back.best_rmsd)
+
+
+class TestDockingConfig:
+    def test_default_round_trip(self):
+        cfg = DockingConfig()
+        assert _roundtrip(cfg) == cfg
+
+    def test_nested_ls_configs_round_trip(self):
+        cfg = DockingConfig(
+            backend="tcec-tf32", device="H100", block_size=128,
+            lga=LGAConfig(pop_size=24, ls_method="sw",
+                          ga=GAConfig(crossover_rate=0.7),
+                          adadelta=AdadeltaConfig(rho=0.9),
+                          solis_wets=SolisWetsConfig(rho_init=2.0),
+                          autostop=True),
+            criteria=SuccessCriteria(rmsd_threshold=1.5))
+        back = _roundtrip(cfg)
+        assert back == cfg
+        assert back.lga.solis_wets.rho_init == 2.0
+        assert back.lga.adadelta.rho == 0.9
+
+    def test_dict_is_plain_json_types(self):
+        d = DockingConfig().to_dict()
+        json.dumps(d, allow_nan=False)   # raises if anything non-JSON
+        assert d["lga"]["adadelta"] is None
+
+
+class TestLGAResult:
+    def _result(self):
+        res = LGAResult(best_genotype=np.arange(8.0), best_score=-5.5,
+                        evals_used=300, generations=6,
+                        history=[(50, -1.0, np.zeros(8)),
+                                 (300, -5.5, np.arange(8.0))])
+        return res
+
+    def test_round_trip_with_history(self):
+        back = _roundtrip(self._result())
+        np.testing.assert_array_equal(back.best_genotype, np.arange(8.0))
+        assert back.best_score == -5.5
+        assert len(back.history) == 2
+        evals, score, geno = back.history[1]
+        assert (evals, score) == (300, -5.5)
+        np.testing.assert_array_equal(geno, np.arange(8.0))
+
+    def test_history_elidable(self):
+        d = self._result().to_dict(include_history=False)
+        assert d["history"] == []
+        json.dumps(d, allow_nan=False)
+
+
+class TestDockingResult:
+    @pytest.fixture(scope="class")
+    def docked(self):
+        return DockingEngine(get_test_case("1u4d"), TINY).dock(
+            n_runs=2, seed=0)
+
+    def test_round_trip_preserves_everything(self, docked):
+        back = _roundtrip(docked)
+        assert back.case_name == docked.case_name
+        assert back.config == docked.config
+        assert back.best_score == docked.best_score
+        assert back.total_evals == docked.total_evals
+        assert back.final_rmsds == docked.final_rmsds
+        assert back.outcomes == docked.outcomes
+        assert back.rmsd_of_best == docked.rmsd_of_best
+        for a, b in zip(back.runs, docked.runs):
+            np.testing.assert_array_equal(a.best_genotype,
+                                          b.best_genotype)
+
+    def test_manifest_grade_json(self, docked):
+        """The exact payload a screen manifest stores is strict JSON."""
+        from repro.core.engine import DockingResult
+        text = json.dumps(docked.to_dict(include_history=False),
+                          allow_nan=False)
+        back = DockingResult.from_dict(json.loads(text))
+        assert back.best_score == docked.best_score

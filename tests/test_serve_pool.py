@@ -1,0 +1,147 @@
+"""Tests for the worker pool: parity, crash recovery, watchdogs.
+
+Multiprocessing tests use the spawn start method (the pool default) with
+tiny LGA budgets, so each runs in a few seconds.
+"""
+
+import os
+
+import pytest
+
+from repro.core import DockingConfig, DockingEngine
+from repro.robustness import WatchdogTimeout
+from repro.search.lga import LGAConfig
+from repro.serve import DockingJob, WorkerPool, seed_from_spec, spawn_seed
+from repro.testcases import get_test_case
+
+TINY = DockingConfig(backend="baseline",
+                     lga=LGAConfig(pop_size=8, max_evals=300, max_gens=6,
+                                   ls_iters=5, ls_rate=0.25))
+
+
+def _jobs(names, entropy=7, spec_extra=None):
+    return [DockingJob(spec={"kind": "case", "case": n,
+                             **(spec_extra or {})},
+                       config=TINY, n_runs=2,
+                       seed=spawn_seed(entropy, i), label=n)
+            for i, n in enumerate(names)]
+
+
+class TestInlinePool:
+    def test_inline_matches_sequential_engine(self):
+        results = {r.label: r
+                   for r in WorkerPool(workers=0).map(_jobs(["1u4d",
+                                                             "1xoz"]))}
+        for i, name in enumerate(["1u4d", "1xoz"]):
+            seq = DockingEngine(get_test_case(name), TINY).dock(
+                n_runs=2, seed=seed_from_spec(spawn_seed(7, i)))
+            assert results[name].status == "ok"
+            assert results[name].best_score == seq.best_score
+
+    def test_inline_retries_transient_errors(self, tmp_path, monkeypatch):
+        from repro.serve import pool as pool_mod
+        calls = {"n": 0}
+        real = pool_mod.execute_job
+
+        def flaky(job, cache=None, **kw):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("transient")
+            return real(job, cache, **kw)
+
+        monkeypatch.setattr(pool_mod, "execute_job", flaky)
+        pool = WorkerPool(workers=0, retries=1, backoff=0.0)
+        [res] = list(pool.map(_jobs(["1u4d"])))
+        assert res.status == "ok"
+        assert res.attempts == 2
+
+    def test_inline_watchdog_failure_not_retried(self):
+        pool = WorkerPool(workers=0, retries=3, backoff=0.0,
+                          job_wall_seconds=0.0)   # expires immediately
+        [res] = list(pool.map(_jobs(["1u4d"])))
+        assert res.status == "failed"
+        assert res.attempts == 1                  # deterministic: no retry
+        assert res.error["error_type"] == WatchdogTimeout.__name__
+
+
+class TestProcessPool:
+    def test_two_workers_match_sequential_engine(self):
+        """Acceptance: pool results are identical in best-score content
+        to sequential engine runs with the same spawned seeds."""
+        names = ["1u4d", "1xoz", "1yv3", "1owe"]
+        pool = WorkerPool(workers=2, poll_seconds=0.05)
+        results = {r.label: r for r in pool.map(_jobs(names))}
+        assert len(results) == 4
+        for i, name in enumerate(names):
+            seq = DockingEngine(get_test_case(name), TINY).dock(
+                n_runs=2, seed=seed_from_spec(spawn_seed(7, i)))
+            assert results[name].status == "ok"
+            assert results[name].best_score == seq.best_score
+
+    def test_killed_worker_job_retried_and_completes(self, tmp_path):
+        """Acceptance: killing a worker mid-job loses no jobs and
+        duplicates none."""
+        marker = str(tmp_path / "crash-once")
+        jobs = _jobs(["1xoz", "1yv3"])
+        jobs.append(DockingJob(
+            spec={"kind": "case", "case": "1u4d", "crash_once": marker},
+            config=TINY, n_runs=2, seed=spawn_seed(7, 2), label="victim"))
+        pool = WorkerPool(workers=2, retries=2, backoff=0.05,
+                          poll_seconds=0.05)
+        results = list(pool.map(jobs))
+        assert os.path.exists(marker)             # the crash really fired
+        assert pool.workers_replaced >= 1
+        by_label = {}
+        for r in results:
+            assert r.label not in by_label        # exactly-once results
+            by_label[r.label] = r
+        assert set(by_label) == {"1xoz", "1yv3", "victim"}
+        assert all(r.status == "ok" for r in results)
+        victim = by_label["victim"]
+        assert victim.attempts >= 2               # crash consumed attempt 1
+        seq = DockingEngine(get_test_case("1u4d"), TINY).dock(
+            n_runs=2, seed=seed_from_spec(spawn_seed(7, 2)))
+        assert victim.best_score == seq.best_score
+
+    def test_worker_exception_reported_after_retries(self):
+        bad = DockingJob(spec={"kind": "case", "case": "no-such-case"},
+                         config=TINY, n_runs=2, label="bad")
+        pool = WorkerPool(workers=1, retries=1, backoff=0.01,
+                          poll_seconds=0.05)
+        [res] = list(pool.map([bad]))
+        assert res.status == "failed"
+        assert res.attempts == 2
+        assert res.error["error_type"] == "ValueError"
+        assert "no-such-case" in res.error["message"]
+
+    def test_per_job_cache_stats_reported(self):
+        jobs = _jobs(["1u4d", "1u4d"])    # same case, distinct seeds
+        pool = WorkerPool(workers=1, poll_seconds=0.05)
+        results = list(pool.map(jobs))
+        assert len(results) == 2
+        assert all(r.status == "ok" and r.cache is not None
+                   for r in results)
+        # the worker builds the case once; the second job hits
+        assert sum(r.cache["hits"] for r in results) >= 1
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=-1)
+
+    def test_crash_loop_breaker_aborts(self, tmp_path):
+        """A pool that keeps losing workers aborts at max_respawns
+        instead of respawning forever."""
+        marker = str(tmp_path / "crash-once")
+        job = DockingJob(
+            spec={"kind": "case", "case": "1u4d", "crash_once": marker},
+            config=TINY, n_runs=2, label="victim")
+        pool = WorkerPool(workers=1, retries=2, backoff=0.05,
+                          poll_seconds=0.05, max_respawns=0)
+        with pytest.raises(RuntimeError, match="crash-looping"):
+            list(pool.map([job]))
+
+
+def test_jobs_helper_uses_distinct_spawned_streams():
+    a, b = _jobs(["1u4d", "1u4d"])
+    assert a.seed != b.seed
+    assert a.job_id != b.job_id

@@ -1,0 +1,126 @@
+"""Tests for the service job queue: priority, dedup, backpressure."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DockingConfig
+from repro.search.lga import LGAConfig
+from repro.serve import DockingJob, JobQueue, QueueFull, seed_from_spec, spawn_seed
+
+
+def _job(case="1u4d", priority=0, seed=0, deadline=None, label=""):
+    return DockingJob(spec={"kind": "case", "case": case},
+                      n_runs=2, seed=seed, priority=priority,
+                      deadline=deadline, label=label or case)
+
+
+class TestJobIdentity:
+    def test_job_id_is_content_hash(self):
+        a, b = _job("1u4d"), _job("1u4d")
+        assert a.job_id == b.job_id
+        assert len(a.job_id) == 64  # sha256 hex
+
+    def test_job_id_changes_with_content(self):
+        base = _job("1u4d")
+        assert _job("1xoz").job_id != base.job_id
+        assert _job("1u4d", seed=1).job_id != base.job_id
+        other_cfg = DockingJob(spec=base.spec, n_runs=2,
+                               config=DockingConfig(backend="baseline"))
+        assert other_cfg.job_id != base.job_id
+
+    def test_label_and_priority_not_part_of_hash(self):
+        assert _job(label="x").job_id == _job(label="y").job_id
+        assert _job(priority=5).job_id == _job(priority=0).job_id
+
+    def test_round_trip(self):
+        job = DockingJob(spec={"kind": "case", "case": "7cpa"},
+                         config=DockingConfig(backend="baseline",
+                                              lga=LGAConfig(pop_size=8)),
+                         n_runs=3, seed=spawn_seed(9, 2), priority=-1,
+                         label="x")
+        back = DockingJob.from_dict(job.to_dict())
+        assert back == job
+        assert back.job_id == job.job_id
+
+
+class TestSeedSpecs:
+    def test_spawn_seed_materialises_spawned_sequence(self):
+        seq = seed_from_spec(spawn_seed(7, 3))
+        assert isinstance(seq, np.random.SeedSequence)
+        assert seq.entropy == 7
+        assert seq.spawn_key == (3,)
+
+    def test_plain_int_passes_through(self):
+        assert seed_from_spec(42) == 42
+
+    def test_sibling_jobs_never_share_streams(self):
+        """The entropy-spawn contract: spawned job streams are disjoint
+        from each other and from any plain-int user seed."""
+        a = seed_from_spec(spawn_seed(0, 0))
+        b = seed_from_spec(spawn_seed(0, 1))
+        user = np.random.SeedSequence(1)   # a plain-int experiment seed
+        states = [tuple(s.generate_state(4)) for s in (a, b, user)]
+        assert len(set(states)) == 3
+
+
+class TestJobQueue:
+    def test_priority_order_then_fifo(self):
+        q = JobQueue()
+        q.submit(_job("1u4d", priority=5))
+        q.submit(_job("1xoz", priority=-1))
+        q.submit(_job("1yv3", priority=0))
+        q.submit(_job("1owe", priority=0))
+        order = [j.label for j in q.drain()]
+        assert order == ["1xoz", "1yv3", "1owe", "1u4d"]
+
+    def test_dedup_by_content_hash(self):
+        q = JobQueue()
+        first = q.submit(_job("1u4d"))
+        again = q.submit(_job("1u4d", priority=3, label="renamed"))
+        assert first == again
+        assert len(q) == 1
+        assert q.stats()["deduped"] == 1
+
+    def test_dedup_persists_after_pop(self):
+        q = JobQueue()
+        q.submit(_job("1u4d"))
+        assert q.pop() is not None
+        q.submit(_job("1u4d"))
+        assert len(q) == 0          # already processed: not re-enqueued
+        assert q.stats()["deduped"] == 1
+
+    def test_queue_full_rejects_with_structure(self):
+        q = JobQueue(maxsize=2)
+        q.submit(_job("1u4d"))
+        q.submit(_job("1xoz"))
+        with pytest.raises(QueueFull) as exc:
+            q.submit(_job("1yv3"))
+        assert exc.value.capacity == 2
+        assert exc.value.pending == 2
+
+    def test_blocking_submit_times_out(self):
+        q = JobQueue(maxsize=1)
+        q.submit(_job("1u4d"))
+        with pytest.raises(QueueFull):
+            q.submit(_job("1xoz"), block=True, timeout=0.05)
+
+    def test_blocking_submit_proceeds_after_pop(self):
+        import threading
+        q = JobQueue(maxsize=1)
+        q.submit(_job("1u4d"))
+        popper = threading.Timer(0.05, q.pop)
+        popper.start()
+        q.submit(_job("1xoz"), block=True, timeout=2.0)
+        popper.join()
+        assert q.stats()["submitted"] == 2
+
+    def test_expired_jobs_skipped_at_pop(self):
+        t = {"now": 0.0}
+        q = JobQueue(clock=lambda: t["now"])
+        q.submit(_job("1u4d", deadline=10.0))
+        q.submit(_job("1xoz"))              # no deadline
+        t["now"] = 11.0
+        popped = q.drain()
+        assert [j.label for j in popped] == ["1xoz"]
+        assert [j.label for j in q.expired] == ["1u4d"]
+        assert q.stats()["expired"] == 1
