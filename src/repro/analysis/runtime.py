@@ -51,7 +51,14 @@ class RuntimeSample:
 
     @property
     def us_per_eval(self) -> float:
-        """The paper's primary metric [µs/eval]."""
+        """The paper's primary metric [µs/eval].
+
+        ``nan`` when the sample covers no evaluations (a zero-budget dry
+        run) — mirroring :attr:`repro.core.engine.DockingResult.us_per_eval`
+        rather than raising ``ZeroDivisionError``.
+        """
+        if self.n_evals <= 0:
+            return float("nan")
         return self.seconds * 1e6 / self.n_evals
 
 

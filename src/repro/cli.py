@@ -78,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="kind of fault injected")
     r.add_argument("--inject-seed", type=int, default=0,
                    help="seed of the injector's lane/bit choices")
+    o = p.add_argument_group("observability (repro.obs)")
+    o.add_argument("--trace", default=None, metavar="JSONL",
+                   help="append spans/events (engine, search, reductions) "
+                        "to this JSONL event log; summarise afterwards "
+                        "with 'stats <log>'")
     return p
 
 
@@ -88,28 +93,40 @@ def main(argv: list[str] | None = None) -> int:
         return inject_main(argv[1:])
     if argv and argv[0] == "screen":
         return screen_main(argv[1:])
+    if argv and argv[0] == "stats":
+        return stats_main(argv[1:])
     args = build_parser().parse_args(argv)
+    if args.trace:
+        from repro.obs import configure
+        configure(args.trace, source="main")
 
     if args.case is None and args.ffile is None:
         print("error: pass -case <name> or -ffile <maps.fld> -lfile "
               "<ligand.pdbqt>", file=sys.stderr)
         return 2
 
+    # bracket case construction: generating a synthetic case refines its
+    # native pose (an ADADELTA descent of its own), which would otherwise
+    # show up in traces as orphan spans outside engine.dock
+    from repro.obs import get_tracer
     if args.ffile is not None:
         if args.lfile is None:
             print("error: -ffile requires -lfile", file=sys.stderr)
             return 2
-        case = case_from_files(args.ffile, args.lfile)
+        with get_tracer().span("case.build", fld=args.ffile):
+            case = case_from_files(args.ffile, args.lfile)
         print(f"Docking {case.ligand.name} into maps from {args.ffile}")
     else:
         from repro.testcases import get_test_case
-        case = get_test_case(args.case)
+        with get_tracer().span("case.build", case=args.case):
+            case = get_test_case(args.case)
+            if args.lfile:
+                from repro.io import read_pdbqt
+                ligand = read_pdbqt(args.lfile)
+                case = replace_case_ligand(case, ligand)
         if args.lfile:
-            from repro.io import read_pdbqt
-            ligand = read_pdbqt(args.lfile)
-            print(f"Docking external ligand {ligand.name} into "
-                  f"{case.name}'s maps")
-            case = replace_case_ligand(case, ligand)
+            print(f"Docking external ligand {case.ligand.name} into "
+                  f"{args.case}'s maps")
 
     max_evals = args.evals
     if args.heur:
@@ -301,6 +318,10 @@ def build_screen_parser() -> argparse.ArgumentParser:
                    help="per-worker content cache capacity [MiB]")
     p.add_argument("--top", type=int, default=10,
                    help="ranked hits to print")
+    p.add_argument("--trace", default=None, metavar="JSONL",
+                   help="shared JSONL trace log: the parent and every "
+                        "worker append spans/events to it (summarise "
+                        "with 'stats <log>')")
     return p
 
 
@@ -352,7 +373,8 @@ def screen_main(argv: list[str] | None = None) -> int:
                         resume=args.resume, stream=stream,
                         retries=args.retries,
                         job_wall_seconds=args.job_timeout,
-                        cache_bytes=args.cache_mb * 1024 * 1024)
+                        cache_bytes=args.cache_mb * 1024 * 1024,
+                        trace=args.trace)
 
     s = report.stats
     print(f"\nScreen finished: {s['jobs_completed']} new, "
@@ -368,6 +390,44 @@ def screen_main(argv: list[str] | None = None) -> int:
               f"{hit['best_score']:+9.3f} kcal/mol  [{hit['status']}]")
     print(f"Manifest written to {report.manifest_path}")
     return 1 if s["jobs_failed"] else 0
+
+
+def build_stats_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="autodock-py stats",
+        description="Summarise a JSONL trace log written by --trace "
+                    "(repro.obs): per-stage span timings, job throughput, "
+                    "queue depth, cache hit rate and worker heartbeats.")
+    p.add_argument("log", help="JSONL event log to summarise")
+    p.add_argument("--top", type=int, default=20,
+                   help="span rows to print (sorted by total time)")
+    p.add_argument("--check", action="store_true",
+                   help="validate every record against the event schema "
+                        "before summarising (exit 2 on the first bad line)")
+    return p
+
+
+def stats_main(argv: list[str] | None = None) -> int:
+    """The ``autodock-py stats`` subcommand."""
+    from repro.obs import (SchemaError, render_summary, summarize_log,
+                           validate_log)
+
+    args = build_stats_parser().parse_args(argv)
+    try:
+        if args.check:
+            counts = validate_log(args.log)
+            print(f"{args.log}: schema v1 OK "
+                  f"({counts['spans']} spans, {counts['events']} events, "
+                  f"{len(counts['sources'])} sources)")
+        summary = summarize_log(args.log)
+    except FileNotFoundError:
+        print(f"error: no such trace log: {args.log}", file=sys.stderr)
+        return 2
+    except SchemaError as exc:
+        print(f"error: invalid trace log: {exc}", file=sys.stderr)
+        return 2
+    print(render_summary(summary, top=args.top))
+    return 0
 
 
 def replace_case_ligand(case, ligand):

@@ -28,6 +28,7 @@ from repro.analysis.success import RunOutcome, evaluate_run
 from repro.core.config import DockingConfig
 from repro.docking.pose import calc_coords
 from repro.docking.rmsd import rmsd
+from repro.obs import get_metrics, get_tracer
 from repro.reduction.api import ReductionBackend, get_reduction_backend
 from repro.robustness import FaultLedger, GuardedReduction
 from repro.robustness.inject import FaultInjector, InjectingReduction
@@ -177,37 +178,53 @@ class DockingEngine:
         the hook).
         """
         cfg = self.config
-        backend, ledger = self._build_backend()
-        if not cfg.lga.autostop:
-            runner = ParallelLGA(self.scoring, backend, cfg.lga,
-                                 seed=seed)
-            runs = runner.run(n_runs, on_generation=on_generation)
-        else:
-            # AutoStop needs per-run termination control; run sequentially
-            # with independent spawned generators
-            sseq = as_seed_sequence(seed)
-            runs = [LGARun(self.scoring, backend, cfg.lga,
-                           np.random.Generator(np.random.PCG64(s))).run()
-                    for s in sseq.spawn(n_runs)]
-        outcomes = [evaluate_run(r, self.case, cfg.criteria) for r in runs]
-        final_coords = calc_coords(
-            self.case.ligand, np.stack([r.best_genotype for r in runs]))
-        final_rmsds = [float(x) for x in
-                       rmsd(final_coords, self.case.native_coords)]
+        tracer = get_tracer()
+        span = tracer.span("engine.dock", case=self.case.name,
+                           backend=cfg.backend, device=cfg.device,
+                           n_runs=n_runs)
+        with span:
+            backend, ledger = self._build_backend()
+            with tracer.span("engine.search", method=cfg.lga.ls_method,
+                             autostop=cfg.lga.autostop):
+                if not cfg.lga.autostop:
+                    runner = ParallelLGA(self.scoring, backend, cfg.lga,
+                                         seed=seed)
+                    runs = runner.run(n_runs, on_generation=on_generation)
+                else:
+                    # AutoStop needs per-run termination control; run
+                    # sequentially with independent spawned generators
+                    sseq = as_seed_sequence(seed)
+                    runs = [LGARun(self.scoring, backend, cfg.lga,
+                                   np.random.Generator(
+                                       np.random.PCG64(s))).run()
+                            for s in sseq.spawn(n_runs)]
+            with tracer.span("engine.finalize"):
+                outcomes = [evaluate_run(r, self.case, cfg.criteria)
+                            for r in runs]
+                final_coords = calc_coords(
+                    self.case.ligand,
+                    np.stack([r.best_genotype for r in runs]))
+                final_rmsds = [float(x) for x in
+                               rmsd(final_coords, self.case.native_coords)]
 
-        total_evals = sum(r.evals_used for r in runs)
-        generations = runs[0].generations
-        # evaluation mix: LS evals are ls_rate*pop*ls_iters per generation
-        ls_per_gen = int(round(cfg.lga.ls_rate * cfg.lga.pop_size)) \
-            * cfg.lga.ls_iters
-        ga_per_gen = cfg.lga.pop_size
-        per_gen = ls_per_gen + ga_per_gen
-        ls_share = ls_per_gen / per_gen if per_gen else 0.0
+            total_evals = sum(r.evals_used for r in runs)
+            generations = runs[0].generations
+            # evaluation mix: LS evals are ls_rate*pop*ls_iters per gen
+            ls_per_gen = int(round(cfg.lga.ls_rate * cfg.lga.pop_size)) \
+                * cfg.lga.ls_iters
+            ga_per_gen = cfg.lga.pop_size
+            per_gen = ls_per_gen + ga_per_gen
+            ls_share = ls_per_gen / per_gen if per_gen else 0.0
 
-        model = self.runtime_model(n_runs)
-        ls_evals = int(total_evals * ls_share)
-        ga_evals = total_evals - ls_evals
-        runtime = model.runtime_seconds(ls_evals, ga_evals, generations)
+            model = self.runtime_model(n_runs)
+            ls_evals = int(total_evals * ls_share)
+            ga_evals = total_evals - ls_evals
+            runtime = model.runtime_seconds(ls_evals, ga_evals, generations)
+            span.set(total_evals=total_evals, generations=generations,
+                     simulated_seconds=runtime)
+            m = get_metrics()
+            m.counter("engine.docks").inc()
+            m.histogram("engine.evals_per_dock").observe(total_evals)
 
         return DockingResult(
             case_name=self.case.name,

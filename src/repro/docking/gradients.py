@@ -27,12 +27,15 @@ avoid ``np.add.at``-style scatter in hot loops).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.docking.energy import GRADCLAMP, intra_contributions
 from repro.docking.pose import calc_coords
 from repro.docking.quaternion import cross3, so3_left_jacobian
 from repro.docking.scoring import ScoringFunction
+from repro.obs import get_metrics
 from repro.reduction.api import ReductionBackend, get_reduction_backend
 from repro.reduction.simt_backend import simt_tree_reduce
 
@@ -141,7 +144,9 @@ class GradientCalculator:
         # ---- reduce4 #1: {gx, gy, gz, e}  (Gtrans + energy)
         vec1 = np.concatenate(
             [g_atoms, e_atoms[..., None]], axis=-1).astype(np.float32)
+        t_red = time.perf_counter()
         red1 = self.backend.reduce4(vec1)            # (pop, 4)
+        t_red = time.perf_counter() - t_red
         g_trans = red1[:, 0:3].astype(np.float64)
         energy = red1[:, 3].astype(np.float64) + self.scoring.torsional_penalty
 
@@ -152,8 +157,18 @@ class GradientCalculator:
             [torque_like,
              np.zeros(torque_like.shape[:-1] + (1,))], axis=-1
         ).astype(np.float32)
+        t0 = time.perf_counter()
         red2 = self.backend.reduce4(vec2)
+        t_red += time.perf_counter() - t0
         tau = red2[:, 0:3].astype(np.float64)
+
+        # both reduce4 calls — the seven reductions of the paper — are
+        # timed per backend, so real Python span times can be compared
+        # against the simt cost model's cycle ratios (see EXPERIMENTS.md)
+        m = get_metrics()
+        m.histogram(f"reduction.{self.backend.name}.reduce4_s").observe(t_red)
+        m.counter(f"reduction.{self.backend.name}.calls").inc(2)
+        m.counter("gradient.evals").inc(pop)
 
         # orientation genes are a rotation vector; map the world-frame
         # rotational derivative through the SO(3) left Jacobian transpose

@@ -1,0 +1,33 @@
+"""repro.obs — tracing + metrics for the engine and the screening service.
+
+Two cooperating pieces:
+
+* :mod:`repro.obs.trace` — a :class:`~repro.obs.trace.Tracer` of nested
+  spans and point events with an in-memory ring buffer and an
+  append-only JSONL event log (off by default; opt in per process with
+  :func:`~repro.obs.trace.configure`);
+* :mod:`repro.obs.metrics` — an always-on process-local
+  :class:`~repro.obs.metrics.MetricsRegistry` of counters / gauges /
+  histograms with the snapshot/delta semantics the service layer's
+  ``ContentCache.stats`` established.
+
+The wire format is defined in :mod:`repro.obs.schema`;
+:mod:`repro.obs.report` folds a log back into the ``repro stats``
+summary.
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               get_metrics, reset_metrics)
+from repro.obs.report import render_summary, summarize_log
+from repro.obs.schema import (SCHEMA_VERSION, SchemaError, validate_event,
+                              validate_log)
+from repro.obs.trace import (NullTracer, Span, Tracer, configure, disable,
+                             get_tracer)
+
+__all__ = [
+    "Tracer", "NullTracer", "Span", "configure", "disable", "get_tracer",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "get_metrics", "reset_metrics",
+    "SCHEMA_VERSION", "SchemaError", "validate_event", "validate_log",
+    "summarize_log", "render_summary",
+]

@@ -1,0 +1,183 @@
+"""Counters, gauges and histograms with snapshot/delta semantics.
+
+The service layer already established the idiom: cumulative counters
+plus cheap :meth:`~repro.serve.cache.ContentCache.stats` snapshots, with
+per-job attribution by subtracting two snapshots.  The
+:class:`MetricsRegistry` generalises it to the whole stack — queue depth
+(gauge), cache hit rate and retry/crash counts (counters), per-stage
+wall and per-job eval costs (histograms) — behind one thread-safe,
+process-local registry.
+
+Instruments are created lazily by name (``registry.counter("queue.
+submitted").inc()``), so instrumented modules never need registration
+order.  A :meth:`MetricsRegistry.snapshot` is a plain JSON-able dict;
+:meth:`MetricsRegistry.delta` subtracts two snapshots the way
+``ContentCache.delta`` does, which is how worker heartbeats and per-job
+records attribute shared cumulative state to one interval.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "get_metrics", "reset_metrics"]
+
+
+class Counter:
+    """Monotonic cumulative count (events, retries, faults)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only count up")
+        self.value += n
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (queue depth, bytes used)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Keeps count / total / min / max (mean derives), which is what the
+    trace summaries report and what survives snapshot subtraction — the
+    extremes are cumulative-only and are dropped from deltas.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.total / self.count if self.count else 0.0,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe, lazily-populated bag of named instruments."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument accessors ------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter()
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge()
+            return inst
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram()
+            return inst
+
+    # -- snapshot / delta ----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Cheap JSON-able copy of every instrument's current state."""
+        with self._lock:
+            return {
+                "counters": {k: c.value
+                             for k, c in self._counters.items()},
+                "gauges": {k: g.value for k, g in self._gauges.items()},
+                "histograms": {k: h.summary()
+                               for k, h in self._histograms.items()},
+            }
+
+    @staticmethod
+    def delta(before: dict, after: dict) -> dict:
+        """What happened between two :meth:`snapshot` calls.
+
+        Counters and histogram count/total subtract (instruments absent
+        from ``before`` count from zero); gauges take the ``after``
+        value — an instantaneous reading has no meaningful difference.
+        """
+        counters = {
+            k: v - before.get("counters", {}).get(k, 0)
+            for k, v in after.get("counters", {}).items()}
+        gauges = dict(after.get("gauges", {}))
+        histograms = {}
+        for k, h in after.get("histograms", {}).items():
+            b = before.get("histograms", {}).get(
+                k, {"count": 0, "total": 0.0})
+            count = h["count"] - b["count"]
+            total = h["total"] - b["total"]
+            histograms[k] = {
+                "count": count,
+                "total": total,
+                "mean": total / count if count else 0.0,
+            }
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+
+# ---------------------------------------------------------------------------
+# process-global registry (always on: instruments are cheap in-memory
+# arithmetic, unlike the opt-in JSONL tracer)
+
+_METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global registry instrumented modules record into."""
+    return _METRICS
+
+
+def reset_metrics() -> MetricsRegistry:
+    """Replace the global registry (test isolation); returns the new one."""
+    global _METRICS
+    _METRICS = MetricsRegistry()
+    return _METRICS

@@ -1,0 +1,259 @@
+"""Nested-span tracing with a ring buffer and a JSON-lines sink.
+
+The paper's measurements are all *per-region*: Schieffer & Peng bracket
+the seven reductions with ``clock64()``, Table 6 splits the ADADELTA
+kernel into segments, and every derived metric (µs/eval, utilisation
+shares) sits on those instrumented spans.  :class:`Tracer` is the Python
+equivalent for this reproduction: code brackets a region with
+``with tracer.span("adadelta.minimize", batch=n):`` and the tracer
+records one *span event* — name, duration, parent span — into
+
+* an in-memory **ring buffer** (cheap, bounded, queryable in-process —
+  tests and the engine's own summaries read it back), and
+* an optional append-only **JSONL event log** shared by every process of
+  a screen (each process appends whole lines in ``O_APPEND`` mode), from
+  which ``repro stats`` reconstructs the run.
+
+Point-in-time facts (worker heartbeats, queue depth, job dispatch) are
+*point events* via :meth:`Tracer.event`.  The wire format is documented
+and validated in :mod:`repro.obs.schema`.
+
+Tracing is off by default: the process-global tracer is a
+:class:`NullTracer` whose ``span``/``event`` are no-ops (one attribute
+access and one method call of overhead), so instrumented hot paths cost
+nothing measurable unless :func:`configure` switched tracing on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+__all__ = ["Span", "Tracer", "NullTracer", "configure", "get_tracer",
+           "disable", "SCHEMA_VERSION"]
+
+#: wire-format version stamped on every emitted event
+SCHEMA_VERSION = 1
+
+
+class Span:
+    """One traced region: a name, a duration, and a parent.
+
+    Returned by :meth:`Tracer.span`; used as a context manager.  Extra
+    attributes that are only known at exit time (eval counts, outcome)
+    are attached with :meth:`set`.
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "attrs",
+                 "_tracer", "_t0", "_wall0")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: int | None, attrs: dict) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self._tracer = tracer
+        self._t0 = 0.0
+        self._wall0 = 0.0
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes (JSON-able values) to the span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self._wall0 = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        dur = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self, dur)
+
+
+class _NullSpan:
+    """Shared no-op span: the cost of tracing when tracing is off."""
+
+    __slots__ = ()
+    name = ""
+    span_id = -1
+    parent_id = None
+    attrs: dict = {}
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op."""
+
+    enabled = False
+    source = "off"
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        return None
+
+    def records(self) -> list[dict]:
+        return []
+
+    def flush(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+class Tracer:
+    """Emit nested spans and point events to a ring buffer + JSONL sink.
+
+    Parameters
+    ----------
+    path:
+        JSONL event-log path (``None`` = ring buffer only).  The file is
+        opened in append mode so several processes (screen parent +
+        workers) can share one log; every event is written as a single
+        whole line.
+    source:
+        Logical emitter name stamped on every event (``"main"``,
+        ``"worker-3"``, ...) — the trace-level worker identity.
+    ring_size:
+        In-memory record capacity (oldest dropped first).
+
+    Span nesting is tracked per thread, so concurrent threads build
+    independent span stacks over one tracer.
+    """
+
+    enabled = True
+
+    def __init__(self, path: str | Path | None = None,
+                 source: str = "main", ring_size: int = 4096) -> None:
+        self.source = source
+        self._ring: deque[dict] = deque(maxlen=ring_size)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 0
+        self._pid = os.getpid()
+        self._fh = open(path, "a", encoding="utf-8") if path else None
+        self.path = str(path) if path else None
+
+    # -- span plumbing -------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        span.parent_id = stack[-1].span_id if stack else None
+        stack.append(span)
+
+    def _pop(self, span: Span, dur: float) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        self._emit({"type": "span", "name": span.name,
+                    "span_id": span.span_id, "parent_id": span.parent_id,
+                    "dur_s": dur, "ts": span._wall0,
+                    "attrs": span.attrs})
+
+    def span(self, name: str, **attrs) -> Span:
+        """A context manager bracketing one region named ``name``."""
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return Span(self, name, span_id, None, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a point event (heartbeat, dispatch, depth sample)."""
+        self._emit({"type": "event", "name": name, "ts": time.time(),
+                    "attrs": attrs})
+
+    # -- emission ------------------------------------------------------
+
+    def _emit(self, record: dict) -> None:
+        record["v"] = SCHEMA_VERSION
+        record["pid"] = self._pid
+        record["src"] = self.source
+        with self._lock:
+            self._ring.append(record)
+            if self._fh is not None:
+                self._fh.write(json.dumps(record, separators=(",", ":"),
+                                          default=_json_fallback) + "\n")
+                self._fh.flush()
+
+    def records(self) -> list[dict]:
+        """Snapshot of the in-memory ring buffer (oldest first)."""
+        with self._lock:
+            return list(self._ring)
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+def _json_fallback(value):
+    """Keep emission total: an un-serialisable attr becomes its repr."""
+    return repr(value)
+
+
+# ---------------------------------------------------------------------------
+# process-global tracer
+
+_TRACER: Tracer | NullTracer = NullTracer()
+
+
+def configure(path: str | Path | None = None, source: str = "main",
+              ring_size: int = 4096) -> Tracer:
+    """Install (and return) the process-global tracer.
+
+    Workers of a screen call this on startup with the shared log path and
+    their own ``source`` so one JSONL file interleaves every process's
+    events.
+    """
+    global _TRACER
+    if isinstance(_TRACER, Tracer):
+        _TRACER.close()
+    _TRACER = Tracer(path, source=source, ring_size=ring_size)
+    return _TRACER
+
+
+def disable() -> None:
+    """Tear the global tracer back down to the no-op default."""
+    global _TRACER
+    if isinstance(_TRACER, Tracer):
+        _TRACER.close()
+    _TRACER = NullTracer()
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-global tracer (a no-op unless :func:`configure` ran)."""
+    return _TRACER

@@ -18,6 +18,7 @@ import numpy as np
 from repro.docking.genotype import random_genotypes
 from repro.docking.gradients import GradientCalculator
 from repro.docking.scoring import ScoringFunction
+from repro.obs import get_metrics, get_tracer
 from repro.reduction.api import ReductionBackend
 from repro.search.adadelta import AdadeltaConfig, AdadeltaLocalSearch
 from repro.search.ga import GeneticAlgorithm
@@ -136,33 +137,42 @@ class ParallelLGA:
                                      best_genotype[r].copy()))
 
         n_ls = int(round(cfg.ls_rate * pop))
-        while evals < cfg.max_evals and gens < cfg.max_gens:
+        tracer = get_tracer()
+        span = tracer.span("lga.run", n_runs=R, pop_size=pop,
+                           ls_method=cfg.ls_method)
+        with span:
+            while evals < cfg.max_evals and gens < cfg.max_gens:
+                scores = sf.score(
+                    genes.reshape(R * pop, glen)).reshape(R, pop)
+                evals += pop
+                track(scores)
+                if evals >= cfg.max_evals:
+                    break
+
+                with tracer.span("lga.ga_generation", generation=gens):
+                    for r in range(R):
+                        genes[r] = gas[r].next_generation(genes[r],
+                                                          scores[r])
+
+                if n_ls > 0:
+                    subsets = np.stack([
+                        rngs[r].choice(pop, size=n_ls, replace=False)
+                        for r in range(R)])
+                    selected = genes[np.arange(R)[:, None], subsets]
+                    refined, _, ls_evals = self.local_search.minimize(
+                        selected.reshape(R * n_ls, glen))
+                    genes[np.arange(R)[:, None], subsets] = refined.reshape(
+                        R, n_ls, glen)
+                    evals += ls_evals // R       # per-run share (uniform)
+                gens += 1
+                get_metrics().counter("lga.generations").inc()
+                if on_generation is not None:
+                    on_generation(gens, evals)
+
             scores = sf.score(genes.reshape(R * pop, glen)).reshape(R, pop)
             evals += pop
             track(scores)
-            if evals >= cfg.max_evals:
-                break
-
-            for r in range(R):
-                genes[r] = gas[r].next_generation(genes[r], scores[r])
-
-            if n_ls > 0:
-                subsets = np.stack([
-                    rngs[r].choice(pop, size=n_ls, replace=False)
-                    for r in range(R)])
-                selected = genes[np.arange(R)[:, None], subsets]
-                refined, _, ls_evals = self.local_search.minimize(
-                    selected.reshape(R * n_ls, glen))
-                genes[np.arange(R)[:, None], subsets] = refined.reshape(
-                    R, n_ls, glen)
-                evals += ls_evals // R       # per-run share (uniform)
-            gens += 1
-            if on_generation is not None:
-                on_generation(gens, evals)
-
-        scores = sf.score(genes.reshape(R * pop, glen)).reshape(R, pop)
-        evals += pop
-        track(scores)
+            span.set(generations=gens, evals_per_run=evals)
 
         return [LGAResult(best_genotype=best_genotype[r],
                           best_score=float(best_score[r]),

@@ -78,6 +78,7 @@ class ContentCache:
         self.misses = 0
         self.evictions = 0
         self.oversize = 0
+        self.races = 0
 
     # ------------------------------------------------------------------
 
@@ -105,8 +106,14 @@ class ContentCache:
         value = builder()
         size = int((size_of or sizeof)(value))
         with self._lock:
-            if key in self._entries:      # racing builder won; keep ours
-                return value
+            entry = self._entries.get(key)
+            if entry is not None:
+                # a racing builder won: serve the winner's object so every
+                # caller of one key holds the *same* instance (the
+                # bit-identical-grids invariant), and drop ours
+                self.races += 1
+                self._entries.move_to_end(key)
+                return entry[0]
             if size > self.capacity_bytes:
                 self.oversize += 1
                 return value
@@ -132,6 +139,7 @@ class ContentCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "oversize": self.oversize,
+                "races": self.races,
                 "entries": len(self._entries),
                 "bytes_used": self._bytes,
                 "capacity_bytes": self.capacity_bytes,
@@ -141,8 +149,8 @@ class ContentCache:
     @staticmethod
     def delta(before: dict, after: dict) -> dict:
         """Per-job counter delta between two :meth:`stats` snapshots."""
-        d = {k: after[k] - before[k]
-             for k in ("hits", "misses", "evictions", "oversize")}
+        d = {k: after[k] - before.get(k, 0)
+             for k in ("hits", "misses", "evictions", "oversize", "races")}
         lookups = d["hits"] + d["misses"]
         d["hit_rate"] = d["hits"] / lookups if lookups else 0.0
         return d
@@ -178,11 +186,16 @@ def load_ligand(path: str | Path, cache: ContentCache | None = None,
                 digest: str | None = None):
     """Parse a PDBQT ligand through the cache (key: file SHA-256)."""
     from repro.io import read_pdbqt
+    from repro.obs import get_tracer
+
+    def build():
+        with get_tracer().span("parse.ligand", path=str(path)):
+            return read_pdbqt(path)
+
     if cache is None:
-        return read_pdbqt(path)
+        return build()
     digest = digest or file_sha256(path)
-    return cache.get_or_build(f"ligand/{digest}",
-                              lambda: read_pdbqt(path))
+    return cache.get_or_build(f"ligand/{digest}", build)
 
 
 def load_maps(fld_path: str | Path, cache: ContentCache | None = None,
@@ -194,11 +207,16 @@ def load_maps(fld_path: str | Path, cache: ContentCache | None = None,
     which live in the map headers.
     """
     from repro.io import read_maps
+    from repro.obs import get_tracer
+
+    def build():
+        with get_tracer().span("parse.maps", path=str(fld_path)):
+            return read_maps(fld_path)
+
     if cache is None:
-        return read_maps(fld_path)
+        return build()
     digest = digest or maps_digest(fld_path)
-    return cache.get_or_build(f"maps/{digest}",
-                              lambda: read_maps(fld_path))
+    return cache.get_or_build(f"maps/{digest}", build)
 
 
 def load_case(spec: dict, cache: ContentCache | None = None):
@@ -218,12 +236,16 @@ def load_case(spec: dict, cache: ContentCache | None = None):
     """
     kind = spec.get("kind")
     if kind == "case":
+        from repro.obs import get_tracer
         from repro.testcases import get_test_case
+
+        def build():
+            with get_tracer().span("grid.build", case=spec["case"]):
+                return get_test_case(spec["case"])
+
         if cache is None:
-            return get_test_case(spec["case"])
-        return cache.get_or_build(
-            f"case/{spec['case']}",
-            lambda: get_test_case(spec["case"]))
+            return build()
+        return cache.get_or_build(f"case/{spec['case']}", build)
     if kind == "case-ligand":
         from repro.cli import replace_case_ligand
         base = load_case({"kind": "case", "case": spec["case"]}, cache)

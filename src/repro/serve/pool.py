@@ -24,6 +24,7 @@ import time
 import traceback
 from dataclasses import dataclass, field
 
+from repro.obs import get_metrics, get_tracer
 from repro.serve.cache import DEFAULT_CAPACITY, ContentCache, load_case
 from repro.serve.queue import DockingJob, seed_from_spec
 
@@ -87,19 +88,27 @@ def execute_job(job: DockingJob, cache: ContentCache | None = None,
 
     before = cache.stats() if cache is not None else None
     t0 = time.monotonic()
-    case = load_case(job.spec, cache)
-    engine = DockingEngine(case, job.config)
-    watchdog = (Watchdog(wall_seconds=wall_seconds)
-                if wall_seconds is not None else None)
-    result = engine.dock(
-        n_runs=job.n_runs, seed=seed_from_spec(job.seed),
-        on_generation=watchdog.check if watchdog is not None else None)
-    payload = {
-        "result": result.to_dict(include_history=include_history),
-        "wall_seconds": time.monotonic() - t0,
-    }
-    if cache is not None:
-        payload["cache"] = ContentCache.delta(before, cache.stats())
+    span = get_tracer().span("job.execute", job_id=job.job_id,
+                             label=job.label)
+    with span:
+        case = load_case(job.spec, cache)
+        engine = DockingEngine(case, job.config)
+        watchdog = (Watchdog(wall_seconds=wall_seconds)
+                    if wall_seconds is not None else None)
+        result = engine.dock(
+            n_runs=job.n_runs, seed=seed_from_spec(job.seed),
+            on_generation=watchdog.check if watchdog is not None else None)
+        payload = {
+            "result": result.to_dict(include_history=include_history),
+            "wall_seconds": time.monotonic() - t0,
+        }
+        if cache is not None:
+            payload["cache"] = ContentCache.delta(before, cache.stats())
+        span.set(wall_seconds=payload["wall_seconds"],
+                 total_evals=result.total_evals)
+    m = get_metrics()
+    m.histogram("job.wall_seconds").observe(payload["wall_seconds"])
+    m.histogram("job.evals").observe(result.total_evals)
     return payload
 
 
@@ -124,14 +133,40 @@ def _maybe_inject_crash(job: DockingJob) -> None:
         os._exit(_CRASH_EXIT)
 
 
+def _heartbeat(worker_id: int, jobs_done: int, jobs_failed: int,
+               cache: ContentCache) -> dict:
+    """One worker heartbeat: liveness + a metrics snapshot.
+
+    Emitted to the trace log and sent to the parent, which surfaces the
+    last one per worker in :class:`~repro.serve.screen.VirtualScreen`'s
+    manifest stats.
+    """
+    return {
+        "worker_id": worker_id,
+        "pid": os.getpid(),
+        "jobs_done": jobs_done,
+        "jobs_failed": jobs_failed,
+        "cache": cache.stats(),
+        "metrics": get_metrics().snapshot(),
+    }
+
+
 def _worker_main(task_q, result_q, worker_id: int, cache_bytes: int,
-                 wall_seconds: float | None,
-                 include_history: bool) -> None:
+                 wall_seconds: float | None, include_history: bool,
+                 trace_path: str | None = None) -> None:
     """Worker loop: steal a job, ack, execute, report; ``None`` drains."""
+    tracer = get_tracer()
+    if trace_path is not None:
+        from repro.obs import configure
+        tracer = configure(trace_path, source=f"worker-{worker_id}")
     cache = ContentCache(cache_bytes)
+    jobs_done = jobs_failed = 0
+    tracer.event("worker.start", worker_id=worker_id, pid=os.getpid())
     while True:
         job = task_q.get()
         if job is None:
+            tracer.event("worker.stop", worker_id=worker_id,
+                         jobs_done=jobs_done, jobs_failed=jobs_failed)
             result_q.put(("bye", None, worker_id, None))
             return
         result_q.put(("started", job.job_id, worker_id, None))
@@ -139,9 +174,12 @@ def _worker_main(task_q, result_q, worker_id: int, cache_bytes: int,
         try:
             payload = execute_job(job, cache, wall_seconds=wall_seconds,
                                   include_history=include_history)
+            jobs_done += 1
             result_q.put(("done", job.job_id, worker_id, payload))
         except Exception as exc:
             from repro.robustness import WatchdogTimeout
+            jobs_failed += 1
+            get_metrics().counter("worker.job_errors").inc()
             result_q.put(("failed", job.job_id, worker_id, {
                 "error_type": type(exc).__name__,
                 "message": str(exc),
@@ -150,6 +188,9 @@ def _worker_main(task_q, result_q, worker_id: int, cache_bytes: int,
                 # same budget again (the campaign convention)
                 "retryable": not isinstance(exc, WatchdogTimeout),
             }))
+        hb = _heartbeat(worker_id, jobs_done, jobs_failed, cache)
+        tracer.event("worker.heartbeat", **hb)
+        result_q.put(("heartbeat", None, worker_id, hb))
 
 
 class WorkerPool:
@@ -187,6 +228,9 @@ class WorkerPool:
         systematically-broken worker environments — e.g. a ``spawn``
         ``__main__`` that cannot be re-imported, where every worker dies
         on startup before ever taking a job.
+    trace_path:
+        Shared JSONL trace log; workers configure their own
+        :mod:`repro.obs` tracer appending to it (``None`` = no tracing).
     """
 
     def __init__(self, workers: int = 2, retries: int = 2,
@@ -198,7 +242,8 @@ class WorkerPool:
                  include_history: bool = False,
                  poll_seconds: float = 0.1,
                  stall_seconds: float = 10.0,
-                 max_respawns: int | None = None) -> None:
+                 max_respawns: int | None = None,
+                 trace_path: str | None = None) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers
@@ -215,8 +260,11 @@ class WorkerPool:
         self.stall_seconds = stall_seconds
         self.max_respawns = (max_respawns if max_respawns is not None
                              else 8 * max(workers, 1))
+        self.trace_path = trace_path
         #: workers replaced after a crash (cumulative over map calls)
         self.workers_replaced = 0
+        #: last heartbeat per worker id (inline mode uses key "inline")
+        self.heartbeats: dict = {}
 
     # ------------------------------------------------------------------
 
@@ -236,15 +284,24 @@ class WorkerPool:
     # -- inline (workers=0) -------------------------------------------
 
     def _map_inline(self, jobs):
+        tracer = get_tracer()
         cache = ContentCache(self.cache_bytes)
+        jobs_done = jobs_failed = 0
         for job in jobs:
             attempts = 0
+            tracer.event("job.dispatch", job_id=job.job_id,
+                         label=job.label)
             while True:
                 attempts += 1
                 try:
                     payload = execute_job(
                         job, cache, wall_seconds=self.job_wall_seconds,
                         include_history=self.include_history)
+                    jobs_done += 1
+                    tracer.event("job.complete", job_id=job.job_id,
+                                 label=job.label, attempts=attempts,
+                                 wall_seconds=payload["wall_seconds"],
+                                 cache=payload.get("cache"))
                     yield JobResult(
                         job_id=job.job_id, label=job.label, status="ok",
                         attempts=attempts, worker_id=None,
@@ -256,8 +313,15 @@ class WorkerPool:
                     from repro.robustness import WatchdogTimeout
                     retryable = not isinstance(exc, WatchdogTimeout)
                     if retryable and attempts <= self.retries:
+                        get_metrics().counter("pool.retries").inc()
+                        tracer.event("job.retry", job_id=job.job_id,
+                                     attempts=attempts)
                         time.sleep(self.backoff * 2 ** (attempts - 1))
                         continue
+                    jobs_failed += 1
+                    tracer.event("job.failed", job_id=job.job_id,
+                                 label=job.label, attempts=attempts,
+                                 error_type=type(exc).__name__)
                     yield JobResult(
                         job_id=job.job_id, label=job.label,
                         status="failed", attempts=attempts,
@@ -265,6 +329,9 @@ class WorkerPool:
                                "message": str(exc),
                                "retryable": retryable})
                     break
+            hb = _heartbeat(-1, jobs_done, jobs_failed, cache)
+            self.heartbeats["inline"] = hb
+            tracer.event("worker.heartbeat", **hb)
 
     # -- multiprocessing ----------------------------------------------
 
@@ -272,7 +339,8 @@ class WorkerPool:
         proc = ctx.Process(
             target=_worker_main,
             args=(task_q, result_q, worker_id, self.cache_bytes,
-                  self.job_wall_seconds, self.include_history),
+                  self.job_wall_seconds, self.include_history,
+                  self.trace_path),
             daemon=True, name=f"repro-serve-worker-{worker_id}")
         proc.start()
         return proc
@@ -280,6 +348,7 @@ class WorkerPool:
     def _map_processes(self, jobs):
         import queue as _queue
 
+        tracer = get_tracer()
         ctx = mp.get_context(self.start_method)
         task_q = ctx.Queue()
         result_q = ctx.Queue()
@@ -301,6 +370,9 @@ class WorkerPool:
         def schedule_retry(job: DockingJob) -> None:
             delay = self.backoff * 2 ** max(attempts[job.job_id] - 1, 0)
             retry_at.append((time.monotonic() + delay, job))
+            get_metrics().counter("pool.retries").inc()
+            tracer.event("job.retry", job_id=job.job_id,
+                         attempts=attempts[job.job_id], delay_s=delay)
 
         def reap_dead_workers() -> list[JobResult]:
             """Dead/over-lease workers: re-queue or fail their jobs."""
@@ -346,6 +418,10 @@ class WorkerPool:
                     self._next_wid += 1
                     respawns["n"] += 1
                     self.workers_replaced += 1
+                    get_metrics().counter("pool.crashes").inc()
+                    tracer.event("worker.respawn", died=wid,
+                                 replacement=self._next_wid - 1,
+                                 exitcode=proc.exitcode)
             return lost
 
         for job in jobs:
@@ -354,6 +430,8 @@ class WorkerPool:
             pending[job.job_id] = job
             attempts[job.job_id] = 0
             task_q.put(job)
+            tracer.event("job.dispatch", job_id=job.job_id,
+                         label=job.label)
 
         try:
             for _ in range(self.workers):
@@ -369,6 +447,8 @@ class WorkerPool:
                 while retry_at and retry_at[0][0] <= now:
                     _, job = retry_at.pop(0)
                     task_q.put(job)
+                    tracer.event("job.dispatch", job_id=job.job_id,
+                                 label=job.label, retry=True)
                     last_activity = now
 
                 try:
@@ -392,11 +472,20 @@ class WorkerPool:
                         attempts[job_id] += 1
                         in_flight[job_id] = (wid, last_activity)
                         worker_job[wid] = job_id
+                elif kind == "heartbeat":
+                    self.heartbeats[wid] = payload
                 elif kind == "done":
                     if job_id not in pending:
                         continue               # duplicate completion
                     job = pending.pop(job_id)
                     clear_flight(job_id)
+                    tracer.event("job.complete", job_id=job_id,
+                                 label=job.label, worker_id=wid,
+                                 attempts=max(attempts[job_id], 1),
+                                 wall_seconds=payload["wall_seconds"],
+                                 cache=payload.get("cache"))
+                    tracer.event("pool.depth", pending=len(pending),
+                                 in_flight=len(in_flight))
                     yield JobResult(
                         job_id=job_id, label=job.label, status="ok",
                         attempts=max(attempts[job_id], 1), worker_id=wid,
@@ -413,6 +502,12 @@ class WorkerPool:
                         schedule_retry(job)
                     else:
                         pending.pop(job_id)
+                        tracer.event("job.failed", job_id=job_id,
+                                     label=job.label, worker_id=wid,
+                                     attempts=max(attempts[job_id], 1),
+                                     error_type=payload.get("error_type"))
+                        tracer.event("pool.depth", pending=len(pending),
+                                     in_flight=len(in_flight))
                         yield JobResult(
                             job_id=job_id, label=job.label,
                             status="failed",

@@ -16,11 +16,13 @@ import heapq
 import json
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.config import DockingConfig
+from repro.obs import get_metrics
 
 __all__ = ["DockingJob", "JobQueue", "QueueFull",
            "canonical_spec", "spawn_seed", "seed_from_spec"]
@@ -139,12 +141,18 @@ class JobQueue:
         Pending-job capacity (``None`` = unbounded).
     clock:
         Injectable monotonic clock for deadline checks (tests).
+    expired_keep:
+        How many recently-expired jobs :attr:`expired` retains for
+        inspection; the full count lives in :attr:`expired_total`, so
+        the record stays bounded on long-running services.
     """
 
     def __init__(self, maxsize: int | None = None,
-                 clock=time.monotonic) -> None:
+                 clock=time.monotonic, expired_keep: int = 64) -> None:
         if maxsize is not None and maxsize < 1:
             raise ValueError("maxsize must be >= 1")
+        if expired_keep < 1:
+            raise ValueError("expired_keep must be >= 1")
         self.maxsize = maxsize
         self._clock = clock
         self._heap: list[tuple[int, int, DockingJob]] = []
@@ -152,8 +160,10 @@ class JobQueue:
         self._seen: set[str] = set()
         self._lock = threading.Lock()
         self._not_full = threading.Condition(self._lock)
-        #: jobs dropped at pop time because their deadline had passed
-        self.expired: list[DockingJob] = []
+        #: bounded record of recently-expired jobs (most recent last);
+        #: :attr:`expired_total` counts every expiry ever
+        self.expired: deque[DockingJob] = deque(maxlen=expired_keep)
+        self.expired_total = 0
         self.submitted = 0
         self.deduped = 0
         self.popped = 0
@@ -175,6 +185,7 @@ class JobQueue:
         with self._not_full:
             if job_id in self._seen:
                 self.deduped += 1
+                get_metrics().counter("queue.deduped").inc()
                 return job_id
             if self.maxsize is not None:
                 if not block and len(self._heap) >= self.maxsize:
@@ -187,23 +198,35 @@ class JobQueue:
             heapq.heappush(self._heap, (job.priority, self._seq, job))
             self._seq += 1
             self.submitted += 1
+            m = get_metrics()
+            m.counter("queue.submitted").inc()
+            m.gauge("queue.depth").set(len(self._heap))
             return job_id
 
     def pop(self) -> DockingJob | None:
         """Highest-priority unexpired job, or ``None`` when empty.
 
         Jobs whose deadline has passed are recorded in :attr:`expired`
-        and skipped.
+        (bounded; :attr:`expired_total` keeps the full count), skipped,
+        and *forgotten by the dedup set* — an expired job was never run,
+        so an identical resubmission must be accepted, not swallowed as
+        a duplicate.
         """
         with self._not_full:
             now = self._clock()
+            m = get_metrics()
             while self._heap:
                 _, _, job = heapq.heappop(self._heap)
                 self._not_full.notify()
+                m.gauge("queue.depth").set(len(self._heap))
                 if job.deadline is not None and now > job.deadline:
+                    self._seen.discard(job.job_id)
                     self.expired.append(job)
+                    self.expired_total += 1
+                    m.counter("queue.expired").inc()
                     continue
                 self.popped += 1
+                m.counter("queue.popped").inc()
                 return job
             return None
 
@@ -219,5 +242,5 @@ class JobQueue:
     def stats(self) -> dict:
         with self._lock:
             return {"submitted": self.submitted, "deduped": self.deduped,
-                    "popped": self.popped, "expired": len(self.expired),
+                    "popped": self.popped, "expired": self.expired_total,
                     "pending": len(self._heap)}

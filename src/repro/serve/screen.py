@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.config import DockingConfig
+from repro.obs import get_tracer
 from repro.serve.cache import DEFAULT_CAPACITY, file_sha256, maps_digest
 from repro.serve.pool import JobResult, WorkerPool
 from repro.serve.queue import (DockingJob, JobQueue, canonical_spec,
@@ -170,7 +171,8 @@ class VirtualScreen:
             job_wall_seconds: float | None = None,
             cache_bytes: int = DEFAULT_CAPACITY,
             start_method: str = "spawn",
-            include_history: bool = False) -> ScreenReport:
+            include_history: bool = False,
+            trace: str | Path | None = None) -> ScreenReport:
         """Execute the screen; returns the final :class:`ScreenReport`.
 
         ``manifest`` is rewritten atomically after *every* completed job
@@ -179,11 +181,19 @@ class VirtualScreen:
         jobs in flight; ``resume=True`` reloads it and skips every job
         whose id is already terminal — identical inputs do zero new
         docking work.  ``stream(result)`` is called per terminal
-        :class:`JobResult` as it arrives.
+        :class:`JobResult` as it arrives.  ``trace`` names a JSONL event
+        log: the parent *and every worker* append spans/events to it
+        (``repro stats <log>`` renders the summary afterwards).
         """
         if resume and manifest is None:
             raise ValueError("resume=True requires a manifest path")
         t0 = time.monotonic()
+
+        if trace is not None:
+            from repro.obs import configure
+            tracer = configure(trace, source="main")
+        else:
+            tracer = get_tracer()
 
         results: dict[str, JobResult] = {}
         if resume and manifest is not None and Path(manifest).exists():
@@ -193,38 +203,53 @@ class VirtualScreen:
                     prior.status = "cached"
                     results[prior.job_id] = prior
 
-        queue = JobQueue(maxsize=self.queue_size)
-        for job in self.jobs():
-            queue.submit(job, block=True)    # dedups identical content
-        to_run = [job for job in queue.drain()
-                  if job.job_id not in results]   # manifest-cached skip
+        span = tracer.span("screen.run", workers=workers, resume=resume)
+        heartbeats: dict = {}
+        with span:
+            with tracer.span("screen.build_queue"):
+                queue = JobQueue(maxsize=self.queue_size)
+                for job in self.jobs():
+                    queue.submit(job, block=True)  # dedups same content
+                to_run = [job for job in queue.drain()
+                          if job.job_id not in results]  # manifest skip
+            tracer.event("queue.stats", **queue.stats())
 
-        new_results: list[JobResult] = []
-        if to_run:
-            pool = WorkerPool(workers=workers, retries=retries,
-                              backoff=backoff,
-                              job_wall_seconds=job_wall_seconds,
-                              cache_bytes=cache_bytes,
-                              start_method=start_method,
-                              include_history=include_history)
-            for result in pool.map(to_run):
-                results[result.job_id] = result
-                new_results.append(result)
-                # persist before notifying: a crash in the consumer must
-                # not lose a job that already finished
-                if manifest is not None:
-                    self._save_manifest(manifest, results, queue,
-                                        t0, workers)
-                if stream is not None:
-                    stream(result)
+            new_results: list[JobResult] = []
+            if to_run:
+                pool = WorkerPool(workers=workers, retries=retries,
+                                  backoff=backoff,
+                                  job_wall_seconds=job_wall_seconds,
+                                  cache_bytes=cache_bytes,
+                                  start_method=start_method,
+                                  include_history=include_history,
+                                  trace_path=(str(trace)
+                                              if trace is not None
+                                              else None))
+                for result in pool.map(to_run):
+                    results[result.job_id] = result
+                    new_results.append(result)
+                    heartbeats = pool.heartbeats
+                    # persist before notifying: a crash in the consumer
+                    # must not lose a job that already finished
+                    if manifest is not None:
+                        self._save_manifest(manifest, results, queue,
+                                            t0, workers, heartbeats)
+                    if stream is not None:
+                        stream(result)
+                heartbeats = pool.heartbeats
+            span.set(jobs_total=len(results),
+                     jobs_new=len(new_results))
 
         report = ScreenReport(
             results=results,
             ranking=self._ranking(results),
-            stats=self._stats(results, new_results, queue, t0, workers),
+            stats=self._stats(results, new_results, queue, t0, workers,
+                              heartbeats),
             manifest_path=str(manifest) if manifest is not None else None)
         if manifest is not None:
-            self._save_manifest(manifest, results, queue, t0, workers)
+            self._save_manifest(manifest, results, queue, t0, workers,
+                                heartbeats)
+        tracer.flush()
         return report
 
     # ------------------------------------------------------------------
@@ -242,9 +267,9 @@ class VirtualScreen:
 
     @staticmethod
     def _stats(results, new_results, queue: JobQueue, t0: float,
-               workers: int) -> dict:
+               workers: int, heartbeats: dict | None = None) -> dict:
         wall = time.monotonic() - t0
-        cache = {"hits": 0, "misses": 0, "evictions": 0}
+        cache = {"hits": 0, "misses": 0, "evictions": 0, "races": 0}
         for r in new_results:
             if r.cache:
                 for key in cache:
@@ -264,11 +289,16 @@ class VirtualScreen:
             "jobs_per_second": n_new / wall if wall > 0 else 0.0,
             "queue": queue.stats(),
             "cache": cache,
+            # last heartbeat per worker: liveness + per-worker metrics
+            # snapshot (cache hit rates, job counts) for the manifest
+            "heartbeats": {str(k): v
+                           for k, v in (heartbeats or {}).items()},
         }
 
     def _save_manifest(self, path: str | Path,
                        results: dict[str, JobResult], queue: JobQueue,
-                       t0: float, workers: int) -> None:
+                       t0: float, workers: int,
+                       heartbeats: dict | None = None) -> None:
         """Atomic write: a killed screen never leaves a torn manifest."""
         path = Path(path)
         payload = {
@@ -281,7 +311,7 @@ class VirtualScreen:
             "jobs": {jid: r.to_dict() for jid, r in results.items()},
             "ranking": self._ranking(results),
             "stats": self._stats(results, list(results.values()),
-                                 queue, t0, workers),
+                                 queue, t0, workers, heartbeats),
         }
         tmp = path.with_name(path.name + ".tmp")
         tmp.write_text(json.dumps(payload, indent=2))

@@ -6,6 +6,16 @@ import pytest
 from repro.docking import Ligand, Receptor, TorsionBond
 
 
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """The tracer is process-global: a test that configures it must not
+    leak a live JSONL writer (often into a deleted tmp dir) into the
+    next test."""
+    yield
+    from repro.obs import disable
+    disable()
+
+
 @pytest.fixture(scope="session")
 def butane_like():
     """A 5-atom, 1-torsion ligand with simple geometry (fast unit tests)."""

@@ -174,6 +174,15 @@ class TestRuntimeModel:
         with pytest.raises(ValueError):
             m.us_per_eval(0, 0, 0)
 
+    def test_zero_eval_sample_is_nan(self):
+        """Regression: a zero-eval sample (e.g. a dry run priced through
+        RuntimeSample directly) used to raise ZeroDivisionError."""
+        from repro.analysis.runtime import RuntimeSample
+        s = RuntimeSample(seconds=0.5, n_evals=0)
+        assert math.isnan(s.us_per_eval)
+        assert RuntimeSample(seconds=0.1, n_evals=1000).us_per_eval \
+            == pytest.approx(100.0)
+
 
 class TestSpeedupAggregation:
     def test_geometric_mean(self):

@@ -1,0 +1,347 @@
+"""Tests for repro.obs: tracer spans, metrics registry, schema, report."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullTracer,
+    SchemaError,
+    Tracer,
+    configure,
+    disable,
+    get_metrics,
+    get_tracer,
+    render_summary,
+    reset_metrics,
+    summarize_log,
+    validate_event,
+    validate_log,
+)
+from repro.obs.schema import read_log
+
+
+class TestSpanNesting:
+    def test_nested_spans_record_parent_ids(self):
+        t = Tracer()
+        with t.span("outer") as outer:
+            with t.span("middle") as middle:
+                with t.span("inner") as inner:
+                    pass
+            with t.span("sibling") as sibling:
+                pass
+        assert outer.parent_id is None
+        assert middle.parent_id == outer.span_id
+        assert inner.parent_id == middle.span_id
+        assert sibling.parent_id == outer.span_id
+        # emission order is exit order: inner first, outer last
+        names = [r["name"] for r in t.records()]
+        assert names == ["inner", "middle", "sibling", "outer"]
+
+    def test_span_ids_unique_and_durations_positive(self):
+        t = Tracer()
+        with t.span("a"):
+            with t.span("b"):
+                pass
+        recs = t.records()
+        assert len({r["span_id"] for r in recs}) == 2
+        assert all(r["dur_s"] >= 0 for r in recs)
+
+    def test_exit_time_attrs_and_error_marker(self):
+        t = Tracer()
+        with t.span("work", batch=4) as s:
+            s.set(evals=128)
+        with pytest.raises(RuntimeError):
+            with t.span("boom"):
+                raise RuntimeError("x")
+        done, failed = t.records()
+        assert done["attrs"] == {"batch": 4, "evals": 128}
+        assert failed["attrs"]["error"] == "RuntimeError"
+
+    def test_threads_get_independent_stacks(self):
+        t = Tracer()
+        seen = {}
+
+        def run(tag):
+            with t.span(f"root-{tag}") as root:
+                with t.span(f"child-{tag}") as child:
+                    seen[tag] = (root, child)
+
+        threads = [threading.Thread(target=run, args=(i,))
+                   for i in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        for tag, (root, child) in seen.items():
+            assert root.parent_id is None
+            assert child.parent_id == root.span_id
+
+    def test_ring_buffer_bounded(self):
+        t = Tracer(ring_size=8)
+        for i in range(20):
+            t.event("tick", i=i)
+        recs = t.records()
+        assert len(recs) == 8
+        assert [r["attrs"]["i"] for r in recs] == list(range(12, 20))
+
+
+class TestJsonlSink:
+    def test_emitted_log_is_schema_valid(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        t = Tracer(path, source="main")
+        with t.span("outer", case="1u4d"):
+            with t.span("inner"):
+                pass
+        t.event("heartbeat", jobs_done=3)
+        t.close()
+        counts = validate_log(path)
+        assert counts == {"events": 3, "spans": 2, "points": 1,
+                          "sources": ["main"]}
+
+    def test_append_mode_interleaves_sources(self, tmp_path):
+        """Two tracers on one path model the parent + worker processes
+        sharing one log: both streams must survive and validate."""
+        path = tmp_path / "t.jsonl"
+        a = Tracer(path, source="main")
+        b = Tracer(path, source="worker-0")
+        with a.span("parent"):
+            with b.span("worker-side"):
+                pass
+        a.event("dispatch")
+        a.close()
+        b.close()
+        assert validate_log(path)["sources"] == ["main", "worker-0"]
+
+    def test_unserialisable_attr_degrades_to_repr(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        t = Tracer(path)
+        t.event("odd", payload=object())
+        t.close()
+        [(_, rec)] = list(read_log(path))
+        assert "object object" in rec["attrs"]["payload"]
+
+
+class TestGlobalTracer:
+    def test_default_is_noop(self):
+        disable()
+        t = get_tracer()
+        assert isinstance(t, NullTracer)
+        assert not t.enabled
+        with t.span("anything") as s:
+            s.set(x=1)   # all no-ops, nothing raised
+        t.event("nothing")
+        assert t.records() == []
+
+    def test_configure_then_disable(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        t = configure(path, source="main")
+        assert get_tracer() is t and t.enabled
+        with t.span("s"):
+            pass
+        disable()
+        assert isinstance(get_tracer(), NullTracer)
+        assert validate_log(path)["spans"] == 1
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge()
+        g.set(7)
+        g.inc(2)
+        g.dec(3)
+        assert g.value == 6.0
+
+    def test_histogram_summary(self):
+        h = Histogram()
+        assert h.summary() == {"count": 0, "total": 0.0, "mean": 0.0,
+                               "min": None, "max": None}
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3 and s["total"] == 6.0
+        assert s["mean"] == pytest.approx(2.0)
+        assert (s["min"], s["max"]) == (1.0, 3.0)
+
+
+class TestRegistry:
+    def test_lazy_instruments_are_stable(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.gauge("g") is r.gauge("g")
+        assert r.histogram("h") is r.histogram("h")
+
+    def test_snapshot_delta_semantics(self):
+        """Counters and histogram count/total subtract; gauges take the
+        after value — the ContentCache.delta idiom generalised."""
+        r = MetricsRegistry()
+        r.counter("jobs").inc(2)
+        r.gauge("depth").set(5)
+        r.histogram("wall").observe(1.0)
+        before = r.snapshot()
+        r.counter("jobs").inc(3)
+        r.counter("new").inc()        # born between snapshots
+        r.gauge("depth").set(1)
+        r.histogram("wall").observe(3.0)
+        d = MetricsRegistry.delta(before, r.snapshot())
+        assert d["counters"] == {"jobs": 3, "new": 1}
+        assert d["gauges"]["depth"] == 1.0
+        assert d["histograms"]["wall"] == {"count": 1, "total": 3.0,
+                                           "mean": 3.0}
+
+    def test_snapshot_is_json_able(self):
+        r = MetricsRegistry()
+        r.histogram("h")              # zero-observation histogram
+        r.counter("c").inc()
+        text = json.dumps(r.snapshot())    # must not hit Infinity
+        assert "Infinity" not in text
+
+    def test_global_registry_reset(self):
+        reset_metrics()
+        get_metrics().counter("x").inc()
+        assert get_metrics().snapshot()["counters"]["x"] == 1
+        fresh = reset_metrics()
+        assert fresh.snapshot()["counters"] == {}
+        assert get_metrics() is fresh
+
+
+class TestSchema:
+    def _span(self, **over):
+        rec = {"v": 1, "type": "span", "name": "s", "ts": 1.5,
+               "pid": 10, "src": "main", "span_id": 0,
+               "parent_id": None, "dur_s": 0.1}
+        rec.update(over)
+        return rec
+
+    def test_valid_records_pass(self):
+        validate_event(self._span())
+        validate_event({"v": 1, "type": "event", "name": "e", "ts": 0.0,
+                        "pid": 1, "src": "w", "attrs": {"k": 1}})
+
+    @pytest.mark.parametrize("corrupt", [
+        {"v": 2},                      # wrong version
+        {"type": "metric"},            # unknown type
+        {"name": 7},                   # wrong type
+        {"pid": True},                 # bool is not an int here
+        {"dur_s": -0.1},               # negative duration
+        {"span_id": "x"},              # non-int span id
+        {"attrs": []},                 # attrs must be an object
+    ])
+    def test_corrupt_records_rejected(self, corrupt):
+        with pytest.raises(SchemaError):
+            validate_event(self._span(**corrupt))
+
+    def test_missing_field_names_line(self):
+        with pytest.raises(SchemaError, match="line 3.*'src'"):
+            validate_event({"v": 1, "type": "event", "name": "e",
+                            "ts": 0.0, "pid": 1}, line_no=3)
+
+    def test_invalid_json_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"v": 1, "type": "event", "name": "e", '
+                        '"ts": 0.0, "pid": 1, "src": "m"}\n{oops\n')
+        with pytest.raises(SchemaError, match="line 2"):
+            validate_log(path)
+
+
+class TestReport:
+    def _write_log(self, path):
+        t = Tracer(path, source="main")
+        with t.span("engine.dock"):
+            with t.span("adadelta.minimize"):
+                pass
+        t.event("job.dispatch", job_id="j1")
+        t.event("job.complete", job_id="j1",
+                cache={"hits": 3, "misses": 1, "evictions": 0, "races": 0})
+        t.event("pool.depth", pending=2, in_flight=1)
+        t.event("pool.depth", pending=0, in_flight=0)
+        t.event("worker.heartbeat", worker_id=0, jobs_done=1,
+                cache={"hit_rate": 0.75})
+        t.close()
+
+    def test_summarize_log(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write_log(path)
+        s = summarize_log(path)
+        assert s["spans"]["engine.dock"]["count"] == 1
+        assert s["spans"]["adadelta.minimize"]["total_s"] \
+            <= s["spans"]["engine.dock"]["total_s"]
+        assert s["jobs"] == {"dispatched": 1, "completed": 1, "failed": 0}
+        assert s["cache"]["hits"] == 3
+        assert s["cache"]["hit_rate"] == pytest.approx(0.75)
+        assert s["queue_depth"] == {"samples": 2, "min": 0, "max": 2,
+                                    "last": 0}
+        assert "main" in s["heartbeats"]
+        assert s["heartbeats"]["main"]["jobs_done"] == 1
+
+    def test_render_summary_mentions_everything(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write_log(path)
+        text = render_summary(summarize_log(path))
+        for needle in ("engine.dock", "1 dispatched, 1 completed",
+                       "queue depth", "3 hits / 1 misses",
+                       "worker heartbeats", "hit rate 75%"):
+            assert needle in text, needle
+
+    def test_summarize_rejects_corrupt_log(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"v": 99}\n')
+        with pytest.raises(SchemaError):
+            summarize_log(path)
+
+
+class TestStatsCli:
+    def test_stats_renders_a_real_log(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "t.jsonl"
+        t = Tracer(path, source="main")
+        with t.span("engine.dock"):
+            pass
+        t.close()
+        assert main(["stats", str(path), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "schema v1 OK" in out
+        assert "engine.dock" in out
+
+    def test_stats_errors_are_structured(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["stats", str(tmp_path / "absent.jsonl")]) == 2
+        assert "no such trace log" in capsys.readouterr().err
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{}\n")
+        assert main(["stats", str(bad)]) == 2
+        assert "invalid trace log" in capsys.readouterr().err
+
+
+class TestReductionMetrics:
+    def test_gradient_call_records_backend_histogram(self, case_small):
+        """The cross-check hook: reduce4 wall time lands in a per-backend
+        histogram so traced Python times can be compared against the simt
+        cost model's cycle ratios."""
+        import numpy as np
+        from repro.docking.gradients import GradientCalculator
+        from repro.docking.scoring import ScoringFunction
+
+        reset_metrics()
+        sf = ScoringFunction(case_small.ligand, case_small.maps)
+        grad = GradientCalculator(sf, "baseline")
+        genes = np.zeros((4, 6 + case_small.ligand.n_rot))
+        grad(genes)
+        snap = get_metrics().snapshot()
+        h = snap["histograms"]["reduction.baseline.reduce4_s"]
+        assert h["count"] == 1 and h["total"] > 0
+        assert snap["counters"]["reduction.baseline.calls"] == 2
+        assert snap["counters"]["gradient.evals"] == 4

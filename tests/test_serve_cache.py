@@ -50,6 +50,50 @@ class TestAccounting:
         assert len(c) == 0
         assert c.stats()["oversize"] == 1
 
+    def test_racing_builders_converge_on_one_object(self):
+        """Regression: when two threads missed the same key concurrently,
+        the loser's freshly-built object replaced (or bypassed) the
+        winner's cached one, so callers of one key could hold different
+        instances — breaking the bit-identical-grids invariant."""
+        import threading
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        c = ContentCache(1 << 20)
+        built = []
+        build_lock = threading.Lock()
+
+        def build():
+            # every builder returns a distinct object; only one of them
+            # may ever be visible to callers
+            obj = np.zeros(16)
+            with build_lock:
+                built.append(obj)
+            return obj
+
+        results = [None] * n_threads
+
+        def worker(i):
+            barrier.wait()   # maximise the miss/miss overlap
+            results[i] = c.get_or_build("k", build)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        first = results[0]
+        assert all(r is first for r in results)       # one object per key
+        assert first is c.get_or_build("k", build)    # and it is cached
+        s = c.stats()
+        assert s["hits"] + s["misses"] == n_threads + 1
+        # every losing builder is counted as a race; builds that never
+        # raced were hits and built nothing
+        assert s["races"] == len(built) - 1
+        assert s["races"] == s["misses"] - 1
+        assert len(c) == 1
+
     def test_delta_between_snapshots(self):
         c = ContentCache(1 << 20)
         c.get_or_build("a", lambda: np.zeros(4))

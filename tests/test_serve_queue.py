@@ -124,3 +124,43 @@ class TestJobQueue:
         assert [j.label for j in popped] == ["1xoz"]
         assert [j.label for j in q.expired] == ["1u4d"]
         assert q.stats()["expired"] == 1
+
+    def test_expired_job_resubmission_accepted(self):
+        """Regression: an expired job stayed in the dedup set forever, so
+        resubmitting the same work (same content hash, fresh deadline)
+        was silently swallowed and never ran."""
+        t = {"now": 0.0}
+        q = JobQueue(clock=lambda: t["now"])
+        first_id = q.submit(_job("1u4d", deadline=10.0))
+        t["now"] = 11.0
+        assert q.drain() == []              # expired, never ran
+        # identical work resubmitted with a new deadline: the content
+        # hash ignores deadlines, so the id is the same — and it must
+        # be enqueued again, not deduped against the expired attempt
+        again_id = q.submit(_job("1u4d", deadline=20.0))
+        assert again_id == first_id
+        assert len(q) == 1
+        assert q.stats()["deduped"] == 0
+        popped = q.drain()
+        assert [j.job_id for j in popped] == [first_id]
+        # once actually popped, dedup applies as usual
+        q.submit(_job("1u4d", deadline=30.0))
+        assert len(q) == 0
+        assert q.stats()["deduped"] == 1
+
+    def test_expired_record_bounded(self):
+        """The expired record must not grow without bound on a long-lived
+        service; the full count survives in expired_total / stats()."""
+        t = {"now": 0.0}
+        q = JobQueue(clock=lambda: t["now"], expired_keep=3)
+        cases = ["1u4d", "1xoz", "1yv3", "1owe", "7cpa"]
+        for name in cases:
+            q.submit(_job(name, deadline=1.0))
+        t["now"] = 2.0
+        assert q.drain() == []
+        assert len(q.expired) == 3          # bounded, most recent kept
+        assert [j.label for j in q.expired] == cases[-3:]
+        assert q.expired_total == 5
+        assert q.stats()["expired"] == 5
+        with pytest.raises(ValueError):
+            JobQueue(expired_keep=0)

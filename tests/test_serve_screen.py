@@ -156,6 +156,70 @@ class TestScreenRun:
             screen.run(workers=0, resume=True)
 
 
+class TestTracedScreen:
+    def test_traced_run_emits_valid_log_and_heartbeats(
+            self, ligand_library, tmp_path):
+        """Acceptance: a traced screen writes a schema-valid JSONL log
+        covering every pipeline stage, and the manifest stats carry the
+        workers' last heartbeats (liveness + metrics snapshots)."""
+        from repro.obs import summarize_log, validate_log
+
+        fld, ligs = ligand_library
+        trace = tmp_path / "trace.jsonl"
+        manifest = tmp_path / "manifest.json"
+        screen = VirtualScreen(fld=fld, ligands=ligs, config=TINY,
+                               n_runs=2, seed=3)
+        report = screen.run(workers=0, manifest=manifest, trace=trace)
+        assert report.stats["jobs_failed"] == 0
+
+        counts = validate_log(trace)          # raises SchemaError if bad
+        assert counts["spans"] > 0 and counts["points"] > 0
+        assert counts["sources"] == ["main"]  # inline run: one process
+
+        summary = summarize_log(trace)
+        for stage in ("screen.run", "job.execute", "engine.dock",
+                      "lga.run", "adadelta.minimize"):
+            assert summary["spans"][stage]["count"] >= 1, stage
+        # one screen.run wrapping everything
+        assert summary["spans"]["screen.run"]["count"] == 1
+        assert summary["jobs"]["completed"] == 4
+
+        # heartbeats surfaced in report stats AND the persisted manifest
+        hb = report.stats["heartbeats"]
+        assert hb and all("cache" in v and "metrics" in v
+                          for v in hb.values())
+        persisted = json.loads(manifest.read_text())
+        assert persisted["stats"]["heartbeats"].keys() == hb.keys()
+
+    def test_trace_spans_nest_under_screen_run(self, tmp_path):
+        """Every span in the log must reach the screen.run root through
+        parent_id links (one trace tree per process)."""
+        from repro.obs.schema import read_log
+
+        trace = tmp_path / "trace.jsonl"
+        screen = VirtualScreen(cases=["1u4d"], config=TINY, n_runs=1,
+                               seed=5)
+        screen.run(workers=0, trace=trace)
+
+        spans = {r["span_id"]: r for _, r in read_log(trace)
+                 if r["type"] == "span"}
+        roots = [s for s in spans.values() if s["parent_id"] is None]
+        assert [s["name"] for s in roots] == ["screen.run"]
+        for s in spans.values():
+            hops = 0
+            while s["parent_id"] is not None:
+                s = spans[s["parent_id"]]
+                hops += 1
+                assert hops < 100
+            assert s["name"] == "screen.run"
+
+    def test_untraced_run_writes_no_log(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        screen = VirtualScreen(cases=["1u4d"], config=TINY, n_runs=1)
+        screen.run(workers=0)
+        assert not trace.exists()
+
+
 class TestScreenCli:
     def test_end_to_end_with_resume(self, ligand_library, tmp_path,
                                     capsys):

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Validate a JSONL trace log against the repro.obs wire format.
+
+CI's trace-smoke job runs a 2-worker screen with ``--trace`` and pipes
+the resulting log through this checker; any malformed line (bad JSON, a
+missing envelope field, an unknown event type, a negative duration)
+exits non-zero naming the line.  On success it prints the counting
+summary and optionally asserts minimum expectations::
+
+    python tools/check_trace.py screen-trace.jsonl \
+        --min-spans 10 --min-sources 3 --expect-span screen.run
+
+Depends only on ``repro.obs.schema`` (pure stdlib), so it runs anywhere
+the log does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("log", help="JSONL trace log to validate")
+    p.add_argument("--min-spans", type=int, default=1,
+                   help="fail unless at least this many spans (default 1)")
+    p.add_argument("--min-sources", type=int, default=1,
+                   help="fail unless at least this many distinct emitters")
+    p.add_argument("--expect-span", action="append", default=[],
+                   metavar="NAME", help="span name that must appear "
+                   "(repeatable)")
+    args = p.parse_args(argv)
+
+    from repro.obs.schema import SchemaError, read_log, validate_event
+
+    spans = points = 0
+    sources: set[str] = set()
+    span_names: set[str] = set()
+    try:
+        for line_no, record in read_log(args.log):
+            validate_event(record, line_no)
+            sources.add(record["src"])
+            if record["type"] == "span":
+                spans += 1
+                span_names.add(record["name"])
+            else:
+                points += 1
+    except FileNotFoundError:
+        print(f"FAIL: no such log: {args.log}", file=sys.stderr)
+        return 2
+    except SchemaError as exc:
+        print(f"FAIL: {args.log}: {exc}", file=sys.stderr)
+        return 1
+
+    problems = []
+    if spans < args.min_spans:
+        problems.append(f"expected >= {args.min_spans} spans, got {spans}")
+    if len(sources) < args.min_sources:
+        problems.append(f"expected >= {args.min_sources} sources, got "
+                        f"{sorted(sources)}")
+    for name in args.expect_span:
+        if name not in span_names:
+            problems.append(f"span {name!r} never recorded")
+    if problems:
+        for msg in problems:
+            print(f"FAIL: {args.log}: {msg}", file=sys.stderr)
+        return 1
+
+    print(f"OK: {args.log}: {spans} spans + {points} events from "
+          f"{len(sources)} source(s) ({', '.join(sorted(sources))})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
