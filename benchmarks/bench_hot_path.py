@@ -1,0 +1,236 @@
+"""Hot-path benchmark: evals/s of the batched docking pipeline.
+
+Measures the end-to-end LGA throughput (score evaluations per second,
+the denominator of the paper's µs/eval metric) of :class:`ParallelLGA`
+on the reference ADADELTA dock config, once per reduction back-end, and
+breaks the wall time into stages using the :mod:`repro.obs` metrics and
+tracer spans:
+
+* ``score``   — GA-phase population scoring (``lga.stage.score_s``),
+* ``ga``      — selection / crossover / mutation (``lga.stage.ga_s``),
+* ``ls``      — ADADELTA local search (``lga.stage.ls_s``),
+* ``reduce4`` — the seven per-iteration reductions inside ``ls``
+  (``reduction.<backend>.reduce4_s``).
+
+The result is written as ``BENCH_hot_path.json``; the committed copy at
+the repository root is the performance baseline the CI bench-smoke job
+gates against (see ``tools/check_bench.py``).  Because absolute evals/s
+is machine-dependent, every file also records ``numpy_ref_s`` — the wall
+time of a fixed NumPy calibration workload — so two files can be
+compared in machine-normalised units (evals per calibration-unit).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hot_path.py --out BENCH_hot_path.json
+    PYTHONPATH=src python benchmarks/bench_hot_path.py --smoke --out fresh.json
+    # record a pre-optimisation reference measured with an older checkout:
+    PYTHONPATH=src python benchmarks/bench_hot_path.py --pre-file pre.json ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+SCHEMA = "bench-hot-path/v1"
+
+#: back-ends benchmarked by the full reference run (the paper's three
+#: configurations plus the exact float64 reference and the warp-shuffle
+#: SIMT variant)
+REFERENCE_BACKENDS = ("baseline", "warp-shuffle", "tc-fp16", "tcec-tf32",
+                      "exact")
+#: quick subset for the CI smoke job
+SMOKE_BACKENDS = ("baseline", "tc-fp16")
+
+REFERENCE = {
+    "case": "7cpa",
+    "n_runs": 8,
+    "seed": 11,
+    "lga": {"pop_size": 30, "max_evals": 6000, "max_gens": 100,
+            "ls_iters": 10, "ls_rate": 0.3},
+}
+SMOKE = {
+    "case": "1u4d",
+    "n_runs": 4,
+    "seed": 11,
+    "lga": {"pop_size": 10, "max_evals": 1000, "max_gens": 20,
+            "ls_iters": 5, "ls_rate": 0.3},
+}
+
+
+def calibrate() -> float:
+    """Wall seconds of a fixed NumPy workload (machine-speed proxy).
+
+    Mixes the primitives the docking hot path leans on — GEMM, gathers,
+    elementwise transcendentals, reductions — so the ratio of two
+    machines' ``numpy_ref_s`` approximates the ratio of their hot-path
+    speeds.  Deterministic by construction (seeded, fixed iteration
+    count); best-of-3 to shed scheduler noise.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((192, 192))
+    b = rng.standard_normal((192, 192))
+    idx = rng.integers(0, a.size, size=200_000)
+    best = np.inf
+    for _ in range(3):
+        t0 = time.perf_counter()
+        acc = a.copy()
+        for _ in range(30):
+            acc = acc @ b
+            acc /= np.maximum(np.abs(acc).max(), 1.0)
+            g = np.take(a.reshape(-1), idx)
+            acc[0, 0] += float(np.sum(np.exp(-0.5 * g * g)))
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _build(config: dict):
+    from repro.search.lga import LGAConfig
+    from repro.testcases import get_test_case
+
+    case = get_test_case(config["case"])
+    return case.scoring(), LGAConfig(**config["lga"])
+
+
+def _stage_breakdown(records: list[dict], metrics_delta: dict,
+                     backend: str) -> dict:
+    """Fold tracer spans + metric deltas into per-stage seconds."""
+    hist = metrics_delta.get("histograms", {})
+
+    def hist_total(name: str) -> float | None:
+        h = hist.get(name)
+        return float(h["total"]) if h else None
+
+    spans: dict[str, float] = {}
+    for rec in records:
+        if rec.get("type") == "span":
+            spans[rec["name"]] = spans.get(rec["name"], 0.0) + rec["dur_s"]
+
+    # stage histograms are emitted by ParallelLGA; older checkouts (the
+    # committed "pre" measurement) only have the spans, so fall back
+    return {
+        "score_s": hist_total("lga.stage.score_s"),
+        "ga_s": hist_total("lga.stage.ga_s")
+        if "lga.stage.ga_s" in hist else spans.get("lga.ga_generation"),
+        "ls_s": hist_total("lga.stage.ls_s")
+        if "lga.stage.ls_s" in hist else spans.get("adadelta.minimize"),
+        "reduce4_s": hist_total(f"reduction.{backend}.reduce4_s"),
+    }
+
+
+def measure(config: dict, backend: str, repeats: int) -> dict:
+    """Best-of-``repeats`` throughput plus one traced stage breakdown."""
+    from repro.obs import configure, disable, get_metrics, reset_metrics
+    from repro.search.parallel import ParallelLGA
+
+    scoring, lga = _build(config)
+    n_runs, seed = config["n_runs"], config["seed"]
+
+    # untraced timing passes (the tracer's per-span bookkeeping and the
+    # adadelta snapshot/delta hook must not pollute the evals/s number)
+    best = None
+    for _ in range(repeats):
+        reset_metrics()
+        t0 = time.perf_counter()
+        results = ParallelLGA(scoring, backend, lga, seed=seed).run(n_runs)
+        wall = time.perf_counter() - t0
+        total_evals = int(sum(r.evals_used for r in results))
+        if best is None or total_evals / wall > best["evals_per_s"]:
+            best = {
+                "wall_s": round(wall, 4),
+                "total_evals": total_evals,
+                "evals_per_s": round(total_evals / wall, 1),
+                "best_score": round(min(r.best_score for r in results), 6),
+            }
+
+    # one traced pass for the stage breakdown (overhead excluded above)
+    reset_metrics()
+    tracer = configure(None, source="bench-hot-path")
+    before = get_metrics().snapshot()
+    ParallelLGA(scoring, backend, lga, seed=seed).run(n_runs)
+    from repro.obs import MetricsRegistry
+    delta = MetricsRegistry.delta(before, get_metrics().snapshot())
+    best["stages"] = _stage_breakdown(tracer.records(), delta, backend)
+    disable()
+    reset_metrics()
+    return best
+
+
+def run_section(config: dict, backends: tuple[str, ...],
+                repeats: int) -> dict:
+    section = {"case": config["case"], "n_runs": config["n_runs"],
+               "seed": config["seed"], "lga": dict(config["lga"]),
+               "backends": {}}
+    for backend in backends:
+        print(f"  {backend:14s}", end="", flush=True)
+        rec = measure(config, backend, repeats)
+        section["backends"][backend] = rec
+        print(f"{rec['evals_per_s']:10.0f} evals/s   "
+              f"(wall {rec['wall_s']:.2f}s, {rec['total_evals']} evals)")
+    return section
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default="BENCH_hot_path.json",
+                    help="output JSON path")
+    ap.add_argument("--smoke", action="store_true",
+                    help="small case only (CI bench-smoke job)")
+    ap.add_argument("--repeats", type=int, default=2,
+                    help="timing passes per backend (best-of)")
+    ap.add_argument("--pre-file", default=None,
+                    help="JSON from a pre-optimisation checkout whose "
+                         "reference section becomes this file's 'pre'")
+    args = ap.parse_args(argv)
+
+    doc = {
+        "schema": SCHEMA,
+        "machine": {
+            "numpy_ref_s": round(calibrate(), 4),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "smoke": None,
+        "reference": None,
+        "pre": None,
+        "speedup": None,
+    }
+
+    print("smoke case:")
+    doc["smoke"] = run_section(SMOKE, SMOKE_BACKENDS, args.repeats)
+
+    if not args.smoke:
+        print("reference case:")
+        doc["reference"] = run_section(REFERENCE, REFERENCE_BACKENDS,
+                                       args.repeats)
+
+    if args.pre_file:
+        pre_doc = json.loads(Path(args.pre_file).read_text())
+        doc["pre"] = {
+            "machine": pre_doc["machine"],
+            "reference": pre_doc["reference"],
+            "smoke": pre_doc.get("smoke"),
+        }
+        if doc["reference"] is not None and pre_doc.get("reference"):
+            doc["speedup"] = {
+                b: round(doc["reference"]["backends"][b]["evals_per_s"]
+                         / pre_doc["reference"]["backends"][b]["evals_per_s"],
+                         3)
+                for b in doc["reference"]["backends"]
+                if b in pre_doc["reference"]["backends"]
+            }
+            print("speedup vs pre:", doc["speedup"])
+
+    Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -176,8 +176,8 @@ def build_pair_tables(ligand: Ligand) -> PairTables:
 
 
 def intra_contributions(tables: PairTables, coords: np.ndarray,
-                        smooth: bool = False
-                        ) -> tuple[np.ndarray, np.ndarray]:
+                        smooth: bool = False, with_geometry: bool = False
+                        ) -> tuple[np.ndarray, ...]:
     """Per-pair intramolecular energies and radial derivatives.
 
     Parameters
@@ -191,16 +191,24 @@ def intra_contributions(tables: PairTables, coords: np.ndarray,
         ``SMOOTH_HALF_WIDTH`` of the pair's vdW optimum are evaluated at
         the optimum (flat well bottom, zero derivative there).  Off by
         default — the synthetic landscapes are calibrated without it.
+    with_geometry:
+        Also return the pair displacement vectors and raw distances, so
+        gradient callers reuse them instead of re-gathering the pair
+        coordinates (two fancy gathers per call on the hot path).
 
     Returns
     -------
     (energy, dE_dr):
         Both ``(pop, n_pairs)``; the gradient contribution of pair ``k`` on
-        atom ``i`` is ``dE_dr[..., k] * (r_i - r_j) / r``.
+        atom ``i`` is ``dE_dr[..., k] * (r_i - r_j) / r``.  With
+        ``with_geometry`` the tuple extends to
+        ``(energy, dE_dr, delta, r_raw)`` where ``delta`` is
+        ``(pop, n_pairs, 3)`` and ``r_raw`` the unclamped distances.
     """
     coords = np.asarray(coords, dtype=np.float64)
     delta = coords[..., tables.i, :] - coords[..., tables.j, :]
-    r_raw = np.linalg.norm(delta, axis=-1)
+    # same reduce as np.linalg.norm without its wrapper overhead
+    r_raw = np.sqrt(np.sum(delta * delta, axis=-1))
     r = np.maximum(r_raw, RMIN)
     in_well = None
     if smooth:
@@ -220,8 +228,9 @@ def intra_contributions(tables: PairTables, coords: np.ndarray,
     # the vdW/H-bond terms use the (optionally smoothed) distance
     inv_rv = 1.0 / r_vdw
     inv_rv2 = inv_rv * inv_rv
-    inv_rm = np.where(tables.m == 6, inv_rv2 ** 3, inv_rv2 ** 5)
-    inv_r12 = (inv_rv2 ** 3) ** 2
+    inv_r6 = inv_rv2 ** 3
+    inv_rm = np.where(tables.m == 6, inv_r6, inv_rv2 ** 5)
+    inv_r12 = inv_r6 ** 2
 
     e_vdw = tables.c * inv_r12 - tables.d * inv_rm
     de_vdw = (-12.0 * tables.c * inv_r12
@@ -245,4 +254,6 @@ def intra_contributions(tables: PairTables, coords: np.ndarray,
     np.clip(de_dr, -GRADCLAMP, GRADCLAMP, out=de_dr)
     # below the distance floor the derivative direction is ill-defined;
     # keep the (clamped) slope so the optimiser still pushes apart
+    if with_geometry:
+        return energy, de_dr, delta, r_raw
     return energy, de_dr

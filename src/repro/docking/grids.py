@@ -69,6 +69,30 @@ class GridMaps:
             setattr(self, name, arr)
         if self.spacing <= 0:
             raise ValueError("spacing must be positive")
+        # type -> affinity-map index LUT, built once (type_index sits on the
+        # dock-setup path of every screening job)
+        self._type_lut = {t: k for k, t in enumerate(self.type_names)}
+        self._n_voxels = int(np.prod(shape))
+        # fused lookup buffer, built lazily on first interpolation: builders
+        # (e.g. the synthetic-case generator) may still write into the map
+        # arrays after construction, so the snapshot is deferred until the
+        # maps are actually used.  Maps must not change afterwards; use
+        # dataclasses.replace (re-runs this hook) to derive modified maps.
+        self._flat_maps = None
+        self._chan_base = None
+        self._offs_cache = None
+
+    def _build_flat(self) -> None:
+        """Flatten all maps into one contiguous buffer so the trilinear
+        corner lookups become single ``take`` calls: affinity stack first
+        (one voxel block per type), then elec / desolv_v / desolv_s."""
+        n_types = len(self.type_names)
+        self._flat_maps = np.concatenate([
+            self.affinity.reshape(-1), self.elec.reshape(-1),
+            self.desolv_v.reshape(-1), self.desolv_s.reshape(-1)])
+        #: voxel-block offsets of the 3 shared channels behind the stack
+        self._chan_base = self._n_voxels * np.arange(
+            n_types, n_types + 3, dtype=np.int64)
 
     # ------------------------------------------------------------------
 
@@ -86,9 +110,9 @@ class GridMaps:
 
     def type_index(self, atom_types: list[str]) -> np.ndarray:
         """Map atom type names to affinity-map indices."""
-        lut = {t: k for k, t in enumerate(self.type_names)}
         try:
-            return np.asarray([lut[t] for t in atom_types], dtype=np.int64)
+            return np.asarray([self._type_lut[t] for t in atom_types],
+                              dtype=np.int64)
         except KeyError as exc:
             raise ValueError(f"no grid map for atom type {exc.args[0]!r}") from None
 
@@ -110,9 +134,68 @@ class GridMaps:
         f = uc - i0
         return uc, i0, i1, f, out
 
+    def _corner_flat(self, i0: np.ndarray, i1: np.ndarray) -> np.ndarray:
+        """Raveled indices ``(..., 8)`` of the eight interpolation corners.
+
+        Computed once per lookup and shared by all four map channels — the
+        multi-dimensional fancy indexing this replaces re-derived the same
+        flat offsets once per corner per channel (32 times).  Corner order
+        matches :meth:`_interp`: ``c000, c100, c010, c110, c001, ..., c111``.
+        """
+        _, ny, nz = self.shape
+        x0, y0, z0 = i0[..., 0], i0[..., 1], i0[..., 2]
+        x1, y1, z1 = i1[..., 0], i1[..., 1], i1[..., 2]
+        bx0 = x0 * ny
+        bx1 = x1 * ny
+        r00 = (bx0 + y0) * nz
+        r10 = (bx1 + y0) * nz
+        r01 = (bx0 + y1) * nz
+        r11 = (bx1 + y1) * nz
+        flat = np.empty(i0.shape[:-1] + (8,), dtype=np.int64)
+        flat[..., 0] = r00 + z0
+        flat[..., 1] = r10 + z0
+        flat[..., 2] = r01 + z0
+        flat[..., 3] = r11 + z0
+        flat[..., 4] = r00 + z1
+        flat[..., 5] = r10 + z1
+        flat[..., 6] = r01 + z1
+        flat[..., 7] = r11 + z1
+        return flat
+
+    def _gather_corners(self, type_idx: np.ndarray, i0: np.ndarray,
+                        i1: np.ndarray) -> np.ndarray:
+        """Corner values of all four channels in one ``take``.
+
+        Returns ``(4, ..., n_atoms, 8)``: channel 0 is the per-atom-type
+        affinity map, channels 1-3 the shared elec / desolv_v / desolv_s
+        maps.  Per-atom type offsets plus the flat corner indices address
+        the stacked buffer built in ``__post_init__``.
+        """
+        if self._flat_maps is None:
+            self._build_flat()
+        flat = self._corner_flat(i0, i1)               # (..., n, 8)
+        n = type_idx.shape[0]
+        # channel 0: per-atom voxel-block offset; channels 1-3: fixed
+        # blocks.  The offset tensor depends only on the caller's type_idx
+        # array (one per bound scoring function) and the batch rank, so it
+        # is cached across lookups (the cache holds the type_idx reference,
+        # making the identity check safe against id reuse).
+        cached = self._offs_cache
+        if (cached is not None and cached[0] is type_idx
+                and cached[1] == flat.ndim):
+            offs = cached[2]
+        else:
+            offs = np.empty((4, n), dtype=np.int64)
+            np.multiply(type_idx, self._n_voxels, out=offs[0])
+            offs[1:] = self._chan_base[:, None]
+            # right-align the per-atom axis against flat's (..., n, 8)
+            offs = offs.reshape((4,) + (1,) * (flat.ndim - 2) + (n, 1))
+            self._offs_cache = (type_idx, flat.ndim, offs)
+        return self._flat_maps.take(flat[None] + offs)
+
     @staticmethod
     def _corners(maps: np.ndarray, sel, i0, i1):
-        """Gather the eight corner values.
+        """Gather the eight corner values (single-channel legacy path).
 
         ``maps`` is ``(T, nx, ny, nz)`` with ``sel`` per-atom map indices, or
         ``(nx, ny, nz)`` with ``sel is None``.
@@ -123,37 +206,43 @@ class GridMaps:
             g = lambda ix, iy, iz: maps[ix, iy, iz]
         else:
             g = lambda ix, iy, iz: maps[sel, ix, iy, iz]
-        return (g(x0, y0, z0), g(x1, y0, z0), g(x0, y1, z0), g(x1, y1, z0),
-                g(x0, y0, z1), g(x1, y0, z1), g(x0, y1, z1), g(x1, y1, z1))
+        return np.stack(
+            [g(x0, y0, z0), g(x1, y0, z0), g(x0, y1, z0), g(x1, y1, z0),
+             g(x0, y0, z1), g(x1, y0, z1), g(x0, y1, z1), g(x1, y1, z1)],
+            axis=-1)
 
     @staticmethod
     def _interp(c, f):
-        """Trilinear blend of the eight corner values ``c`` at fractions ``f``."""
+        """Trilinear blend of the eight corner values ``c (..., 8)`` at
+        fractions ``f (..., 3)``; extra leading axes of ``c`` (the channel
+        axis of the fused gather) broadcast against ``f``."""
         fx, fy, fz = f[..., 0], f[..., 1], f[..., 2]
-        c000, c100, c010, c110, c001, c101, c011, c111 = c
-        c00 = c000 * (1 - fx) + c100 * fx
-        c10 = c010 * (1 - fx) + c110 * fx
-        c01 = c001 * (1 - fx) + c101 * fx
-        c11 = c011 * (1 - fx) + c111 * fx
-        c0 = c00 * (1 - fy) + c10 * fy
-        c1 = c01 * (1 - fy) + c11 * fy
-        return c0 * (1 - fz) + c1 * fz
+        gx, gy, gz = 1 - fx, 1 - fy, 1 - fz
+        c00 = c[..., 0] * gx + c[..., 1] * fx
+        c10 = c[..., 2] * gx + c[..., 3] * fx
+        c01 = c[..., 4] * gx + c[..., 5] * fx
+        c11 = c[..., 6] * gx + c[..., 7] * fx
+        c0 = c00 * gy + c10 * fy
+        c1 = c01 * gy + c11 * fy
+        return c0 * gz + c1 * fz
 
     def _interp_grad(self, c, f):
         """Analytic gradient of the trilinear interpolant [per Å]."""
         fx, fy, fz = f[..., 0], f[..., 1], f[..., 2]
-        c000, c100, c010, c110, c001, c101, c011, c111 = c
-        gx = ((c100 - c000) * (1 - fy) * (1 - fz)
-              + (c110 - c010) * fy * (1 - fz)
-              + (c101 - c001) * (1 - fy) * fz
+        ox, oy, oz = 1 - fx, 1 - fy, 1 - fz
+        c000, c100, c010, c110 = c[..., 0], c[..., 1], c[..., 2], c[..., 3]
+        c001, c101, c011, c111 = c[..., 4], c[..., 5], c[..., 6], c[..., 7]
+        gx = ((c100 - c000) * oy * oz
+              + (c110 - c010) * fy * oz
+              + (c101 - c001) * oy * fz
               + (c111 - c011) * fy * fz)
-        gy = ((c010 - c000) * (1 - fx) * (1 - fz)
-              + (c110 - c100) * fx * (1 - fz)
-              + (c011 - c001) * (1 - fx) * fz
+        gy = ((c010 - c000) * ox * oz
+              + (c110 - c100) * fx * oz
+              + (c011 - c001) * ox * fz
               + (c111 - c101) * fx * fz)
-        gz = ((c001 - c000) * (1 - fx) * (1 - fy)
-              + (c101 - c100) * fx * (1 - fy)
-              + (c011 - c010) * (1 - fx) * fy
+        gz = ((c001 - c000) * ox * oy
+              + (c101 - c100) * fx * oy
+              + (c011 - c010) * ox * fy
               + (c111 - c110) * fx * fy)
         return np.stack([gx, gy, gz], axis=-1) / self.spacing
 
@@ -183,15 +272,13 @@ class GridMaps:
         solpar = np.asarray(solpar, dtype=np.float64)
         vol = np.asarray(vol, dtype=np.float64)
 
-        caff = self._corners(self.affinity, type_idx, i0, i1)
-        cel = self._corners(self.elec, None, i0, i1)
-        cdv = self._corners(self.desolv_v, None, i0, i1)
-        cds = self._corners(self.desolv_s, None, i0, i1)
-
-        energy = (self._interp(caff, f)
-                  + charges * self._interp(cel, f)
-                  + solpar * self._interp(cdv, f)
-                  + vol * self._interp(cds, f))
+        # fused corner gather + channel-stacked blends: one take for all
+        # four map channels, then one (vectorised over the channel axis)
+        # trilinear blend — per-channel values are bit-identical to four
+        # separate single-channel interpolations
+        c = self._gather_corners(type_idx, i0, i1)     # (4, ..., n, 8)
+        e = self._interp(c, f)                         # (4, ..., n)
+        energy = e[0] + charges * e[1] + solpar * e[2] + vol * e[3]
 
         # out-of-box quadratic penalty (grid-space displacement -> Å)
         d_out = out * self.spacing
@@ -200,9 +287,8 @@ class GridMaps:
         if not with_gradient:
             return energy
 
-        grad = (self._interp_grad(caff, f)
-                + charges[..., None] * self._interp_grad(cel, f)
-                + solpar[..., None] * self._interp_grad(cdv, f)
-                + vol[..., None] * self._interp_grad(cds, f))
+        g = self._interp_grad(c, f)                    # (4, ..., n, 3)
+        grad = (g[0] + charges[..., None] * g[1]
+                + solpar[..., None] * g[2] + vol[..., None] * g[3])
         grad = grad + 2.0 * OUT_OF_BOX_PENALTY * d_out
         return energy, grad

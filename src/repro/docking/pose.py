@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.docking.genotype import N_RIGID_GENES
 from repro.docking.ligand import Ligand
-from repro.docking.quaternion import axis_angle_rotate, quat_from_rotvec, quat_rotate
+from repro.docking.quaternion import cross3, quat_from_rotvec, quat_rotate
 
 __all__ = ["calc_coords"]
 
@@ -47,20 +47,51 @@ def calc_coords(ligand: Ligand, genotypes: np.ndarray) -> np.ndarray:
             f"for ligand with {ligand.n_rot} torsions")
 
     pop = genotypes.shape[0]
-    coords = np.broadcast_to(ligand.ref_coords,
-                             (pop,) + ligand.ref_coords.shape).copy()
+    # atom-major layout (n_atoms, pop, 3) through the torsion loop: the
+    # per-torsion moved-subtree gather/scatter then runs on axis 0, where
+    # fancy indexing copies contiguous (pop, 3) rows; values are the same
+    # elementwise arithmetic as the pose-major layout, just transposed
+    coords = np.broadcast_to(ligand.ref_coords[:, None, :],
+                             (ligand.n_atoms, pop, 3)).copy()
 
-    # 1. torsions, root -> leaf
-    for k, tors in enumerate(ligand.torsions):
-        angle = genotypes[:, N_RIGID_GENES + k]
-        a = coords[:, tors.atom_a, :]
-        b = coords[:, tors.atom_b, :]
-        axis = b - a
-        norm = np.linalg.norm(axis, axis=-1, keepdims=True)
+    # per-ligand cache of the torsion index arrays: converting the Python
+    # ``moved`` tuples runs once instead of once per torsion per call
+    torsions = ligand.__dict__.get("_pose_torsion_cache")
+    if torsions is None:
+        torsions = [(t.atom_a, t.atom_b,
+                     np.asarray(t.moved, dtype=np.int64))
+                    for t in ligand.torsions]
+        ligand.__dict__["_pose_torsion_cache"] = torsions
+
+    # 1. torsions, root -> leaf (the rotation arithmetic is the inlined
+    #    equivalent of quaternion.axis_angle_rotate, with all torsion
+    #    angles' trig evaluated in one call up front)
+    if torsions:
+        angles = genotypes[:, N_RIGID_GENES:]
+        cos_all = np.cos(angles)
+        sin_all = np.sin(angles)
+    for k, (atom_a, atom_b, moved) in enumerate(torsions):
+        b = coords[atom_b]                   # (pop, 3) views
+        axis = b - coords[atom_a]
+        # same reduce as np.linalg.norm without its wrapper overhead
+        norm = np.sqrt(np.sum(axis * axis, axis=-1, keepdims=True))
         axis = axis / np.maximum(norm, 1e-12)
-        moved = np.asarray(tors.moved, dtype=np.int64)
-        coords[:, moved, :] = axis_angle_rotate(
-            coords[:, moved, :], origin=b, axis=axis, angle=angle)
+        rel = coords[moved] - b              # (n_moved, pop, 3)
+        k_cross = cross3(axis, rel)
+        k_dot = np.sum(axis * rel, axis=-1, keepdims=True)
+        cos_t = cos_all[:, k, None]
+        # rel*cos + k_cross*sin + (axis*k_dot)*(1-cos) + b, in place over
+        # the rel/k_cross buffers (dead after this point)
+        np.multiply(rel, cos_t, out=rel)
+        np.multiply(k_cross, sin_all[:, k, None], out=k_cross)
+        np.add(rel, k_cross, out=rel)
+        swing = axis * k_dot
+        np.multiply(swing, 1.0 - cos_t, out=swing)
+        np.add(rel, swing, out=rel)
+        np.add(rel, b, out=rel)
+        coords[moved] = rel
+
+    coords = np.ascontiguousarray(np.moveaxis(coords, 0, 1))
 
     # 2. rigid-body rotation about the ligand's "about" point — the torsion
     #    tree root (atom 0), which no torsion moves.  Using a torsion-

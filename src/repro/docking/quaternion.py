@@ -109,8 +109,17 @@ def axis_angle_rotate(points: np.ndarray, origin: np.ndarray,
     sin_t = np.sin(angle)
     k_cross = cross3(axis, rel)
     k_dot = np.sum(axis * rel, axis=-1, keepdims=True)
-    rotated = rel * cos_t + k_cross * sin_t + axis * k_dot * (1.0 - cos_t)
-    return rotated + origin
+    # rel*cos + k_cross*sin + (axis*k_dot)*(1-cos) + origin, written as
+    # in-place ufunc calls over the rel/k_cross buffers (both are dead
+    # after this point): same operations and grouping, no temporaries
+    np.multiply(rel, cos_t, out=rel)
+    np.multiply(k_cross, sin_t, out=k_cross)
+    np.add(rel, k_cross, out=rel)
+    swing = axis * k_dot
+    np.multiply(swing, 1.0 - cos_t, out=swing)
+    np.add(rel, swing, out=rel)
+    np.add(rel, origin, out=rel)
+    return rel
 
 
 def _hat(v: np.ndarray) -> np.ndarray:

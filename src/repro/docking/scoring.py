@@ -80,8 +80,14 @@ class ScoringFunction:
         the CUDA scoring kernel.
         """
         e_inter, e_intra = self.per_contribution_energies(coords)
-        contribs = np.concatenate(
-            [e_inter.astype(np.float32), e_intra.astype(np.float32)], axis=-1)
+        # single FP32 contribution buffer (assignment casts like astype;
+        # layout matches the concatenate this replaces)
+        n_inter = e_inter.shape[-1]
+        contribs = np.empty(
+            e_inter.shape[:-1] + (n_inter + e_intra.shape[-1],),
+            dtype=np.float32)
+        contribs[..., :n_inter] = e_inter
+        contribs[..., n_inter:] = e_intra
         total = simt_tree_reduce(contribs, axis=-1)
         return total.astype(np.float64) + self.torsional_penalty
 

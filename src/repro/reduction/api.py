@@ -51,10 +51,11 @@ class SimtReduction(ReductionBackend):
     name: str = "baseline"
 
     def reduce4(self, vectors: np.ndarray) -> np.ndarray:
+        # one reduction over axis -2 covers all four lanes: the pairwise
+        # tree is applied per lane exactly as four per-lane calls would,
+        # without the strided lane extraction and re-stack
         v = np.asarray(vectors, dtype=np.float32)
-        return np.stack(
-            [simt_tree_reduce(v[..., i], axis=-1) for i in range(4)], axis=-1
-        )
+        return simt_tree_reduce(v, axis=-2)
 
 
 @dataclass(repr=False)
@@ -70,10 +71,9 @@ class WarpShuffleReduction(ReductionBackend):
     name: str = "warp-shuffle"
 
     def reduce4(self, vectors: np.ndarray) -> np.ndarray:
+        # single call over axis -2: per-lane butterfly order is unchanged
         v = np.asarray(vectors, dtype=np.float32)
-        return np.stack(
-            [warp_shuffle_reduce(v[..., i], axis=-1) for i in range(4)],
-            axis=-1)
+        return warp_shuffle_reduce(v, axis=-2)
 
 
 @dataclass(repr=False)

@@ -47,7 +47,9 @@ def simt_tree_reduce(values: np.ndarray, axis: int = -1) -> np.ndarray:
         v = v.copy()
     while size > 1:
         half = size // 2
-        v[..., :half] = v[..., :half] + v[..., half:size]
+        # in-place pairwise add into the scratch copy (same FP32 adds the
+        # copy-assign form performed, without the per-stage temporary)
+        v[..., :half] += v[..., half:size]
         size = half
     return v[..., 0]
 
@@ -75,7 +77,7 @@ def warp_shuffle_reduce(values: np.ndarray, axis: int = -1) -> np.ndarray:
     lanes = padded.reshape(v.shape[:-1] + (n_warps, _WARP)).copy()
     offset = _WARP // 2
     while offset > 0:
-        lanes[..., :offset] = lanes[..., :offset] + lanes[..., offset:2 * offset]
+        lanes[..., :offset] += lanes[..., offset:2 * offset]
         offset //= 2
     partials = lanes[..., 0]                     # (..., n_warps)
     acc = partials[..., 0]

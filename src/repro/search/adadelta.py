@@ -110,9 +110,23 @@ class AdadeltaLocalSearch:
         return best_x, best_e, evals
 
     def _iterate(self, x, eg2, edx2, best_x, best_e, iters, batch, ledger):
-        """The ADADELTA loop proper (split out so the span wraps it)."""
+        """The ADADELTA loop proper (split out so the span wraps it).
+
+        The per-iteration update is written as in-place ufunc calls over
+        four preallocated scratch buffers — each step is the same
+        elementwise operation on the same operands as the expression form
+        ``rho*eg2 + (1-rho)*grad**2`` etc., so results stay bit-identical
+        while the loop stops allocating ~8 ``(batch, glen)`` temporaries
+        per iteration.
+        """
         cfg = self.config
+        rho, one_m_rho, eps = cfg.rho, 1.0 - cfg.rho, cfg.eps
         evals = 0
+        shape = x.shape
+        sq = np.empty(shape)        # grad**2 / dx**2 scratch
+        num = np.empty(shape)       # edx2 + eps, then the full step factor
+        den = np.empty(shape)       # eg2 + eps
+        dx = np.empty(shape)
         for _ in range(iters):
             energy, grad = self.gradient(x)
             evals += batch
@@ -136,9 +150,23 @@ class AdadeltaLocalSearch:
             best_e = np.where(improved, energy, best_e)
             best_x[improved] = x[improved]
 
-            eg2 = cfg.rho * eg2 + (1.0 - cfg.rho) * grad ** 2
-            dx = -np.sqrt((edx2 + cfg.eps) / (eg2 + cfg.eps)) * grad
-            edx2 = cfg.rho * edx2 + (1.0 - cfg.rho) * dx ** 2
-            x = x + dx
+            # eg2 = rho * eg2 + (1 - rho) * grad**2
+            np.square(grad, out=sq)
+            np.multiply(sq, one_m_rho, out=sq)
+            np.multiply(eg2, rho, out=eg2)
+            np.add(eg2, sq, out=eg2)
+            # dx = -sqrt((edx2 + eps) / (eg2 + eps)) * grad
+            np.add(edx2, eps, out=num)
+            np.add(eg2, eps, out=den)
+            np.divide(num, den, out=num)
+            np.sqrt(num, out=num)
+            np.negative(num, out=num)
+            np.multiply(num, grad, out=dx)
+            # edx2 = rho * edx2 + (1 - rho) * dx**2
+            np.square(dx, out=sq)
+            np.multiply(sq, one_m_rho, out=sq)
+            np.multiply(edx2, rho, out=edx2)
+            np.add(edx2, sq, out=edx2)
+            np.add(x, dx, out=x)
 
         return best_x, best_e, evals

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["GAConfig", "GeneticAlgorithm"]
+__all__ = ["GAConfig", "GeneticAlgorithm", "next_generation_batched"]
 
 
 @dataclass(frozen=True)
@@ -130,3 +130,87 @@ class GeneticAlgorithm:
         out[:n_elite] = genes[order[:n_elite]]
         out[n_elite:] = children
         return out
+
+
+def next_generation_batched(gas: list[GeneticAlgorithm], genes: np.ndarray,
+                            scores: np.ndarray) -> np.ndarray:
+    """Lock-step :meth:`GeneticAlgorithm.next_generation` over ``R`` runs.
+
+    ``genes`` is ``(R, pop, glen)`` and ``scores`` ``(R, pop)``; run ``r``
+    advances with operators bound to ``gas[r]``.  The per-run seed-stream
+    contract is preserved — every random draw still comes from ``gas[r]``'s
+    own generator, with exactly the calls (and call order) of the scalar
+    path — but the selection / crossover / mutation *arithmetic* is
+    vectorised across runs, replacing the per-generation Python loop of the
+    lock-step executor.  Output is bit-identical per run to calling
+    ``gas[r].next_generation(genes[r], scores[r])`` in a loop.
+
+    Tournament selection only; the roulette operator's rejection-free
+    ``Generator.choice`` draw does not vectorise without changing its
+    stream consumption, so ``"proportional"`` configs take the scalar loop.
+    """
+    cfg = gas[0].config
+    R, pop, glen = genes.shape
+    if cfg.selection != "tournament":
+        out = np.empty_like(genes)
+        for r, ga in enumerate(gas):
+            out[r] = ga.next_generation(genes[r], scores[r])
+        return out
+
+    n_elite = min(cfg.n_elite, pop)
+    n = pop - n_elite
+    k = cfg.tournament_size
+
+    # ---- draw phase: per-run streams, scalar-path call order
+    # (parents-a draws, parents-b draws, crossover draws, mutation draws)
+    contestants = np.empty((R, 2, n, k), dtype=np.int64)
+    pick_rand = np.empty((R, 2, n))
+    rank_rand = np.empty((R, 2, n), dtype=np.int64)
+    cross_rand = np.empty((R, n))
+    cut_raw = np.empty((R, n, 2), dtype=np.int64)
+    hit_rand = np.empty((R, n, glen))
+    noise = np.empty((R, n, glen))
+    sigma = np.full(glen, cfg.mutation_angle_sigma)
+    sigma[0:3] = cfg.mutation_trans_sigma
+    for r, ga in enumerate(gas):
+        rng = ga.rng
+        for s in range(2):
+            contestants[r, s] = rng.integers(0, pop, size=(n, k))
+            pick_rand[r, s] = rng.random(n)
+            rank_rand[r, s] = rng.integers(0, k, size=n)
+        cross_rand[r] = rng.random(n)
+        cut_raw[r] = rng.integers(0, glen + 1, size=(n, 2))
+        hit_rand[r] = rng.random((n, glen))
+        noise[r] = rng.normal(scale=sigma, size=(n, glen))
+
+    # ---- tournament selection, vectorised over (R, 2 parent slots, n)
+    rows = np.arange(R)[:, None, None, None]
+    contestant_scores = scores[rows, contestants]       # (R, 2, n, k)
+    order = np.argsort(contestant_scores, axis=-1)
+    chosen_rank = np.where(pick_rand < cfg.tournament_p, 0, rank_rand)
+    winner_col = np.take_along_axis(
+        order, chosen_rank[..., None], axis=-1)
+    parents = np.take_along_axis(contestants, winner_col, axis=-1)[..., 0]
+
+    # ---- two-point crossover
+    run_rows = np.arange(R)[:, None]
+    pa = genes[run_rows, parents[:, 0]]                 # (R, n, glen)
+    pb = genes[run_rows, parents[:, 1]]
+    children = pa.copy()
+    do = cross_rand < cfg.crossover_rate
+    cut = np.sort(cut_raw, axis=-1)
+    cols = np.arange(glen)
+    inside = (cols >= cut[..., 0:1]) & (cols < cut[..., 1:2])
+    take_b = inside & do[..., None]
+    children[take_b] = pb[take_b]
+
+    # ---- gaussian mutation
+    hit = hit_rand < cfg.mutation_rate
+    children[hit] += noise[hit]
+
+    # ---- elitist survival
+    out = np.empty_like(genes)
+    elite = np.argsort(scores, axis=-1)[:, :n_elite]
+    out[:, :n_elite] = genes[run_rows, elite]
+    out[:, n_elite:] = children
+    return out

@@ -13,6 +13,8 @@ Results are identical in distribution to running :class:`~repro.search.lga.LGARu
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.docking.genotype import random_genotypes
@@ -21,7 +23,7 @@ from repro.docking.scoring import ScoringFunction
 from repro.obs import get_metrics, get_tracer
 from repro.reduction.api import ReductionBackend
 from repro.search.adadelta import AdadeltaConfig, AdadeltaLocalSearch
-from repro.search.ga import GeneticAlgorithm
+from repro.search.ga import GeneticAlgorithm, next_generation_batched
 from repro.search.lga import LGAConfig, LGAResult
 from repro.search.solis_wets import SolisWetsConfig, SolisWetsLocalSearch
 
@@ -122,61 +124,92 @@ class ParallelLGA:
         best_genotype = genes[:, 0, :].copy()
         histories: list[list[tuple[int, float, np.ndarray]]] = [
             [] for _ in range(R)]
-        evals = 0
+        # eval ledger is per run: local-search budgets need not divide
+        # evenly across runs (Solis-Wets adaptive termination), and the
+        # E50 denominator must not silently drop the remainder
+        evals_run = np.zeros(R, dtype=np.int64)
         gens = 0
 
         def track(scores: np.ndarray) -> None:
-            nonlocal best_score
             idx = np.argmin(scores, axis=1)
             vals = scores[np.arange(R), idx]
             improved = vals < best_score
             for r in np.nonzero(improved)[0]:
                 best_score[r] = vals[r]
                 best_genotype[r] = genes[r, idx[r]].copy()
-                histories[r].append((evals, float(vals[r]),
+                histories[r].append((int(evals_run[r]), float(vals[r]),
                                      best_genotype[r].copy()))
 
         n_ls = int(round(cfg.ls_rate * pop))
+        subsets = np.empty((R, n_ls), dtype=np.int64)
+        run_rows = np.arange(R)[:, None]
+        metrics = get_metrics()
         tracer = get_tracer()
+        scored_final = False
         span = tracer.span("lga.run", n_runs=R, pop_size=pop,
                            ls_method=cfg.ls_method)
         with span:
-            while evals < cfg.max_evals and gens < cfg.max_gens:
+            while (int(evals_run.max()) < cfg.max_evals
+                   and gens < cfg.max_gens):
+                t0 = time.perf_counter()
                 scores = sf.score(
                     genes.reshape(R * pop, glen)).reshape(R, pop)
-                evals += pop
+                metrics.histogram("lga.stage.score_s").observe(
+                    time.perf_counter() - t0)
+                evals_run += pop
                 track(scores)
-                if evals >= cfg.max_evals:
+                if int(evals_run.max()) >= cfg.max_evals:
+                    # genes are unchanged since this scoring pass, so the
+                    # pre-loop-exit score IS the final score: re-scoring
+                    # below would waste a population pass and inflate
+                    # evals_used by pop
+                    scored_final = True
                     break
 
+                t0 = time.perf_counter()
                 with tracer.span("lga.ga_generation", generation=gens):
-                    for r in range(R):
-                        genes[r] = gas[r].next_generation(genes[r],
-                                                          scores[r])
+                    genes = next_generation_batched(gas, genes, scores)
+                metrics.histogram("lga.stage.ga_s").observe(
+                    time.perf_counter() - t0)
 
                 if n_ls > 0:
-                    subsets = np.stack([
-                        rngs[r].choice(pop, size=n_ls, replace=False)
-                        for r in range(R)])
-                    selected = genes[np.arange(R)[:, None], subsets]
+                    t0 = time.perf_counter()
+                    for r in range(R):      # per-run draws: seed contract
+                        subsets[r] = rngs[r].choice(pop, size=n_ls,
+                                                    replace=False)
+                    selected = genes[run_rows, subsets]
                     refined, _, ls_evals = self.local_search.minimize(
                         selected.reshape(R * n_ls, glen))
-                    genes[np.arange(R)[:, None], subsets] = refined.reshape(
+                    genes[run_rows, subsets] = refined.reshape(
                         R, n_ls, glen)
-                    evals += ls_evals // R       # per-run share (uniform)
+                    # distribute the LS budget across runs without
+                    # truncation: base share everywhere, remainder to the
+                    # lowest run indices (deterministic)
+                    base, rem = divmod(int(ls_evals), R)
+                    evals_run += base
+                    if rem:
+                        evals_run[:rem] += 1
+                    metrics.histogram("lga.stage.ls_s").observe(
+                        time.perf_counter() - t0)
                 gens += 1
-                get_metrics().counter("lga.generations").inc()
+                metrics.counter("lga.generations").inc()
                 if on_generation is not None:
-                    on_generation(gens, evals)
+                    on_generation(gens, int(evals_run.max()))
 
-            scores = sf.score(genes.reshape(R * pop, glen)).reshape(R, pop)
-            evals += pop
-            track(scores)
-            span.set(generations=gens, evals_per_run=evals)
+            if not scored_final:
+                t0 = time.perf_counter()
+                scores = sf.score(
+                    genes.reshape(R * pop, glen)).reshape(R, pop)
+                metrics.histogram("lga.stage.score_s").observe(
+                    time.perf_counter() - t0)
+                evals_run += pop
+                track(scores)
+            span.set(generations=gens,
+                     evals_per_run=int(evals_run.max()))
 
         return [LGAResult(best_genotype=best_genotype[r],
                           best_score=float(best_score[r]),
-                          evals_used=evals,
+                          evals_used=int(evals_run[r]),
                           generations=gens,
                           history=histories[r])
                 for r in range(R)]

@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Validate a ``bench_hot_path`` JSON file and gate on regressions.
+
+CI's bench-smoke job runs ``benchmarks/bench_hot_path.py --smoke`` on the
+PR checkout and pipes the fresh file through this checker together with
+the committed baseline (``BENCH_hot_path.json`` at the repository root)::
+
+    python tools/check_bench.py BENCH_hot_path.json \
+        --fresh fresh.json --tolerance 0.30
+
+Two gates:
+
+* **schema** — every file must carry the ``bench-hot-path/v1`` layout:
+  machine calibration, per-backend throughput records with positive
+  evals/s and a per-stage breakdown;
+* **regression** — for every backend present in both files' smoke
+  sections, the fresh *machine-normalised* throughput (evals/s scaled by
+  the machine's ``numpy_ref_s`` calibration time, i.e. evals per
+  calibration-unit) must be within ``--tolerance`` of the committed
+  baseline.  Absolute evals/s is machine-dependent; the calibration
+  workload makes a laptop's file comparable to a CI runner's.
+
+Pure stdlib, so it runs before any project dependency is importable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "bench-hot-path/v1"
+
+_STAGE_KEYS = ("score_s", "ga_s", "ls_s", "reduce4_s")
+
+
+class BenchError(Exception):
+    pass
+
+
+def _fail(path: str, msg: str) -> None:
+    raise BenchError(f"{path}: {msg}")
+
+
+def load(path: str) -> dict:
+    try:
+        doc = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        _fail(path, "no such file")
+    except json.JSONDecodeError as exc:
+        _fail(path, f"not valid JSON: {exc}")
+    if not isinstance(doc, dict):
+        _fail(path, "top level must be an object")
+    return doc
+
+
+def validate(path: str, doc: dict) -> None:
+    if doc.get("schema") != SCHEMA:
+        _fail(path, f"schema {doc.get('schema')!r} != {SCHEMA!r}")
+
+    machine = doc.get("machine")
+    if not isinstance(machine, dict):
+        _fail(path, "missing 'machine' section")
+    ref_s = machine.get("numpy_ref_s")
+    if not isinstance(ref_s, (int, float)) or ref_s <= 0:
+        _fail(path, f"machine.numpy_ref_s must be positive, got {ref_s!r}")
+
+    sections = [s for s in ("smoke", "reference") if doc.get(s) is not None]
+    if not sections:
+        _fail(path, "needs at least one of 'smoke' / 'reference'")
+    for sname in sections:
+        section = doc[sname]
+        for key in ("case", "n_runs", "seed", "lga", "backends"):
+            if key not in section:
+                _fail(path, f"{sname}: missing {key!r}")
+        backends = section["backends"]
+        if not isinstance(backends, dict) or not backends:
+            _fail(path, f"{sname}: 'backends' must be a non-empty object")
+        for bname, rec in backends.items():
+            where = f"{sname}.backends.{bname}"
+            for key in ("wall_s", "total_evals", "evals_per_s"):
+                v = rec.get(key)
+                if not isinstance(v, (int, float)) or v <= 0:
+                    _fail(path, f"{where}: {key} must be positive, "
+                                f"got {v!r}")
+            stages = rec.get("stages")
+            if not isinstance(stages, dict):
+                _fail(path, f"{where}: missing 'stages' breakdown")
+            unknown = set(stages) - set(_STAGE_KEYS)
+            if unknown:
+                _fail(path, f"{where}: unknown stage keys {sorted(unknown)}")
+            for key, v in stages.items():
+                if v is not None and (not isinstance(v, (int, float))
+                                      or v < 0):
+                    _fail(path, f"{where}: stage {key} must be null or "
+                                f">= 0, got {v!r}")
+
+
+def normalised(doc: dict, section: str) -> dict[str, float]:
+    """Machine-normalised throughput per backend: evals per calibration
+    unit (evals/s x numpy_ref_s)."""
+    ref_s = doc["machine"]["numpy_ref_s"]
+    return {b: rec["evals_per_s"] * ref_s
+            for b, rec in doc[section]["backends"].items()}
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float,
+            section: str = "smoke") -> list[str]:
+    if baseline.get(section) is None:
+        return [f"baseline has no {section!r} section to compare against"]
+    if fresh.get(section) is None:
+        return [f"fresh file has no {section!r} section"]
+    base_n = normalised(baseline, section)
+    fresh_n = normalised(fresh, section)
+    problems = []
+    for backend in sorted(set(base_n) & set(fresh_n)):
+        ratio = fresh_n[backend] / base_n[backend]
+        status = "OK" if ratio >= 1.0 - tolerance else "REGRESSION"
+        print(f"  {backend:14s} normalised {fresh_n[backend]:8.1f} vs "
+              f"baseline {base_n[backend]:8.1f}  ({ratio:5.2f}x)  {status}")
+        if status != "OK":
+            problems.append(
+                f"{section}/{backend}: machine-normalised evals/s fell to "
+                f"{ratio:.2f}x of baseline (tolerance {1.0 - tolerance:.2f}x)")
+    if not set(base_n) & set(fresh_n):
+        problems.append(f"no common backends in {section!r} sections")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("baseline", help="committed BENCH_hot_path.json")
+    p.add_argument("--fresh", default=None,
+                   help="freshly measured file to compare (smoke section); "
+                        "omitted = schema validation only")
+    p.add_argument("--tolerance", type=float, default=0.30,
+                   help="allowed fractional throughput drop (default 0.30)")
+    p.add_argument("--section", default="smoke",
+                   choices=("smoke", "reference"),
+                   help="which section to regression-compare")
+    args = p.parse_args(argv)
+
+    try:
+        baseline = load(args.baseline)
+        validate(args.baseline, baseline)
+        fresh = None
+        if args.fresh:
+            fresh = load(args.fresh)
+            validate(args.fresh, fresh)
+    except BenchError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"OK: {args.baseline}: schema {SCHEMA} valid")
+    if fresh is None:
+        return 0
+    print(f"OK: {args.fresh}: schema {SCHEMA} valid")
+
+    problems = compare(baseline, fresh, args.tolerance, args.section)
+    if problems:
+        for msg in problems:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        return 1
+    print(f"OK: no regression beyond {args.tolerance:.0%} tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
