@@ -12,6 +12,11 @@ tracer spans:
 * ``reduce4`` — the seven per-iteration reductions inside ``ls``
   (``reduction.<backend>.reduce4_s``).
 
+A full run also records the multi-ligand cohort sweeps and a ``screen``
+section — the single-ligand throughput at the screening configuration
+(few runs per ligand) that the cohort engine's speedup gate compares
+against within the same file.
+
 The result is written as ``BENCH_hot_path.json``; the committed copy at
 the repository root is the performance baseline the CI bench-smoke job
 gates against (see ``tools/check_bench.py``).  Because absolute evals/s
@@ -38,7 +43,7 @@ from pathlib import Path
 
 import numpy as np
 
-SCHEMA = "bench-hot-path/v1"
+SCHEMA = "bench-hot-path/v2"
 
 #: back-ends benchmarked by the full reference run (the paper's three
 #: configurations plus the exact float64 reference and the warp-shuffle
@@ -47,6 +52,12 @@ REFERENCE_BACKENDS = ("baseline", "warp-shuffle", "tc-fp16", "tcec-tf32",
                       "exact")
 #: quick subset for the CI smoke job
 SMOKE_BACKENDS = ("baseline", "tc-fp16")
+#: cohort widths of the multi-ligand sweep (homogeneous 7cpa copies, so
+#: evals/s across sizes is apples-to-apples) and of the mixed sweep
+#: (set-of-42 prefix, so pad_ratio reflects real heterogeneity)
+COHORT_SIZES = (1, 4, 8, 16, 32)
+COHORT_MIXED_SIZES = (4, 8, 16, 32)
+COHORT_SMOKE_SIZES = (1, 4)
 
 REFERENCE = {
     "case": "7cpa",
@@ -61,6 +72,22 @@ SMOKE = {
     "seed": 11,
     "lga": {"pop_size": 10, "max_evals": 1000, "max_gens": 20,
             "ls_iters": 5, "ls_rate": 0.3},
+}
+#: per-ligand workload of a triage virtual screen: few runs per ligand,
+#: so the run-batched single-ligand path works on narrow fronts
+#: (gradient batches of ``n_runs * ceil(ls_rate * pop)`` = 18 rows).
+#: This is the configuration the cohort engine exists for — the cohort
+#: sweeps run it, and the ``screen`` section records the single-ligand
+#: ParallelLGA throughput at the *same* config so the cohort speedup
+#: gate compares like with like within one file.  (At the ``reference``
+#: config's n_runs=8 the single path already amortises over wide
+#: 72-row batches, which is a batch-size study, not a screening one.)
+SCREEN = {
+    "case": "7cpa",
+    "n_runs": 2,
+    "seed": 11,
+    "lga": {"pop_size": 30, "max_evals": 3000, "max_gens": 100,
+            "ls_iters": 10, "ls_rate": 0.3},
 }
 
 
@@ -162,6 +189,71 @@ def measure(config: dict, backend: str, repeats: int) -> dict:
     return best
 
 
+def measure_cohort(case_names: list[str], config: dict, backend: str,
+                   repeats: int) -> dict:
+    """Best-of-``repeats`` lock-step cohort throughput for ``case_names``.
+
+    Construction (ligand packing) is inside the timed region, matching
+    :func:`measure` which times ``ParallelLGA`` construction too.
+    """
+    from repro.obs import reset_metrics
+    from repro.search.cohort import CohortLGA
+    from repro.search.lga import LGAConfig
+    from repro.testcases import get_test_case
+
+    cases = [get_test_case(n) for n in case_names]
+    lga = LGAConfig(**config["lga"])
+    seeds = [np.random.SeedSequence(entropy=config["seed"], spawn_key=(i,))
+             for i in range(len(cases))]
+    best = None
+    for _ in range(repeats):
+        reset_metrics()
+        t0 = time.perf_counter()
+        runner = CohortLGA([c.scoring() for c in cases], backend, lga,
+                           seeds=seeds)
+        results = runner.run(config["n_runs"])
+        wall = time.perf_counter() - t0
+        total = int(sum(r.evals_used for per_lig in results
+                        for r in per_lig))
+        if best is None or total / wall > best["evals_per_s"]:
+            best = {
+                "cohort": len(cases),
+                "wall_s": round(wall, 4),
+                "total_evals": total,
+                "evals_per_s": round(total / wall, 1),
+                "pad_ratio": round(float(runner.cohort.pack.pad_ratio), 4),
+            }
+    reset_metrics()
+    return best
+
+
+def run_cohort_section(config: dict, backend: str, sizes: tuple[int, ...],
+                       repeats: int, mixed: bool = False) -> dict:
+    from repro.testcases.library import SET_OF_42
+
+    section = {"case": "set-of-42-prefix" if mixed else config["case"],
+               "n_runs": config["n_runs"], "seed": config["seed"],
+               "lga": dict(config["lga"]), "backend": backend,
+               "sizes": {}}
+    for size in sizes:
+        if mixed:
+            names = [n for n, _ in SET_OF_42[:size]]
+        else:
+            names = [config["case"]] * size
+        print(f"  cohort {size:3d}   ", end="", flush=True)
+        rec = measure_cohort(names, config, backend, repeats)
+        section["sizes"][str(size)] = rec
+        print(f"{rec['evals_per_s']:10.0f} evals/s   "
+              f"(wall {rec['wall_s']:.2f}s, {rec['total_evals']} evals, "
+              f"pad {rec['pad_ratio']:.1%})")
+    one = section["sizes"].get("1")
+    if one is not None:
+        for rec in section["sizes"].values():
+            rec["speedup_vs_1"] = round(
+                rec["evals_per_s"] / one["evals_per_s"], 3)
+    return section
+
+
 def run_section(config: dict, backends: tuple[str, ...],
                 repeats: int) -> dict:
     section = {"case": config["case"], "n_runs": config["n_runs"],
@@ -187,7 +279,24 @@ def main(argv=None) -> int:
     ap.add_argument("--pre-file", default=None,
                     help="JSON from a pre-optimisation checkout whose "
                          "reference section becomes this file's 'pre'")
+    ap.add_argument("--cohort", type=int, default=None, metavar="N",
+                    help="quick mode: measure the single-ligand reference "
+                         "baseline and one homogeneous cohort of N, print "
+                         "the speedup, and exit (no file written)")
     args = ap.parse_args(argv)
+
+    if args.cohort is not None:
+        print("single-ligand screen config (baseline backend):")
+        single = measure(SCREEN, "baseline", args.repeats)
+        print(f"  single        {single['evals_per_s']:10.0f} evals/s")
+        print(f"cohort {args.cohort} (homogeneous {SCREEN['case']}):")
+        rec = measure_cohort([SCREEN["case"]] * args.cohort,
+                             SCREEN, "baseline", args.repeats)
+        ratio = rec["evals_per_s"] / single["evals_per_s"]
+        print(f"  cohort {args.cohort:3d}    {rec['evals_per_s']:10.0f} "
+              f"evals/s   ({ratio:.2f}x single, "
+              f"pad {rec['pad_ratio']:.1%})")
+        return 0
 
     doc = {
         "schema": SCHEMA,
@@ -198,17 +307,33 @@ def main(argv=None) -> int:
         },
         "smoke": None,
         "reference": None,
+        "screen": None,
+        "cohort_smoke": None,
+        "cohort": None,
+        "cohort_mixed": None,
         "pre": None,
         "speedup": None,
     }
 
     print("smoke case:")
     doc["smoke"] = run_section(SMOKE, SMOKE_BACKENDS, args.repeats)
+    print("cohort smoke sweep:")
+    doc["cohort_smoke"] = run_cohort_section(
+        SMOKE, "baseline", COHORT_SMOKE_SIZES, args.repeats)
 
     if not args.smoke:
         print("reference case:")
         doc["reference"] = run_section(REFERENCE, REFERENCE_BACKENDS,
                                        args.repeats)
+        print("screen config, single-ligand:")
+        doc["screen"] = run_section(SCREEN, ("baseline",), args.repeats)
+        print("cohort sweep (homogeneous, screen config):")
+        doc["cohort"] = run_cohort_section(
+            SCREEN, "baseline", COHORT_SIZES, args.repeats)
+        print("cohort sweep (mixed set-of-42 prefix, screen config):")
+        doc["cohort_mixed"] = run_cohort_section(
+            SCREEN, "baseline", COHORT_MIXED_SIZES, max(1, args.repeats - 1),
+            mixed=True)
 
     if args.pre_file:
         pre_doc = json.loads(Path(args.pre_file).read_text())

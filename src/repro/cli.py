@@ -288,6 +288,10 @@ def build_screen_parser() -> argparse.ArgumentParser:
                    metavar="PDBQT", help="ligand PDBQT files to screen")
     p.add_argument("--workers", type=int, default=2,
                    help="worker processes (0 = run inline)")
+    p.add_argument("--cohort-size", type=int, default=1, metavar="N",
+                   help="pack up to N ligands per lock-step cohort job "
+                        "(1 = one ligand per job); per-ligand results "
+                        "are bit-identical either way")
     p.add_argument("-nrun", type=int, default=4,
                    help="LGA runs per ligand")
     p.add_argument("-seed", type=int, default=2025,
@@ -374,7 +378,8 @@ def screen_main(argv: list[str] | None = None) -> int:
                         retries=args.retries,
                         job_wall_seconds=args.job_timeout,
                         cache_bytes=args.cache_mb * 1024 * 1024,
-                        trace=args.trace)
+                        trace=args.trace,
+                        cohort_size=args.cohort_size)
 
     s = report.stats
     print(f"\nScreen finished: {s['jobs_completed']} new, "

@@ -8,6 +8,6 @@ counts, simulated docking runtimes and µs/eval.
 """
 
 from repro.core.config import DockingConfig
-from repro.core.engine import DockingEngine, DockingResult
+from repro.core.engine import DockingEngine, DockingResult, dock_cohort
 
-__all__ = ["DockingConfig", "DockingEngine", "DockingResult"]
+__all__ = ["DockingConfig", "DockingEngine", "DockingResult", "dock_cohort"]

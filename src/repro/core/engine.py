@@ -32,11 +32,132 @@ from repro.obs import get_metrics, get_tracer
 from repro.reduction.api import ReductionBackend, get_reduction_backend
 from repro.robustness import FaultLedger, GuardedReduction
 from repro.robustness.inject import FaultInjector, InjectingReduction
+from repro.search.cohort import CohortLGA
 from repro.search.lga import LGAResult, LGARun
 from repro.search.parallel import ParallelLGA, as_seed_sequence
 from repro.testcases.generator import TestCase
 
-__all__ = ["DockingEngine", "DockingResult"]
+__all__ = ["DockingEngine", "DockingResult", "build_backend", "dock_cohort"]
+
+
+def build_backend(cfg: DockingConfig) -> tuple[str | ReductionBackend,
+                                               FaultLedger | None]:
+    """Reduction back-end per config: raw, or guarded (+ injected)."""
+    if cfg.fault_policy is None:
+        return cfg.backend, None
+    inner = get_reduction_backend(cfg.backend)
+    if cfg.inject_rate > 0:
+        inner = InjectingReduction(
+            inner, FaultInjector(cfg.inject_rate, mode=cfg.inject_mode,
+                                 seed=cfg.inject_seed))
+    ledger = FaultLedger()
+    return GuardedReduction(inner, policy=cfg.fault_policy,
+                            ledger=ledger), ledger
+
+
+def _runtime_model(case: TestCase, cfg: DockingConfig,
+                   n_runs: int) -> RuntimeModel:
+    """Cost model for ``n_runs`` LGA runs of ``case``."""
+    n_blocks = n_runs * cfg.lga.pop_size
+    return RuntimeModel(cfg.device, cfg.block_size, cfg.cost_backend,
+                        case.workload(n_blocks))
+
+
+def _assemble_result(case: TestCase, cfg: DockingConfig,
+                     runs: list[LGAResult],
+                     ledger: FaultLedger | None = None) -> DockingResult:
+    """Turn finished LGA runs into a :class:`DockingResult` (outcome
+    evaluation, final-pose RMSDs, runtime pricing, metrics)."""
+    tracer = get_tracer()
+    with tracer.span("engine.finalize", case=case.name):
+        outcomes = [evaluate_run(r, case, cfg.criteria) for r in runs]
+        final_coords = calc_coords(
+            case.ligand, np.stack([r.best_genotype for r in runs]))
+        final_rmsds = [float(x) for x in
+                       rmsd(final_coords, case.native_coords)]
+
+    total_evals = sum(r.evals_used for r in runs)
+    generations = runs[0].generations
+    # evaluation mix: LS evals are ls_rate*pop*ls_iters per gen
+    ls_per_gen = int(round(cfg.lga.ls_rate * cfg.lga.pop_size)) \
+        * cfg.lga.ls_iters
+    ga_per_gen = cfg.lga.pop_size
+    per_gen = ls_per_gen + ga_per_gen
+    ls_share = ls_per_gen / per_gen if per_gen else 0.0
+
+    model = _runtime_model(case, cfg, len(runs))
+    ls_evals = int(total_evals * ls_share)
+    ga_evals = total_evals - ls_evals
+    runtime = model.runtime_seconds(ls_evals, ga_evals, generations)
+    m = get_metrics()
+    m.counter("engine.docks").inc()
+    m.histogram("engine.evals_per_dock").observe(total_evals)
+
+    return DockingResult(
+        case_name=case.name,
+        config=cfg,
+        runs=runs,
+        outcomes=outcomes,
+        total_evals=total_evals,
+        generations=generations,
+        runtime_seconds=runtime,
+        final_rmsds=final_rmsds,
+        fault_stats=ledger.summary() if ledger is not None else None,
+    )
+
+
+def dock_cohort(cases: list[TestCase],
+                config: DockingConfig | None = None,
+                n_runs: int = 20,
+                seeds=0,
+                on_generation=None) -> list[DockingResult]:
+    """Dock a cohort of ligands through one lock-step packed LGA.
+
+    Each ligand's result is bit-identical to
+    ``DockingEngine(case, config).dock(n_runs, seed=seeds[i])`` — the
+    cohort only widens the batch the scoring/gradient/reduce4 kernels see
+    (see :mod:`repro.docking.cohort` for the packing contract).  ``seeds``
+    is one seed (broadcast to every member) or a per-ligand sequence.
+
+    Two configurations cannot run packed and transparently fall back to
+    per-ligand docking: AutoStop (needs per-run termination control) and
+    fault injection (the injector's RNG stream walks the reduce4 call
+    sequence, which a packed batch reshapes).  With ``fault_policy`` set
+    but no injection, the cohort shares one :class:`FaultLedger`, so each
+    member's ``fault_stats`` reports the cohort-aggregate counts.
+    """
+    cfg = config or DockingConfig()
+    C = len(cases)
+    if C == 0:
+        return []
+    if isinstance(seeds, (int, np.integer, np.random.SeedSequence)):
+        seeds = [seeds] * C
+    seeds = list(seeds)
+    if len(seeds) != C:
+        raise ValueError(f"{len(seeds)} seeds for {C} cases")
+    if cfg.lga.autostop or (cfg.fault_policy is not None
+                            and cfg.inject_rate > 0):
+        return [DockingEngine(case, cfg).dock(n_runs, seed=s,
+                                              on_generation=on_generation)
+                for case, s in zip(cases, seeds)]
+
+    tracer = get_tracer()
+    span = tracer.span("engine.dock_cohort", cohort=C, backend=cfg.backend,
+                       device=cfg.device, n_runs=n_runs)
+    with span:
+        backend, ledger = build_backend(cfg)
+        scorings = [case.scoring() for case in cases]
+        with tracer.span("engine.search", method=cfg.lga.ls_method,
+                         autostop=False, cohort=C):
+            runner = CohortLGA(scorings, backend, cfg.lga, seeds=seeds)
+            all_runs = runner.run(n_runs, on_generation=on_generation)
+        results = [_assemble_result(case, cfg, runs, ledger)
+                   for case, runs in zip(cases, all_runs)]
+        m = get_metrics()
+        m.counter("engine.cohorts").inc()
+        m.histogram("cohort.size").observe(C)
+        span.set(total_evals=sum(r.total_evals for r in results))
+    return results
 
 
 @dataclass
@@ -144,25 +265,12 @@ class DockingEngine:
 
     def runtime_model(self, n_runs: int) -> RuntimeModel:
         """Cost model for ``n_runs`` LGA runs of this case."""
-        cfg = self.config
-        n_blocks = n_runs * cfg.lga.pop_size
-        return RuntimeModel(cfg.device, cfg.block_size, cfg.cost_backend,
-                            self.case.workload(n_blocks))
+        return _runtime_model(self.case, self.config, n_runs)
 
     def _build_backend(self) -> tuple[str | ReductionBackend,
                                       FaultLedger | None]:
         """Reduction back-end per config: raw, or guarded (+ injected)."""
-        cfg = self.config
-        if cfg.fault_policy is None:
-            return cfg.backend, None
-        inner = get_reduction_backend(cfg.backend)
-        if cfg.inject_rate > 0:
-            inner = InjectingReduction(
-                inner, FaultInjector(cfg.inject_rate, mode=cfg.inject_mode,
-                                     seed=cfg.inject_seed))
-        ledger = FaultLedger()
-        return GuardedReduction(inner, policy=cfg.fault_policy,
-                                ledger=ledger), ledger
+        return build_backend(self.config)
 
     def dock(self, n_runs: int = 20,
              seed: int | np.random.SeedSequence = 0,
@@ -198,45 +306,11 @@ class DockingEngine:
                                    np.random.Generator(
                                        np.random.PCG64(s))).run()
                             for s in sseq.spawn(n_runs)]
-            with tracer.span("engine.finalize"):
-                outcomes = [evaluate_run(r, self.case, cfg.criteria)
-                            for r in runs]
-                final_coords = calc_coords(
-                    self.case.ligand,
-                    np.stack([r.best_genotype for r in runs]))
-                final_rmsds = [float(x) for x in
-                               rmsd(final_coords, self.case.native_coords)]
-
-            total_evals = sum(r.evals_used for r in runs)
-            generations = runs[0].generations
-            # evaluation mix: LS evals are ls_rate*pop*ls_iters per gen
-            ls_per_gen = int(round(cfg.lga.ls_rate * cfg.lga.pop_size)) \
-                * cfg.lga.ls_iters
-            ga_per_gen = cfg.lga.pop_size
-            per_gen = ls_per_gen + ga_per_gen
-            ls_share = ls_per_gen / per_gen if per_gen else 0.0
-
-            model = self.runtime_model(n_runs)
-            ls_evals = int(total_evals * ls_share)
-            ga_evals = total_evals - ls_evals
-            runtime = model.runtime_seconds(ls_evals, ga_evals, generations)
-            span.set(total_evals=total_evals, generations=generations,
-                     simulated_seconds=runtime)
-            m = get_metrics()
-            m.counter("engine.docks").inc()
-            m.histogram("engine.evals_per_dock").observe(total_evals)
-
-        return DockingResult(
-            case_name=self.case.name,
-            config=cfg,
-            runs=runs,
-            outcomes=outcomes,
-            total_evals=total_evals,
-            generations=generations,
-            runtime_seconds=runtime,
-            final_rmsds=final_rmsds,
-            fault_stats=ledger.summary() if ledger is not None else None,
-        )
+            result = _assemble_result(self.case, cfg, runs, ledger)
+            span.set(total_evals=result.total_evals,
+                     generations=result.generations,
+                     simulated_seconds=result.runtime_seconds)
+        return result
 
     def runtime_statistics(self, result: DockingResult, n_samples: int = 100,
                            seed: int = 0) -> dict:

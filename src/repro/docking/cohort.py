@@ -1,0 +1,708 @@
+"""Packed struct-of-arrays buffers for multi-ligand cohort docking.
+
+The single-ligand hot path batches over ``n_runs * pop`` poses of one
+ligand; a virtual screen holds thousands of *ligands*, so the reduction
+front the paper's tensor-core backends reward stays narrow.  This module
+packs N heterogeneous ligands (varying atom / torsion / pair counts) into
+zero-padded struct-of-arrays buffers with a leading cohort axis, so grid
+interpolation, intramolecular terms and the ADADELTA gradient kernel run
+over the whole cohort in one NumPy pass and the ``reduce4`` backends see a
+``(2, cohort * batch, N_max, 4)`` operand.
+
+Bit-identity contract
+---------------------
+Every per-ligand slice of every cohort result is bit-identical to the
+single-ligand path:
+
+* padding is *suffix-only* zeros, and every reduction backend is
+  suffix-pad invariant (see :mod:`repro.reduction.api`), so one cohort-wide
+  tree reduction equals per-ligand reductions;
+* everything elementwise (interpolation blends, AD4 pair terms, out-of-box
+  penalties, clamps) vectorises across the cohort axis without changing
+  per-element arithmetic;
+* the two operations whose summation order is layout-dependent — the
+  pair->atom scatter ``einsum`` and the energy incidence matmul — stay
+  per-ligand, on contiguous copies with exactly the single-path shapes;
+* padded atoms / pairs / torsions carry finite neutral values (pair
+  coefficients ``c=d=1, m=6, qq=dsolv=0``) and are excluded by contiguous
+  per-ligand contribution packing, never by multiplicative masks, so no
+  NaN/Inf can leak across lanes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.docking.energy import (
+    ECLAMP,
+    GRADCLAMP,
+    RMIN,
+    SMOOTH_HALF_WIDTH,
+    _MS_A,
+    _MS_B,
+    _MS_LAM,
+    _MS_RK,
+)
+from repro.docking.gradients import GENE_GRADIENT_CLAMP
+from repro.docking.grids import OUT_OF_BOX_PENALTY, GridMaps
+from repro.docking.pose import calc_coords
+from repro.docking.quaternion import cross3, so3_left_jacobian
+from repro.docking.scoring import ScoringFunction
+from repro.obs import get_metrics
+from repro.reduction.api import ReductionBackend, get_reduction_backend
+from repro.reduction.simt_backend import simt_tree_reduce
+
+__all__ = ["LigandPack", "CohortScoring", "CohortGradientCalculator"]
+
+_N_RIGID = 6
+
+#: fixed 2-operand contraction path for the pair->atom scatter (matches
+#: GradientCalculator._scatter_path)
+_SCATTER_PATH = ["einsum_path", (0, 1)]
+
+
+class LigandPack:
+    """Padded struct-of-arrays view of a list of scoring functions.
+
+    All padded arrays use suffix padding: ligand ``a`` owns the leading
+    ``n_atoms[a]`` / ``n_pairs[a]`` / ``n_rot[a]`` entries of its row and
+    the tail is zeros (or neutral finite values for pair coefficients).
+    ``subset`` returns a (cached) pack over a subset of ligands with the
+    padded dimensions re-trimmed — used when part of a cohort finishes
+    early so the survivors stop paying the stragglers' padding.
+    """
+
+    def __init__(self, scorings: list[ScoringFunction]) -> None:
+        scorings = list(scorings)
+        if not scorings:
+            raise ValueError("cohort must contain at least one ligand")
+        self.scorings = scorings
+        self.ligands = [sf.ligand for sf in scorings]
+        self.C = len(scorings)
+        self.n_atoms = np.array([sf.ligand.n_atoms for sf in scorings],
+                                dtype=np.int64)
+        self.n_pairs = np.array([sf.pair_tables.n_pairs for sf in scorings],
+                                dtype=np.int64)
+        self.n_rot = np.array([sf.ligand.n_rot for sf in scorings],
+                              dtype=np.int64)
+        self.glens = _N_RIGID + self.n_rot
+        self._init_derived()
+
+        # ---- grid maps: concatenate the deduplicated flat buffers of all
+        # receptors so corner lookups stay one `take`; per-ligand offsets
+        # address each ligand's own block
+        base: dict[int, int] = {}
+        chunks = []
+        total = 0
+        for sf in scorings:
+            m = sf.maps
+            if id(m) not in base:
+                if m._flat_maps is None:
+                    m._build_flat()
+                base[id(m)] = total
+                total += m._flat_maps.shape[0]
+                chunks.append(m._flat_maps)
+        self.flat_maps = chunks[0] if len(chunks) == 1 \
+            else np.concatenate(chunks)
+
+        C, N, P, R = self.C, self.N, self.P, self.R
+        offs = np.zeros((4, C, 1, N, 1), dtype=np.int64)
+        for a, sf in enumerate(scorings):
+            m = sf.maps
+            b0 = base[id(m)]
+            n_a = int(self.n_atoms[a])
+            offs[0, a, 0, :n_a, 0] = b0 + sf.type_idx * m._n_voxels
+            offs[0, a, 0, n_a:, 0] = b0         # pad atoms: any in-bounds
+            offs[1:, a, 0, :, 0] = b0 + m._chan_base[:, None]
+        self.offs = offs
+        self.origin = np.stack(
+            [sf.maps.origin for sf in scorings])[:, None, None, :]
+        self.spacing = np.array(
+            [sf.maps.spacing for sf in scorings])[:, None, None, None]
+        dims = np.array([sf.maps.shape for sf in scorings], dtype=np.float64)
+        self.dims_lim = (dims - 1.0 - 1e-9)[:, None, None, :]
+        self.shape_m1 = (np.array([sf.maps.shape for sf in scorings],
+                                  dtype=np.int64) - 1)[:, None, None, :]
+        self.ny = np.array([sf.maps.shape[1] for sf in scorings],
+                           dtype=np.int64)[:, None, None]
+        self.nz = np.array([sf.maps.shape[2] for sf in scorings],
+                           dtype=np.int64)[:, None, None]
+
+        # ---- per-atom AD4 parameters
+        self.charges = np.zeros((C, 1, N))
+        self.solpar = np.zeros((C, 1, N))
+        self.vol = np.zeros((C, 1, N))
+        for a, sf in enumerate(scorings):
+            n_a = int(self.n_atoms[a])
+            self.charges[a, 0, :n_a] = sf.charges
+            self.solpar[a, 0, :n_a] = sf.solpar
+            self.vol[a, 0, :n_a] = sf.vol
+
+        # ---- intramolecular pair tables (neutral finite pad values)
+        self.pi = np.zeros((C, 1, P, 1), dtype=np.int64)
+        self.pj = np.zeros((C, 1, P, 1), dtype=np.int64)
+        self.pc = np.ones((C, 1, P))
+        self.pd = np.ones((C, 1, P))
+        self.pm = np.full((C, 1, P), 6, dtype=np.int64)
+        self.pqq = np.zeros((C, 1, P))
+        self.pdsolv = np.zeros((C, 1, P))
+        for a, sf in enumerate(scorings):
+            t = sf.pair_tables
+            p_a = t.n_pairs
+            self.pi[a, 0, :p_a, 0] = t.i
+            self.pj[a, 0, :p_a, 0] = t.j
+            self.pc[a, 0, :p_a] = t.c
+            self.pd[a, 0, :p_a] = t.d
+            self.pm[a, 0, :p_a] = t.m
+            self.pqq[a, 0, :p_a] = t.qq
+            self.pdsolv[a, 0, :p_a] = t.dsolv
+
+        self._init_pair_index()
+
+        # ---- pair->atom incidence matrices: per-ligand, shared across
+        # slots holding the same ligand (their BLAS contractions are the
+        # layout-sensitive ops; see module docstring)
+        self.scat_g = []
+        self.scat_e = []
+        for sf in scorings:
+            t = sf.pair_tables
+            n, p_a = sf.ligand.n_atoms, t.n_pairs
+            sg = np.zeros((n, p_a))
+            se = np.zeros((n, p_a))
+            sg[t.i, np.arange(p_a)] = 1.0
+            sg[t.j, np.arange(p_a)] -= 1.0
+            se[t.i, np.arange(p_a)] = 0.5
+            se[t.j, np.arange(p_a)] += 0.5
+            self.scat_g.append(sg)
+            self.scat_e.append(se)
+
+        # ---- torsions: padded axis-atom indices plus one global sparse
+        # (ligand, torsion, moved-atom) entry list for Grotbond
+        self.axa = np.zeros((C, 1, R, 1), dtype=np.int64)
+        self.axb = np.zeros((C, 1, R, 1), dtype=np.int64)
+        ec, ek, ei = [], [], []
+        for a, sf in enumerate(scorings):
+            lig = sf.ligand
+            for k, tors in enumerate(lig.torsions):
+                self.axa[a, 0, k, 0] = tors.atom_a
+                self.axb[a, 0, k, 0] = tors.atom_b
+            moved = np.zeros((lig.n_rot, lig.n_atoms))
+            for k, tors in enumerate(lig.torsions):
+                moved[k, list(tors.moved)] = 1.0
+            pk, pi_ = np.nonzero(moved)
+            ec.append(np.full(pk.shape[0], a, dtype=np.int64))
+            ek.append(pk.astype(np.int64))
+            ei.append(pi_.astype(np.int64))
+        self.ec = np.concatenate(ec) if ec else np.zeros(0, dtype=np.int64)
+        self.ek = np.concatenate(ek) if ek else np.zeros(0, dtype=np.int64)
+        self.ei = np.concatenate(ei) if ei else np.zeros(0, dtype=np.int64)
+
+        self.tors_pen = np.array(
+            [sf.torsional_penalty for sf in scorings])[:, None]
+        self.smooth_col = np.array(
+            [sf.smooth for sf in scorings], dtype=bool)[:, None, None]
+        self.any_smooth = bool(self.smooth_col.any())
+        self._init_groups()
+        self._subsets: dict[tuple[int, ...], "LigandPack"] = {}
+
+    def _init_groups(self) -> None:
+        """Cohort slots sharing one ligand object, for batched pose /
+        scatter kernels.
+
+        A virtual screen dedups identical ligands upstream, but a
+        homogeneous throughput cohort (and any screen re-docking one
+        ligand under several seeds) carries the *same* ligand object in
+        many slots.  Those slots share the torsion tree and incidence
+        matrices, so ``calc_coords`` and the pair->atom contractions can
+        run once over the concatenated batch — both are batch-row
+        invariant (elementwise arithmetic plus fixed-length last-axis
+        reductions), so each slot's slice stays bit-identical to its own
+        per-slot call.
+        """
+        by_lig: dict[int, list[int]] = {}
+        for a, lig in enumerate(self.ligands):
+            by_lig.setdefault(id(lig), []).append(a)
+        self.groups = [np.array(v, dtype=np.int64)
+                       for v in by_lig.values()]
+        #: every slot is one ligand under one parameterisation: the
+        #: whole cohort folds into a single flat batch (the homogeneous
+        #: throughput shape), so the hot kernels can use reshape views
+        #: and one representative coefficient row instead of per-slot
+        #: fancy-indexed copies and (C, 1, P)-broadcast tables
+        self.uniform = (
+            len(self.groups) == 1
+            and bool((self.smooth_col == self.smooth_col[0]).all())
+            and bool((self.tors_pen == self.tors_pen[0]).all())
+            and all(bool((arr == arr[:1]).all())
+                    for arr in (self.pi, self.pj, self.pc, self.pd,
+                                self.pm, self.pqq, self.pdsolv)))
+        #: per-slot contribution rows all share one (n_atoms, n_pairs)
+        self.shape_uniform = bool(
+            (self.n_atoms == self.n_atoms[0]).all()
+            and (self.n_pairs == self.n_pairs[0]).all())
+
+    def _init_derived(self) -> None:
+        self.N = int(self.n_atoms.max())
+        self.P = int(self.n_pairs.max())
+        self.R = int(self.n_rot.max())
+        self.G = _N_RIGID + self.R
+        self.n_contrib = self.n_atoms + self.n_pairs
+        self.L = int(self.n_contrib.max())
+        #: fraction of atom lanes that is padding waste
+        self.pad_ratio = 1.0 - float(self.n_atoms.sum()) / (self.C * self.N)
+
+    def _init_pair_index(self) -> None:
+        """Fancy-index form of the pair endpoint gather (bit-equivalent
+        to ``take_along_axis`` — gathers copy, they never compute — but
+        roughly twice as fast on the hot shapes), plus pose-independent
+        pair-table derivations hoisted out of the per-call ``intra``."""
+        self._gather_c = np.arange(self.C, dtype=np.int64)[:, None]
+        self._pif = self.pi[:, 0, :, 0]
+        self._pjf = self.pj[:, 0, :, 0]
+        self._pm6 = self.pm == 6
+        self._pm_all6 = bool(self._pm6.all())
+        # smoothing pivot of the 12-m well; static per pair, same
+        # expression (and therefore the same bits) as the inline form
+        self.r_opt = (12.0 * self.pc / (self.pm * self.pd)) \
+            ** (1.0 / (12.0 - self.pm))
+
+    # ------------------------------------------------------------------
+
+    def subset(self, lig) -> "LigandPack":
+        """A pack over ligand indices ``lig``, re-trimmed and cached.
+
+        The full index tuple returns ``self``; the flat map buffer is
+        shared (never copied) across subsets.
+        """
+        key = tuple(int(i) for i in lig)
+        if key == tuple(range(self.C)):
+            return self
+        cached = self._subsets.get(key)
+        if cached is None:
+            cached = self._make_subset(np.array(key, dtype=np.int64))
+            self._subsets[key] = cached
+        return cached
+
+    def _make_subset(self, idx: np.ndarray) -> "LigandPack":
+        sub = object.__new__(LigandPack)
+        sub.scorings = [self.scorings[i] for i in idx]
+        sub.ligands = [self.ligands[i] for i in idx]
+        sub.C = len(idx)
+        sub.n_atoms = self.n_atoms[idx]
+        sub.n_pairs = self.n_pairs[idx]
+        sub.n_rot = self.n_rot[idx]
+        sub.glens = self.glens[idx]
+        sub._init_derived()
+        N, P, R = sub.N, sub.P, sub.R
+        sub.flat_maps = self.flat_maps
+        sub.offs = np.ascontiguousarray(self.offs[:, idx, :, :N])
+        sub.origin = self.origin[idx]
+        sub.spacing = self.spacing[idx]
+        sub.dims_lim = self.dims_lim[idx]
+        sub.shape_m1 = self.shape_m1[idx]
+        sub.ny = self.ny[idx]
+        sub.nz = self.nz[idx]
+        sub.charges = np.ascontiguousarray(self.charges[idx][:, :, :N])
+        sub.solpar = np.ascontiguousarray(self.solpar[idx][:, :, :N])
+        sub.vol = np.ascontiguousarray(self.vol[idx][:, :, :N])
+        sub.pi = np.ascontiguousarray(self.pi[idx][:, :, :P])
+        sub.pj = np.ascontiguousarray(self.pj[idx][:, :, :P])
+        sub.pc = np.ascontiguousarray(self.pc[idx][:, :, :P])
+        sub.pd = np.ascontiguousarray(self.pd[idx][:, :, :P])
+        sub.pm = np.ascontiguousarray(self.pm[idx][:, :, :P])
+        sub.pqq = np.ascontiguousarray(self.pqq[idx][:, :, :P])
+        sub.pdsolv = np.ascontiguousarray(self.pdsolv[idx][:, :, :P])
+        sub._init_pair_index()
+        sub.scat_g = [self.scat_g[i] for i in idx]
+        sub.scat_e = [self.scat_e[i] for i in idx]
+        sub.axa = np.ascontiguousarray(self.axa[idx][:, :, :R])
+        sub.axb = np.ascontiguousarray(self.axb[idx][:, :, :R])
+        pos = np.full(self.C, -1, dtype=np.int64)
+        pos[idx] = np.arange(len(idx), dtype=np.int64)
+        sel = pos[self.ec] >= 0
+        sub.ec = pos[self.ec[sel]]
+        sub.ek = self.ek[sel]
+        sub.ei = self.ei[sel]
+        sub.tors_pen = self.tors_pen[idx]
+        sub.smooth_col = self.smooth_col[idx]
+        sub.any_smooth = bool(sub.smooth_col.any())
+        sub._init_groups()
+        sub._subsets = {}
+        return sub
+
+    # ------------------------------------------------------------------
+    # batched physics (per-ligand slices bit-identical to GridMaps /
+    # intra_contributions on the unpadded arrays)
+
+    def inter_energy(self, coords: np.ndarray, with_gradient: bool = False):
+        """Grid-map interpolation over ``(C, B, N, 3)`` coordinates."""
+        u = (coords - self.origin) / self.spacing
+        u = np.nan_to_num(u, nan=1e4, posinf=1e4, neginf=-1e4)
+        uc = np.clip(u, 0.0, self.dims_lim)
+        out = u - uc
+        i0 = np.floor(uc).astype(np.int64)
+        i1 = np.minimum(i0 + 1, self.shape_m1)
+        f = uc - i0
+        x0, y0, z0 = i0[..., 0], i0[..., 1], i0[..., 2]
+        x1, y1, z1 = i1[..., 0], i1[..., 1], i1[..., 2]
+        bx0 = x0 * self.ny
+        bx1 = x1 * self.ny
+        r00 = (bx0 + y0) * self.nz
+        r10 = (bx1 + y0) * self.nz
+        r01 = (bx0 + y1) * self.nz
+        r11 = (bx1 + y1) * self.nz
+        flat = np.empty(i0.shape[:-1] + (8,), dtype=np.int64)
+        flat[..., 0] = r00 + z0
+        flat[..., 1] = r10 + z0
+        flat[..., 2] = r01 + z0
+        flat[..., 3] = r11 + z0
+        flat[..., 4] = r00 + z1
+        flat[..., 5] = r10 + z1
+        flat[..., 6] = r01 + z1
+        flat[..., 7] = r11 + z1
+        c = self.flat_maps.take(flat[None] + self.offs)    # (4, C, B, N, 8)
+        e = GridMaps._interp(c, f)
+        energy = (e[0] + self.charges * e[1]
+                  + self.solpar * e[2] + self.vol * e[3])
+        d_out = out * self.spacing
+        energy = energy + OUT_OF_BOX_PENALTY * np.sum(d_out ** 2, axis=-1)
+        if not with_gradient:
+            return energy
+        g = GridMaps._interp_grad_raw(c, f) / self.spacing
+        grad = (g[0] + self.charges[..., None] * g[1]
+                + self.solpar[..., None] * g[2] + self.vol[..., None] * g[3])
+        grad = grad + 2.0 * OUT_OF_BOX_PENALTY * d_out
+        return energy, grad
+
+    def intra(self, coords: np.ndarray, with_geometry: bool = False):
+        """AD4 pairwise terms over ``(C, B, N, 3)`` coordinates; padded
+        pairs evaluate at the neutral coefficients and are dropped by the
+        contiguous contribution packing downstream.
+
+        A uniform pack folds the cohort axis into the batch: reshape
+        views plus one representative ``(P,)`` coefficient row compute
+        exactly the same per-element arithmetic as the broadcast
+        ``(C, 1, P)`` tables, without the per-slot gather/copy overhead.
+        """
+        if self.uniform:
+            C, B = coords.shape[:2]
+            flat = coords.reshape(C * B, self.N, 3)
+            delta = flat[:, self._pif[0]] - flat[:, self._pjf[0]]
+            pc, pd, pm = self.pc[0, 0], self.pd[0, 0], self.pm[0, 0]
+            pqq, pdsolv = self.pqq[0, 0], self.pdsolv[0, 0]
+            pm6, r_opt = self._pm6[0, 0], self.r_opt[0, 0]
+            smooth = self.smooth_col[0, 0, 0]
+            lead = (C, B)
+        else:
+            # fancy indexing lands pair-major (C, P, B, 3); one
+            # contiguous transpose back keeps every downstream
+            # elementwise op on dense batch-major memory
+            ci = coords[self._gather_c, :, self._pif]      # (C, P, B, 3)
+            cj = coords[self._gather_c, :, self._pjf]
+            delta = np.ascontiguousarray(np.moveaxis(ci - cj, 1, 2))
+            pc, pd, pm = self.pc, self.pd, self.pm
+            pqq, pdsolv = self.pqq, self.pdsolv
+            pm6, r_opt = self._pm6, self.r_opt
+            smooth = self.smooth_col
+            lead = None
+        r_raw = np.sqrt(np.sum(delta * delta, axis=-1))
+        r = np.maximum(r_raw, RMIN)
+        in_well = None
+        if self.any_smooth:
+            hw = SMOOTH_HALF_WIDTH
+            in_well = (np.abs(r - r_opt) <= hw) & smooth
+            r_vdw = np.where(smooth,
+                             np.where(r < r_opt - hw, r + hw,
+                                      np.where(r > r_opt + hw, r - hw,
+                                               r_opt)),
+                             r)
+        else:
+            r_vdw = r
+
+        # the tail runs in place over a handful of full-size buffers: each
+        # step keeps the single path's operand grouping (left-assoc
+        # products, ``(a + b) + c`` sums, ``(-a) * b`` sign placement), so
+        # every element carries exactly the single-path bits while the
+        # temporary count drops from ~18 allocations to 6
+        inv_r = 1.0 / r
+        # no smoothing means r_vdw aliases r, so one divide serves both
+        inv_rv = inv_r if r_vdw is r else 1.0 / r_vdw
+        inv_rv2 = inv_rv * inv_rv
+        inv_r6 = inv_rv2 ** 3
+        # all-6 packs alias the 12-6 column; bitwise equal to the where()
+        inv_rm = inv_r6 if self._pm_all6 \
+            else np.where(pm6, inv_r6, inv_rv2 ** 5)
+        inv_r12 = inv_r6 ** 2
+
+        e_vdw = pc * inv_r12
+        t = pd * inv_rm
+        np.subtract(e_vdw, t, out=e_vdw)
+        de_vdw = -12.0 * pc * inv_r12
+        np.multiply(pm * pd, inv_rm, out=t)
+        np.add(de_vdw, t, out=de_vdw)
+        np.multiply(de_vdw, inv_rv, out=de_vdw)
+        if in_well is not None:
+            de_vdw = np.where(in_well, 0.0, de_vdw)
+
+        # Mehler-Solmajer dielectric and its derivative share the same
+        # ``exp`` term; evaluating it once is the single biggest saving
+        # (dielectric() / dielectric_derivative() recompute it, with
+        # identical expressions, so the bits match)
+        u = _MS_RK * np.exp(-_MS_LAM * _MS_B * r)
+        one_u = 1.0 + u
+        eps = _MS_A + _MS_B / one_u
+        e_elec = pqq * inv_r
+        np.divide(e_elec, eps, out=e_elec)
+        np.multiply(u, _MS_LAM * _MS_B * _MS_B, out=u)
+        np.multiply(one_u, one_u, out=one_u)      # (1 + u) ** 2
+        np.divide(u, one_u, out=u)
+        np.divide(u, eps, out=u)
+        np.add(u, inv_r, out=u)
+        np.multiply(u, e_elec, out=u)
+        de_elec = np.negative(u, out=u)
+
+        g = r / 3.6
+        np.multiply(g, g, out=g)                  # (r / 3.6) ** 2
+        np.multiply(g, -0.5, out=g)
+        np.exp(g, out=g)                          # gauss
+        e_solv = pdsolv * g
+        np.divide(r, -(3.6 ** 2), out=g)          # -r / 3.6 ** 2
+        de_solv = np.multiply(g, e_solv, out=g)
+
+        energy = e_vdw
+        np.add(energy, e_elec, out=energy)
+        np.add(energy, e_solv, out=energy)
+        de_dr = de_vdw
+        np.add(de_dr, de_elec, out=de_dr)
+        np.add(de_dr, de_solv, out=de_dr)
+        np.clip(energy, -ECLAMP, ECLAMP, out=energy)
+        np.clip(de_dr, -GRADCLAMP, GRADCLAMP, out=de_dr)
+        if lead is not None:
+            energy = energy.reshape(lead + (-1,))
+            de_dr = de_dr.reshape(lead + (-1,))
+            if with_geometry:
+                r_raw = r_raw.reshape(lead + (-1,))
+                delta = delta.reshape(lead + (-1, 3))
+        if with_geometry:
+            return energy, de_dr, delta, r_raw
+        return energy, de_dr
+
+
+class CohortScoring:
+    """Cohort-batched scoring: pose calculation + inter + intra + one
+    SIMT tree reduction over per-ligand contiguously packed contributions.
+    """
+
+    def __init__(self, scorings: list[ScoringFunction]) -> None:
+        self.pack = LigandPack(scorings)
+        self.scorings = self.pack.scorings
+
+    def coords(self, genes: np.ndarray,
+               pack: LigandPack | None = None) -> np.ndarray:
+        """Pose calculation, ``(A, B, G) -> (A, B, N, 3)`` (zero-padded).
+
+        Runs per ligand-identity *group*: the torsion-chain loop is
+        data-dependent per ligand, but slots sharing one ligand object
+        share the tree, so their batches concatenate into a single
+        ``calc_coords`` call.  The pose kernel is elementwise over batch
+        rows (fixed-length last-axis reductions only), so each slot's
+        slice is bit-identical to its own per-slot call.
+        """
+        pack = pack if pack is not None else self.pack
+        A, B = genes.shape[0], genes.shape[1]
+        if len(pack.groups) == 1:
+            # one ligand in every slot: no padding, no scatter — a flat
+            # batch through the pose kernel and a reshape view back
+            return calc_coords(
+                pack.ligands[0],
+                genes.reshape(A * B, -1)).reshape(A, B, pack.N, 3)
+        out = np.zeros((A, B, pack.N, 3))
+        for idx in pack.groups:
+            a = int(idx[0])
+            glen_a = int(pack.glens[a])
+            n_a = int(pack.n_atoms[a])
+            if len(idx) == 1:
+                g = np.ascontiguousarray(genes[a, :, :glen_a])
+                out[a, :, :n_a] = calc_coords(pack.ligands[a], g)
+            else:
+                g = np.ascontiguousarray(
+                    genes[idx][:, :, :glen_a]).reshape(-1, glen_a)
+                out[idx, :, :n_a] = calc_coords(
+                    pack.ligands[a], g).reshape(len(idx), B, n_a, 3)
+        return out
+
+    def score_coords(self, coords: np.ndarray,
+                     pack: LigandPack | None = None) -> np.ndarray:
+        pack = pack if pack is not None else self.pack
+        e_inter = pack.inter_energy(coords)
+        e_intra, _ = pack.intra(coords)
+        A, B = e_inter.shape[:2]
+        # contiguous per-ligand packing [inter | intra | 0-pad]: the tree
+        # reduction sees only suffix zeros, which every backend ignores
+        contribs = np.zeros((A, B, pack.L), dtype=np.float32)
+        if pack.shape_uniform:
+            n0 = int(pack.n_atoms[0])
+            p0 = int(pack.n_pairs[0])
+            contribs[:, :, :n0] = e_inter[:, :, :n0]
+            contribs[:, :, n0:n0 + p0] = e_intra[:, :, :p0]
+        else:
+            for a in range(A):
+                n_a = int(pack.n_atoms[a])
+                p_a = int(pack.n_pairs[a])
+                contribs[a, :, :n_a] = e_inter[a, :, :n_a]
+                contribs[a, :, n_a:n_a + p_a] = e_intra[a, :, :p_a]
+        total = simt_tree_reduce(contribs, axis=-1)
+        return total.astype(np.float64) + pack.tors_pen
+
+    def score(self, genes: np.ndarray, lig=None) -> np.ndarray:
+        """Score ``(A, batch, G)`` genotypes -> ``(A, batch)`` energies.
+
+        ``lig`` selects a ligand subset (global indices into the pack);
+        ``genes`` rows must align with it.
+        """
+        pack = self.pack if lig is None else self.pack.subset(lig)
+        genes = np.asarray(genes, dtype=np.float64)
+        coords = self.coords(genes, pack)
+        return self.score_coords(coords, pack)
+
+
+class CohortGradientCalculator:
+    """Cohort-batched drop-in for :class:`GradientCalculator`.
+
+    Presents the same 2-D ``(batch, glen) -> (energy, gradient)`` callable
+    interface :class:`~repro.search.adadelta.AdadeltaLocalSearch` expects;
+    rows are ligand-major (``batch = A * B`` with ligand ``a`` owning rows
+    ``a*B .. (a+1)*B``).  ``bind`` narrows the calculator to a ligand
+    subset between generations (cohort members that finish early drop out
+    of the reduce4 operand entirely).
+    """
+
+    def __init__(self, cohort: CohortScoring,
+                 backend: str | ReductionBackend = "baseline") -> None:
+        self.cohort = cohort
+        self.backend = get_reduction_backend(backend)
+        self._pack = cohort.pack
+
+    def bind(self, lig=None) -> None:
+        self._pack = self.cohort.pack if lig is None \
+            else self.cohort.pack.subset(lig)
+
+    def atom_gradients(self, coords: np.ndarray, pack: LigandPack
+                       ) -> tuple[np.ndarray, np.ndarray]:
+        e_inter, g_inter = pack.inter_energy(coords, with_gradient=True)
+        e_pairs, de_dr, delta, r_raw = pack.intra(coords, with_geometry=True)
+        r = np.maximum(r_raw, 1e-9)[..., None]
+        pair_grad = de_dr[..., None] * delta / r
+        A, B, N = e_inter.shape
+        if pack.uniform:
+            # flat single-contraction path: every operand is a reshape
+            # view of an already-contiguous buffer, and with no padded
+            # lanes the results need no zeroed landing buffers
+            # explicit row count: -1 is ambiguous when P == 0 (a
+            # torsion-free ligand has no intra pairs)
+            pg = pair_grad.reshape(A * B, pack.P, 3)
+            ep = e_pairs.reshape(A * B, pack.P)
+            g_atoms = (g_inter.reshape(-1, N, 3) + np.einsum(
+                "np,bpc->bnc", pack.scat_g[0], pg,
+                optimize=_SCATTER_PATH)).reshape(A, B, N, 3)
+            e_atoms = (e_inter.reshape(-1, N)
+                       + ep @ pack.scat_e[0].T).reshape(A, B, N)
+            np.clip(g_atoms, -GRADCLAMP, GRADCLAMP, out=g_atoms)
+            return e_atoms, g_atoms
+        g_atoms = np.zeros((A, B, N, 3))
+        e_atoms = np.zeros((A, B, N))
+        # per-ligand incidence contractions on contiguous operands (BLAS
+        # summation order is layout-dependent; batch-row concatenation is
+        # not — verified bit-identical — so slots sharing one ligand run
+        # as a single contraction); results land in zeroed buffers so the
+        # padded tail stays exactly +0.0
+        for idx in pack.groups:
+            a = int(idx[0])
+            n_a = int(pack.n_atoms[a])
+            p_a = int(pack.n_pairs[a])
+            if len(idx) == 1:
+                pg = np.ascontiguousarray(pair_grad[a, :, :p_a, :])
+                ep = np.ascontiguousarray(e_pairs[a, :, :p_a])
+                g_atoms[a, :, :n_a] = g_inter[a, :, :n_a] + np.einsum(
+                    "np,bpc->bnc", pack.scat_g[a], pg,
+                    optimize=_SCATTER_PATH)
+                e_atoms[a, :, :n_a] = (e_inter[a, :, :n_a]
+                                       + ep @ pack.scat_e[a].T)
+            else:
+                k = len(idx)
+                pg = np.ascontiguousarray(
+                    pair_grad[idx][:, :, :p_a, :]).reshape(-1, p_a, 3)
+                ep = np.ascontiguousarray(
+                    e_pairs[idx][:, :, :p_a]).reshape(-1, p_a)
+                g_atoms[idx, :, :n_a] = g_inter[idx][:, :, :n_a] \
+                    + np.einsum("np,bpc->bnc", pack.scat_g[a], pg,
+                                optimize=_SCATTER_PATH).reshape(k, B, n_a, 3)
+                e_atoms[idx, :, :n_a] = e_inter[idx][:, :, :n_a] \
+                    + (ep @ pack.scat_e[a].T).reshape(k, B, n_a)
+        np.clip(g_atoms, -GRADCLAMP, GRADCLAMP, out=g_atoms)
+        return e_atoms, g_atoms
+
+    def __call__(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        pack = self._pack
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        A = pack.C
+        batch, G = x.shape
+        if batch % A:
+            raise ValueError(f"batch {batch} not divisible by cohort {A}")
+        B = batch // A
+        genes = x.reshape(A, B, G)
+        coords = self.cohort.coords(genes, pack)
+        e_atoms, g_atoms = self.atom_gradients(coords, pack)
+
+        # one reduce4 issue pair for the whole cohort: (2, A*B, N_max, 4).
+        # Batch slices reduce independently and suffix-zero padding is
+        # backend-invariant, so each ligand's slice is bit-identical to its
+        # single-ligand (2, B, n_a, 4) call
+        centre = genes[..., None, 0:3]
+        torque_like = cross3(coords - centre, g_atoms)
+        vecs = np.empty((2, A, B, pack.N, 4), dtype=np.float32)
+        vecs[0, ..., 0:3] = g_atoms
+        vecs[0, ..., 3] = e_atoms
+        vecs[1, ..., 0:3] = torque_like
+        vecs[1, ..., 3] = 0.0
+        t_red = time.perf_counter()
+        red = self.backend.reduce4(vecs.reshape(2, batch, pack.N, 4))
+        t_red = time.perf_counter() - t_red
+        g_trans = red[0, :, 0:3].astype(np.float64)
+        energy = (red[0, :, 3].astype(np.float64).reshape(A, B)
+                  + pack.tors_pen).reshape(batch)
+        tau = red[1, :, 0:3].astype(np.float64)
+
+        m = get_metrics()
+        m.histogram(f"reduction.{self.backend.name}.reduce4_s").observe(t_red)
+        m.counter(f"reduction.{self.backend.name}.calls").inc(2)
+        m.counter("gradient.evals").inc(batch)
+
+        jl = so3_left_jacobian(x[:, 3:6])
+        g_orient = np.einsum("pij,pi->pj", jl, tau)
+
+        gradient = np.zeros((batch, G))
+        gradient[:, 0:3] = g_trans
+        gradient[:, 3:6] = g_orient
+        if pack.R:
+            a_pos = np.take_along_axis(coords, pack.axa, axis=2)
+            b_pos = np.take_along_axis(coords, pack.axb, axis=2)
+            axis = b_pos - a_pos
+            axis /= np.maximum(np.sqrt(
+                np.sum(axis * axis, axis=-1, keepdims=True)), 1e-12)
+            ec, ek, ei = pack.ec, pack.ek, pack.ei
+            arm = coords[ec, :, ei, :] - b_pos[ec, :, ek, :]   # (E, B, 3)
+            cr = cross3(axis[ec, :, ek, :], arm)
+            np.multiply(cr, g_atoms[ec, :, ei, :], out=cr)
+            vals = np.sum(cr, axis=-1)                         # (E, B)
+            contrib = np.zeros((A, B, pack.R, pack.N), dtype=np.float32)
+            contrib[ec, :, ek, ei] = vals
+            g_tors = simt_tree_reduce(contrib, axis=-1).astype(np.float64)
+            # padded torsion rows reduce to exactly +0.0, preserving the
+            # zero-gradient invariant on padded gene columns
+            gradient[:, 6:6 + pack.R] = g_tors.reshape(batch, pack.R)
+        np.clip(gradient, -GENE_GRADIENT_CLAMP, GENE_GRADIENT_CLAMP,
+                out=gradient)
+        return energy, gradient

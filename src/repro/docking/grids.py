@@ -226,8 +226,11 @@ class GridMaps:
         c1 = c01 * gy + c11 * fy
         return c0 * gz + c1 * fz
 
-    def _interp_grad(self, c, f):
-        """Analytic gradient of the trilinear interpolant [per Å]."""
+    @staticmethod
+    def _interp_grad_raw(c, f):
+        """Analytic gradient of the trilinear interpolant in *grid units*
+        (not yet divided by the spacing — cohort packs divide by a
+        per-ligand spacing tensor instead of this map's scalar)."""
         fx, fy, fz = f[..., 0], f[..., 1], f[..., 2]
         ox, oy, oz = 1 - fx, 1 - fy, 1 - fz
         c000, c100, c010, c110 = c[..., 0], c[..., 1], c[..., 2], c[..., 3]
@@ -244,7 +247,11 @@ class GridMaps:
               + (c101 - c100) * fx * oy
               + (c011 - c010) * ox * fy
               + (c111 - c110) * fx * fy)
-        return np.stack([gx, gy, gz], axis=-1) / self.spacing
+        return np.stack([gx, gy, gz], axis=-1)
+
+    def _interp_grad(self, c, f):
+        """Analytic gradient of the trilinear interpolant [per Å]."""
+        return self._interp_grad_raw(c, f) / self.spacing
 
     # ------------------------------------------------------------------
     # public lookups

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.docking.genotype import N_RIGID_GENES
 from repro.docking.ligand import Ligand
-from repro.docking.quaternion import cross3, quat_from_rotvec, quat_rotate
+from repro.docking.quaternion import quat_from_rotvec, quat_rotate
 
 __all__ = ["calc_coords"]
 
@@ -47,12 +47,14 @@ def calc_coords(ligand: Ligand, genotypes: np.ndarray) -> np.ndarray:
             f"for ligand with {ligand.n_rot} torsions")
 
     pop = genotypes.shape[0]
-    # atom-major layout (n_atoms, pop, 3) through the torsion loop: the
-    # per-torsion moved-subtree gather/scatter then runs on axis 0, where
-    # fancy indexing copies contiguous (pop, 3) rows; values are the same
-    # elementwise arithmetic as the pose-major layout, just transposed
-    coords = np.broadcast_to(ligand.ref_coords[:, None, :],
-                             (ligand.n_atoms, pop, 3)).copy()
+    # component-major layout (n_atoms, 3, pop) through the torsion loop:
+    # the per-torsion moved-subtree gather/scatter runs on axis 0 (fancy
+    # indexing copies contiguous (3, pop) rows) and every component slice
+    # ``coords[i, c]`` is a dense row, so the cross/dot arithmetic runs
+    # at contiguous-ufunc speed; values are the same elementwise
+    # arithmetic as the pose-major layout, just transposed
+    coords = np.broadcast_to(ligand.ref_coords[:, :, None],
+                             (ligand.n_atoms, 3, pop)).copy()
 
     # per-ligand cache of the torsion index arrays: converting the Python
     # ``moved`` tuples runs once instead of once per torsion per call
@@ -65,33 +67,39 @@ def calc_coords(ligand: Ligand, genotypes: np.ndarray) -> np.ndarray:
 
     # 1. torsions, root -> leaf (the rotation arithmetic is the inlined
     #    equivalent of quaternion.axis_angle_rotate, with all torsion
-    #    angles' trig evaluated in one call up front)
+    #    angles' trig evaluated in one call up front; the three-term dot
+    #    products keep np.sum's left-to-right order, so the bits match)
     if torsions:
         angles = genotypes[:, N_RIGID_GENES:]
         cos_all = np.cos(angles)
         sin_all = np.sin(angles)
     for k, (atom_a, atom_b, moved) in enumerate(torsions):
-        b = coords[atom_b]                   # (pop, 3) views
+        b = coords[atom_b]                   # (3, pop) views
         axis = b - coords[atom_a]
-        # same reduce as np.linalg.norm without its wrapper overhead
-        norm = np.sqrt(np.sum(axis * axis, axis=-1, keepdims=True))
+        ax0, ax1, ax2 = axis
+        norm = np.sqrt((ax0 * ax0 + ax1 * ax1) + ax2 * ax2)
         axis = axis / np.maximum(norm, 1e-12)
-        rel = coords[moved] - b              # (n_moved, pop, 3)
-        k_cross = cross3(axis, rel)
-        k_dot = np.sum(axis * rel, axis=-1, keepdims=True)
-        cos_t = cos_all[:, k, None]
+        ax0, ax1, ax2 = axis
+        rel = coords[moved] - b              # (n_moved, 3, pop)
+        r0, r1, r2 = rel[:, 0], rel[:, 1], rel[:, 2]
+        k_cross = np.empty_like(rel)
+        np.subtract(ax1 * r2, ax2 * r1, out=k_cross[:, 0])
+        np.subtract(ax2 * r0, ax0 * r2, out=k_cross[:, 1])
+        np.subtract(ax0 * r1, ax1 * r0, out=k_cross[:, 2])
+        k_dot = (ax0 * r0 + ax1 * r1) + ax2 * r2
+        cos_t = cos_all[:, k]
         # rel*cos + k_cross*sin + (axis*k_dot)*(1-cos) + b, in place over
         # the rel/k_cross buffers (dead after this point)
         np.multiply(rel, cos_t, out=rel)
-        np.multiply(k_cross, sin_all[:, k, None], out=k_cross)
+        np.multiply(k_cross, sin_all[:, k], out=k_cross)
         np.add(rel, k_cross, out=rel)
-        swing = axis * k_dot
+        swing = axis * k_dot[:, None, :]
         np.multiply(swing, 1.0 - cos_t, out=swing)
         np.add(rel, swing, out=rel)
         np.add(rel, b, out=rel)
         coords[moved] = rel
 
-    coords = np.ascontiguousarray(np.moveaxis(coords, 0, 1))
+    coords = np.ascontiguousarray(coords.transpose(2, 0, 1))
 
     # 2. rigid-body rotation about the ligand's "about" point — the torsion
     #    tree root (atom 0), which no torsion moves.  Using a torsion-

@@ -30,11 +30,27 @@ __all__ = [
 
 
 class ReductionBackend:
-    """Interface: reduce ``(..., n, 4)`` contribution vectors to ``(..., 4)``."""
+    """Interface: reduce ``(..., n, 4)`` contribution vectors to ``(..., 4)``.
+
+    Back-ends must honour the *suffix-zero-padding contract* relied on by
+    the cohort engine (:mod:`repro.docking.cohort`): appending all-zero
+    4-vectors after the real contributions of a reduction row must leave
+    the result bit-identical, and rows of a leading batch axis must reduce
+    independently of each other.  All five built-in back-ends satisfy this
+    — the SIMT trees pair real elements exactly as in the unpadded call
+    (the zero partials only ever add ``+0.0``), and the matrix back-ends'
+    extra all-zero fragments contribute nothing through either FP16 or
+    TF32+EC accumulation — which is what lets a packed multi-ligand batch
+    run one wide ``reduce4`` per call site with per-ligand slices
+    bit-identical to separate single-ligand calls.
+    """
 
     #: cost-model backend key (see repro.simt.costmodel.REDUCTION_BACKENDS)
     cost_key: str = "baseline"
     name: str = "abstract"
+    #: suffix-zero rows / batch slices leave results bit-identical (see
+    #: class docstring); the cohort engine requires this
+    pad_invariant: bool = True
 
     def reduce4(self, vectors: np.ndarray) -> np.ndarray:
         raise NotImplementedError

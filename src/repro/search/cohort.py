@@ -1,0 +1,349 @@
+"""Lock-step LGA execution over a packed multi-ligand cohort.
+
+:class:`CohortLGA` generalises :class:`~repro.search.parallel.ParallelLGA`
+from one ligand to a cohort: the gene tensor is ``(C, n_runs, pop, G_max)``
+(zero-padded on the gene axis) and scoring / GA / local search advance all
+ligands together, so the reduce4 backends see ``cohort * runs * pop``-wide
+operands.
+
+Bit-identity and isolation contract
+-----------------------------------
+Ligand ``c`` of a cohort produces *bit-identical* results (genotypes,
+scores, eval ledgers, histories) to ``ParallelLGA(scoring_c, ...,
+seed=seeds[c]).run(n_runs)``:
+
+* every random draw ligand ``c`` consumes comes from generators spawned
+  from ``seeds[c]`` exactly as in the single path (per-run GA/init streams
+  ``spawn(n_runs)``; the Solis-Wets stream keyed at ``SW_STREAM_KEY``), so
+  dropping or adding cohort members cannot perturb another member's
+  trajectory;
+* per-ligand termination replicates the single loop via a three-state
+  machine (running -> needs-final-score -> done): a ligand whose budget is
+  exhausted at the loop top keeps its pre-exit score as the final score,
+  one that exits on the generation check gets exactly one more scoring
+  pass — the same two exit paths ``ParallelLGA.run`` has;
+* eval ledgers are per ligand per run, with the single path's
+  base-plus-remainder split of each ligand's own local-search evals.
+
+AutoStop needs per-run termination control and is rejected here, exactly
+like :class:`ParallelLGA` (the engine routes such configs per ligand).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.docking.cohort import CohortGradientCalculator, CohortScoring
+from repro.docking.genotype import random_genotypes
+from repro.docking.scoring import ScoringFunction
+from repro.obs import get_metrics, get_tracer
+from repro.reduction.api import ReductionBackend
+from repro.search.adadelta import AdadeltaConfig, AdadeltaLocalSearch
+from repro.search.ga import GeneticAlgorithm, next_generation_batched
+from repro.search.lga import LGAConfig, LGAResult
+from repro.search.parallel import SW_STREAM_KEY, as_seed_sequence
+from repro.search.solis_wets import SolisWetsConfig
+
+__all__ = ["CohortLGA", "CohortSolisWets"]
+
+_RUNNING, _FINAL, _DONE = 0, 1, 2
+
+
+class CohortSolisWets:
+    """Solis-Wets over a cohort batch with per-ligand sampler streams.
+
+    Each ligand draws its steps from its own generator (the same stream
+    the single-ligand :class:`SolisWetsLocalSearch` would use), and the
+    adaptive loop's early exit is tracked per ligand: a ligand whose lanes
+    all fell below ``rho_lower`` stops consuming draws and evals, exactly
+    as its single-ligand loop would have broken.
+    """
+
+    def __init__(self, cohort: CohortScoring, config: SolisWetsConfig,
+                 rngs: list[np.random.Generator]) -> None:
+        self.cohort = cohort
+        self.config = config
+        self.rngs = rngs          # indexed by *global* ligand index
+
+    def minimize_cohort(self, genotypes: np.ndarray, lig
+                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Run Solis-Wets on ``(W, B, G)`` genotypes of ligands ``lig``.
+
+        Returns ``(best_genotypes, best_energies, per-ligand n_evals)``.
+        """
+        cfg = self.config
+        lig = np.asarray(lig, dtype=np.int64)
+        x = np.array(genotypes, dtype=np.float64, copy=True)
+        W, B, G = x.shape
+        glens = self.cohort.pack.glens[lig]
+
+        e = self.cohort.score(x, lig)
+        evals = np.full(W, B, dtype=np.int64)
+        rho = np.full((W, B), cfg.rho_init)
+        bias = np.zeros((W, B, G))
+        successes = np.zeros((W, B), dtype=np.int64)
+        failures = np.zeros((W, B), dtype=np.int64)
+        step = np.zeros((W, B, G))
+
+        for _ in range(cfg.max_iters):
+            lane_active = rho > cfg.rho_lower
+            lig_live = lane_active.any(axis=1)
+            if not lig_live.any():
+                break
+            # per-ligand draws, only for ligands still iterating (a dead
+            # ligand's single loop would have broken: no draws, no evals)
+            for w in np.nonzero(lig_live)[0]:
+                gl = int(glens[w])
+                step[w, :, :gl] = (self.rngs[int(lig[w])].normal(
+                    size=(B, gl)) * rho[w][:, None] + bias[w, :, :gl])
+            cand = x + step
+            e_cand = self.cohort.score(cand, lig)
+            evals[lig_live] += B
+
+            better = (e_cand < e) & lane_active
+            retry = (~better) & lane_active
+            cand2 = x - step
+            e_cand2 = self.cohort.score(cand2, lig)
+            evals[lig_live] += B
+            better2 = (e_cand2 < e) & retry
+
+            x[better] = cand[better]
+            e[better] = e_cand[better]
+            bias[better] = 0.2 * bias[better] + 0.4 * step[better]
+
+            x[better2] = cand2[better2]
+            e[better2] = e_cand2[better2]
+            bias[better2] = bias[better2] - 0.4 * step[better2]
+
+            succ = better | better2
+            fail = lane_active & ~succ
+            successes[succ] += 1
+            failures[succ] = 0
+            failures[fail] += 1
+            successes[fail] = 0
+            bias[fail] *= 0.5
+
+            # inactive lanes can never reach the limits: their counters
+            # were reset below the limit in the iteration they last moved
+            expand = successes >= cfg.success_limit
+            rho[expand] *= cfg.expansion
+            successes[expand] = 0
+            contract = failures >= cfg.failure_limit
+            rho[contract] *= cfg.contraction
+            failures[contract] = 0
+
+        return x, e, evals
+
+
+class CohortLGA:
+    """Run ``n_runs`` LGA searches for each of ``C`` ligands in lock step.
+
+    Parameters
+    ----------
+    scorings:
+        One scoring function per cohort member.
+    backend:
+        Reduction back-end for the ADADELTA gradient kernel.
+    config:
+        Budgets/operators, shared by all ligands and runs.
+    seeds:
+        Per-ligand master seeds (one int/SeedSequence, broadcast, or a
+        sequence of length ``C``); ligand ``c``'s streams are spawned from
+        ``seeds[c]`` exactly as :class:`ParallelLGA` spawns from ``seed``.
+    """
+
+    def __init__(self, scorings: list[ScoringFunction],
+                 backend: str | ReductionBackend = "baseline",
+                 config: LGAConfig | None = None,
+                 seeds=0) -> None:
+        self.cohort = CohortScoring(scorings)
+        self.config = config or LGAConfig()
+        if self.config.autostop:
+            raise ValueError("AutoStop requires per-run termination; "
+                             "cohorts cannot run it (dock_cohort falls "
+                             "back to per-ligand docking)")
+        C = self.cohort.pack.C
+        if isinstance(seeds, (int, np.integer, np.random.SeedSequence)):
+            seeds = [seeds] * C
+        self.seeds = list(seeds)
+        if len(self.seeds) != C:
+            raise ValueError(f"{len(self.seeds)} seeds for {C} ligands")
+        self.gradient = None
+        if self.config.ls_method == "ad":
+            self.gradient = CohortGradientCalculator(self.cohort, backend)
+            ad_cfg = self.config.adadelta or AdadeltaConfig(
+                max_iters=self.config.ls_iters)
+            self.local_search = AdadeltaLocalSearch(self.gradient, ad_cfg)
+        else:
+            sw_cfg = self.config.solis_wets or SolisWetsConfig(
+                max_iters=self.config.ls_iters)
+            sw_rngs = []
+            for s in self.seeds:
+                base = as_seed_sequence(s)
+                sw_seq = np.random.SeedSequence(
+                    entropy=base.entropy,
+                    spawn_key=(*base.spawn_key, SW_STREAM_KEY))
+                sw_rngs.append(
+                    np.random.Generator(np.random.PCG64(sw_seq)))
+            self.local_search = CohortSolisWets(self.cohort, sw_cfg, sw_rngs)
+
+    def run(self, n_runs: int, on_generation=None) -> list[list[LGAResult]]:
+        """Execute the cohort; returns one result list per ligand.
+
+        ``on_generation(generations, evals)`` is invoked once per
+        lock-step generation with the cohort maxima, so a watchdog bounds
+        the slowest member.
+        """
+        cfg = self.config
+        pack = self.cohort.pack
+        C = pack.C
+        pop, R, G = cfg.pop_size, n_runs, pack.G
+
+        rngs = [[np.random.Generator(np.random.PCG64(s))
+                 for s in as_seed_sequence(self.seeds[c]).spawn(R)]
+                for c in range(C)]
+        gas = [[GeneticAlgorithm(cfg.ga, rng) for rng in rngs[c]]
+               for c in range(C)]
+
+        genes = np.zeros((C, R, pop, G))
+        for c in range(C):
+            sf = self.cohort.scorings[c]
+            gl = int(pack.glens[c])
+            for r in range(R):
+                genes[c, r, :, :gl] = random_genotypes(
+                    rngs[c][r], pop, sf.ligand,
+                    sf.maps.box_lo, sf.maps.box_hi)
+
+        best_score = np.full((C, R), np.inf)
+        best_genotype = genes[:, :, 0, :].copy()
+        histories: list[list[list[tuple[int, float, np.ndarray]]]] = [
+            [[] for _ in range(R)] for _ in range(C)]
+        evals_run = np.zeros((C, R), dtype=np.int64)
+        gens = np.zeros(C, dtype=np.int64)
+        scores = np.empty((C, R, pop))
+        state = np.full(
+            C,
+            _RUNNING if (cfg.max_evals > 0 and cfg.max_gens > 0)
+            else _FINAL,
+            dtype=np.int8)
+
+        def track(c: int, sc: np.ndarray) -> None:
+            idx = np.argmin(sc, axis=1)
+            vals = sc[np.arange(R), idx]
+            improved = vals < best_score[c]
+            gl = int(pack.glens[c])
+            for r in np.nonzero(improved)[0]:
+                best_score[c, r] = vals[r]
+                best_genotype[c, r] = genes[c, r, idx[r]]
+                # .copy(): the trailing slice is a view into the mutating
+                # gene tensor, and history snapshots must be frozen
+                histories[c][r].append(
+                    (int(evals_run[c, r]), float(vals[r]),
+                     genes[c, r, idx[r], :gl].copy()))
+
+        n_ls = int(round(cfg.ls_rate * pop))
+        metrics = get_metrics()
+        tracer = get_tracer()
+        metrics.histogram("cohort.pad_ratio").observe(pack.pad_ratio)
+        span = tracer.span("lga.cohort", cohort=C, n_runs=R, pop_size=pop,
+                           ls_method=cfg.ls_method,
+                           pad_ratio=pack.pad_ratio)
+        with span:
+            while (state != _DONE).any():
+                live = np.nonzero(state != _DONE)[0]
+                t0 = time.perf_counter()
+                sc = self.cohort.score(
+                    genes[live].reshape(len(live), R * pop, G),
+                    live).reshape(len(live), R, pop)
+                metrics.histogram("lga.stage.score_s").observe(
+                    time.perf_counter() - t0)
+                scores[live] = sc
+                work = []
+                for c in live:
+                    evals_run[c] += pop
+                    track(c, scores[c])
+                    if state[c] == _FINAL:
+                        state[c] = _DONE
+                    elif int(evals_run[c].max()) >= cfg.max_evals:
+                        # budget exhausted at the loop top: this score IS
+                        # the final score (ParallelLGA's scored_final path)
+                        state[c] = _DONE
+                    else:
+                        work.append(int(c))
+                if not work:
+                    continue
+                work = np.array(work, dtype=np.int64)
+                W = len(work)
+
+                t0 = time.perf_counter()
+                with tracer.span("lga.ga_generation",
+                                 generation=int(gens.max()), cohort=W):
+                    gas_flat = [gas[c][r] for c in work for r in range(R)]
+                    gw = next_generation_batched(
+                        gas_flat, genes[work].reshape(W * R, pop, G),
+                        scores[work].reshape(W * R, pop),
+                        glens=np.repeat(pack.glens[work], R),
+                    ).reshape(W, R, pop, G)
+                metrics.histogram("lga.stage.ga_s").observe(
+                    time.perf_counter() - t0)
+
+                if n_ls > 0:
+                    t0 = time.perf_counter()
+                    subsets = np.empty((W, R, n_ls), dtype=np.int64)
+                    for w, c in enumerate(work):
+                        for r in range(R):    # per-run draws: seed contract
+                            subsets[w, r] = rngs[c][r].choice(
+                                pop, size=n_ls, replace=False)
+                    selected = np.take_along_axis(
+                        gw, subsets[..., None], axis=2)   # (W, R, n_ls, G)
+                    if cfg.ls_method == "ad":
+                        self.gradient.bind(work)
+                        refined, _, total_ls = self.local_search.minimize(
+                            selected.reshape(W * R * n_ls, G))
+                        # ADADELTA evals are deterministic (iters x batch),
+                        # so each ligand's share is exactly its single-path
+                        # iters x R x n_ls
+                        ls_evals = np.full(W, total_ls // W, dtype=np.int64)
+                        refined = refined.reshape(W, R, n_ls, G)
+                    else:
+                        refined, _, ls_evals = \
+                            self.local_search.minimize_cohort(
+                                selected.reshape(W, R * n_ls, G), work)
+                        refined = refined.reshape(W, R, n_ls, G)
+                    np.put_along_axis(gw, subsets[..., None], refined,
+                                      axis=2)
+                    for w, c in enumerate(work):
+                        base, rem = divmod(int(ls_evals[w]), R)
+                        evals_run[c] += base
+                        if rem:
+                            evals_run[c, :rem] += 1
+                    metrics.histogram("lga.stage.ls_s").observe(
+                        time.perf_counter() - t0)
+                genes[work] = gw
+
+                for c in work:
+                    gens[c] += 1
+                    metrics.counter("lga.generations").inc()
+                    if (int(evals_run[c].max()) >= cfg.max_evals
+                            or gens[c] >= cfg.max_gens):
+                        state[c] = _FINAL
+                if on_generation is not None:
+                    on_generation(int(gens.max()), int(evals_run.max()))
+
+            span.set(generations=int(gens.max()),
+                     evals_per_run=int(evals_run.max()))
+
+        results = []
+        for c in range(C):
+            gl = int(pack.glens[c])
+            results.append([
+                LGAResult(
+                    best_genotype=best_genotype[c, r, :gl].copy(),
+                    best_score=float(best_score[c, r]),
+                    evals_used=int(evals_run[c, r]),
+                    generations=int(gens[c]),
+                    history=histories[c][r])
+                for r in range(R)])
+        return results

@@ -133,7 +133,8 @@ class GeneticAlgorithm:
 
 
 def next_generation_batched(gas: list[GeneticAlgorithm], genes: np.ndarray,
-                            scores: np.ndarray) -> np.ndarray:
+                            scores: np.ndarray,
+                            glens: np.ndarray | None = None) -> np.ndarray:
     """Lock-step :meth:`GeneticAlgorithm.next_generation` over ``R`` runs.
 
     ``genes`` is ``(R, pop, glen)`` and ``scores`` ``(R, pop)``; run ``r``
@@ -145,52 +146,90 @@ def next_generation_batched(gas: list[GeneticAlgorithm], genes: np.ndarray,
     lock-step executor.  Output is bit-identical per run to calling
     ``gas[r].next_generation(genes[r], scores[r])`` in a loop.
 
-    Tournament selection only; the roulette operator's rejection-free
-    ``Generator.choice`` draw does not vectorise without changing its
-    stream consumption, so ``"proportional"`` configs take the scalar loop.
+    ``glens`` gives each run's true genotype length for cohort batches
+    where the gene axis is zero-padded to the widest ligand: per-run draws
+    are sized by ``glens[r]`` (preserving each ligand's stream), the cut
+    points stay within the real genes, and padded columns can never be hit
+    by mutation (their sentinel threshold is 1.0) nor receive noise.
+
+    Proportional (roulette) selection is vectorised too: per run the
+    scalar path's ``Generator.choice(pop, size=n, p=...)`` consumes
+    exactly one ``random(n)`` draw against the normalised fitness CDF
+    (or one ``integers`` draw for a degenerate population), which is
+    replicated here with the same draws and the same CDF arithmetic.
     """
     cfg = gas[0].config
     R, pop, glen = genes.shape
-    if cfg.selection != "tournament":
-        out = np.empty_like(genes)
-        for r, ga in enumerate(gas):
-            out[r] = ga.next_generation(genes[r], scores[r])
-        return out
+    if glens is None:
+        glens = np.full(R, glen, dtype=np.int64)
+    else:
+        glens = np.asarray(glens, dtype=np.int64)
 
     n_elite = min(cfg.n_elite, pop)
     n = pop - n_elite
     k = cfg.tournament_size
+    proportional = cfg.selection == "proportional"
 
     # ---- draw phase: per-run streams, scalar-path call order
     # (parents-a draws, parents-b draws, crossover draws, mutation draws)
-    contestants = np.empty((R, 2, n, k), dtype=np.int64)
-    pick_rand = np.empty((R, 2, n))
-    rank_rand = np.empty((R, 2, n), dtype=np.int64)
+    if proportional:
+        sel_u = np.empty((R, 2, n))
+        sel_direct = np.zeros((R, 2, n), dtype=np.int64)
+        degenerate = np.zeros(R, dtype=bool)
+        cdf = np.zeros((R, pop))
+    else:
+        contestants = np.empty((R, 2, n, k), dtype=np.int64)
+        pick_rand = np.empty((R, 2, n))
+        rank_rand = np.empty((R, 2, n), dtype=np.int64)
     cross_rand = np.empty((R, n))
     cut_raw = np.empty((R, n, 2), dtype=np.int64)
-    hit_rand = np.empty((R, n, glen))
-    noise = np.empty((R, n, glen))
+    # mutation sentinels on padded columns: threshold 1.0 is never < rate
+    hit_rand = np.full((R, n, glen), 1.0)
+    noise = np.zeros((R, n, glen))
     sigma = np.full(glen, cfg.mutation_angle_sigma)
     sigma[0:3] = cfg.mutation_trans_sigma
     for r, ga in enumerate(gas):
         rng = ga.rng
-        for s in range(2):
-            contestants[r, s] = rng.integers(0, pop, size=(n, k))
-            pick_rand[r, s] = rng.random(n)
-            rank_rand[r, s] = rng.integers(0, k, size=n)
+        gl = int(glens[r])
+        if proportional:
+            # mirror _proportional_selection + Generator.choice's internal
+            # CDF construction (cumsum then renormalise by the last entry)
+            worst = float(np.max(scores[r]))
+            fitness = worst - np.asarray(scores[r], dtype=np.float64)
+            total = fitness.sum()
+            if total <= 0.0:
+                degenerate[r] = True
+                for s in range(2):
+                    sel_direct[r, s] = rng.integers(0, pop, size=n)
+            else:
+                c = (fitness / total).cumsum()
+                c /= c[-1]
+                cdf[r] = c
+                for s in range(2):
+                    sel_u[r, s] = rng.random(n)
+        else:
+            for s in range(2):
+                contestants[r, s] = rng.integers(0, pop, size=(n, k))
+                pick_rand[r, s] = rng.random(n)
+                rank_rand[r, s] = rng.integers(0, k, size=n)
         cross_rand[r] = rng.random(n)
-        cut_raw[r] = rng.integers(0, glen + 1, size=(n, 2))
-        hit_rand[r] = rng.random((n, glen))
-        noise[r] = rng.normal(scale=sigma, size=(n, glen))
+        cut_raw[r] = rng.integers(0, gl + 1, size=(n, 2))
+        hit_rand[r, :, :gl] = rng.random((n, gl))
+        noise[r, :, :gl] = rng.normal(scale=sigma[:gl], size=(n, gl))
 
-    # ---- tournament selection, vectorised over (R, 2 parent slots, n)
-    rows = np.arange(R)[:, None, None, None]
-    contestant_scores = scores[rows, contestants]       # (R, 2, n, k)
-    order = np.argsort(contestant_scores, axis=-1)
-    chosen_rank = np.where(pick_rand < cfg.tournament_p, 0, rank_rand)
-    winner_col = np.take_along_axis(
-        order, chosen_rank[..., None], axis=-1)
-    parents = np.take_along_axis(contestants, winner_col, axis=-1)[..., 0]
+    # ---- parent selection, vectorised over (R, 2 parent slots, n)
+    if proportional:
+        # searchsorted(cdf, u, side='right') == count of cdf entries <= u
+        idx = np.sum(cdf[:, None, None, :] <= sel_u[..., None], axis=-1)
+        parents = np.where(degenerate[:, None, None], sel_direct, idx)
+    else:
+        rows = np.arange(R)[:, None, None, None]
+        contestant_scores = scores[rows, contestants]   # (R, 2, n, k)
+        order = np.argsort(contestant_scores, axis=-1)
+        chosen_rank = np.where(pick_rand < cfg.tournament_p, 0, rank_rand)
+        winner_col = np.take_along_axis(
+            order, chosen_rank[..., None], axis=-1)
+        parents = np.take_along_axis(contestants, winner_col, axis=-1)[..., 0]
 
     # ---- two-point crossover
     run_rows = np.arange(R)[:, None]

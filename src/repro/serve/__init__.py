@@ -19,17 +19,21 @@ throughput argument is about (screening large ligand libraries):
 """
 
 from repro.serve.cache import ContentCache, file_sha256, maps_digest
-from repro.serve.pool import JobResult, WorkerPool, execute_job
+from repro.serve.pool import (JobResult, WorkerPool, execute_cohort,
+                              execute_job)
 from repro.serve.queue import (
+    CohortJob,
     DockingJob,
     JobQueue,
     QueueFull,
+    pack_cohorts,
     seed_from_spec,
     spawn_seed,
 )
 from repro.serve.screen import ScreenReport, VirtualScreen
 
 __all__ = [
+    "CohortJob",
     "ContentCache",
     "DockingJob",
     "JobQueue",
@@ -38,9 +42,11 @@ __all__ = [
     "ScreenReport",
     "VirtualScreen",
     "WorkerPool",
+    "execute_cohort",
     "execute_job",
     "file_sha256",
     "maps_digest",
+    "pack_cohorts",
     "seed_from_spec",
     "spawn_seed",
 ]

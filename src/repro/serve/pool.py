@@ -26,9 +26,9 @@ from dataclasses import dataclass, field
 
 from repro.obs import get_metrics, get_tracer
 from repro.serve.cache import DEFAULT_CAPACITY, ContentCache, load_case
-from repro.serve.queue import DockingJob, seed_from_spec
+from repro.serve.queue import CohortJob, DockingJob, seed_from_spec
 
-__all__ = ["JobResult", "WorkerPool", "execute_job"]
+__all__ = ["JobResult", "WorkerPool", "execute_cohort", "execute_job"]
 
 #: exit code a worker uses for the injected-crash test hook
 _CRASH_EXIT = 17
@@ -112,7 +112,56 @@ def execute_job(job: DockingJob, cache: ContentCache | None = None,
     return payload
 
 
-def _maybe_inject_crash(job: DockingJob) -> None:
+def execute_cohort(job: CohortJob, cache: ContentCache | None = None,
+                   wall_seconds: float | None = None,
+                   include_history: bool = False) -> dict:
+    """Run a cohort job through the packed lock-step engine.
+
+    Returns ``{"members": [{"job_id", "label", "payload"}, ...], ...}`` —
+    one ``ok``-shaped payload per member, each bit-identical to what
+    :func:`execute_job` would have produced for that member alone.  Wall
+    time is split evenly across members (the lock-step engine advances
+    them together, so there is no per-member attribution).
+    """
+    from repro.core.engine import dock_cohort
+    from repro.robustness import Watchdog
+
+    before = cache.stats() if cache is not None else None
+    t0 = time.monotonic()
+    span = get_tracer().span("job.execute_cohort", job_id=job.job_id,
+                             label=job.label, cohort=len(job.jobs))
+    with span:
+        cases = [load_case(m.spec, cache) for m in job.jobs]
+        seeds = [seed_from_spec(m.seed) for m in job.jobs]
+        watchdog = (Watchdog(wall_seconds=wall_seconds)
+                    if wall_seconds is not None else None)
+        results = dock_cohort(
+            cases, job.config, n_runs=job.n_runs, seeds=seeds,
+            on_generation=watchdog.check if watchdog is not None else None)
+        wall = time.monotonic() - t0
+        share = wall / len(job.jobs)
+        payload = {
+            "members": [
+                {"job_id": m.job_id, "label": m.label,
+                 "payload": {
+                     "result": r.to_dict(include_history=include_history),
+                     "wall_seconds": share}}
+                for m, r in zip(job.jobs, results)],
+            "wall_seconds": wall,
+            "cohort_size": len(job.jobs),
+        }
+        if cache is not None:
+            payload["cache"] = ContentCache.delta(before, cache.stats())
+        span.set(wall_seconds=wall,
+                 total_evals=sum(r.total_evals for r in results))
+    m = get_metrics()
+    m.histogram("job.wall_seconds").observe(wall)
+    for r in results:
+        m.histogram("job.evals").observe(r.total_evals)
+    return payload
+
+
+def _maybe_inject_crash(job: DockingJob | CohortJob) -> None:
     """Crash-once fault-injection hook for the recovery tests.
 
     A job spec carrying ``"crash_once": <path>`` makes the *first* worker
@@ -121,6 +170,10 @@ def _maybe_inject_crash(job: DockingJob) -> None:
     fired-once marker, so the retry proceeds normally.  Mirrors the
     deterministic fault injection of :mod:`repro.robustness.inject`.
     """
+    if isinstance(job, CohortJob):
+        for member in job.jobs:
+            _maybe_inject_crash(member)
+        return
     marker = job.spec.get("crash_once")
     if marker and not os.path.exists(marker):
         with open(marker, "w") as fh:
@@ -172,8 +225,14 @@ def _worker_main(task_q, result_q, worker_id: int, cache_bytes: int,
         result_q.put(("started", job.job_id, worker_id, None))
         _maybe_inject_crash(job)
         try:
-            payload = execute_job(job, cache, wall_seconds=wall_seconds,
-                                  include_history=include_history)
+            if isinstance(job, CohortJob):
+                payload = execute_cohort(
+                    job, cache, wall_seconds=wall_seconds,
+                    include_history=include_history)
+            else:
+                payload = execute_job(
+                    job, cache, wall_seconds=wall_seconds,
+                    include_history=include_history)
             jobs_done += 1
             result_q.put(("done", job.job_id, worker_id, payload))
         except Exception as exc:
@@ -288,6 +347,42 @@ class WorkerPool:
         cache = ContentCache(self.cache_bytes)
         jobs_done = jobs_failed = 0
         for job in jobs:
+            if isinstance(job, CohortJob):
+                tracer.event("job.dispatch", job_id=job.job_id,
+                             label=job.label, cohort=len(job.jobs))
+                try:
+                    payload = execute_cohort(
+                        job, cache, wall_seconds=self.job_wall_seconds,
+                        include_history=self.include_history)
+                except Exception as exc:
+                    # one bad member poisons the packed batch: fall back
+                    # to the members individually (each gets the normal
+                    # retry budget)
+                    get_metrics().counter("pool.cohort_splits").inc()
+                    tracer.event("cohort.split", job_id=job.job_id,
+                                 members=len(job.jobs),
+                                 error_type=type(exc).__name__)
+                    yield from self._map_inline(list(job.jobs))
+                    continue
+                jobs_done += len(job.jobs)
+                tracer.event("job.complete", job_id=job.job_id,
+                             label=job.label, attempts=1,
+                             wall_seconds=payload["wall_seconds"],
+                             cache=payload.get("cache"),
+                             cohort=len(job.jobs))
+                for k, member in enumerate(payload["members"]):
+                    yield JobResult(
+                        job_id=member["job_id"], label=member["label"],
+                        status="ok", attempts=1, worker_id=None,
+                        wall_seconds=member["payload"]["wall_seconds"],
+                        result=member["payload"]["result"],
+                        cache=payload.get("cache") if k == 0 else None,
+                        extra={"cohort": job.job_id,
+                               "cohort_size": len(job.jobs)})
+                hb = _heartbeat(-1, jobs_done, jobs_failed, cache)
+                self.heartbeats["inline"] = hb
+                tracer.event("worker.heartbeat", **hb)
+                continue
             attempts = 0
             tracer.event("job.dispatch", job_id=job.job_id,
                          label=job.label)
@@ -374,6 +469,30 @@ class WorkerPool:
             tracer.event("job.retry", job_id=job.job_id,
                          attempts=attempts[job.job_id], delay_s=delay)
 
+        def split_cohort(cjob: CohortJob) -> None:
+            """Re-dispatch a failed/crashed cohort's members individually.
+
+            Splitting (rather than retrying the cohort) isolates the bad
+            member: the others run to completion and only the culprit
+            burns its retry budget.  Happens at most once per cohort —
+            members are plain jobs afterwards.
+            """
+            att = attempts.get(cjob.job_id, 1)
+            get_metrics().counter("pool.cohort_splits").inc()
+            tracer.event("cohort.split", job_id=cjob.job_id,
+                         members=len(cjob.jobs))
+            for member in cjob.jobs:
+                if member.job_id in pending:
+                    continue
+                pending[member.job_id] = member
+                # the member's "started" ack will re-increment; inherit
+                # the cohort's attempt count so budgets carry over
+                attempts[member.job_id] = max(att - 1, 0)
+                task_q.put(member)
+                tracer.event("job.dispatch", job_id=member.job_id,
+                             label=member.label,
+                             split_from=cjob.job_id)
+
         def reap_dead_workers() -> list[JobResult]:
             """Dead/over-lease workers: re-queue or fail their jobs."""
             now = time.monotonic()
@@ -392,7 +511,10 @@ class WorkerPool:
                 if job_id is not None and job_id in pending:
                     in_flight.pop(job_id, None)
                     job = pending[job_id]
-                    if attempts[job_id] <= self.retries:
+                    if isinstance(job, CohortJob):
+                        pending.pop(job_id)
+                        split_cohort(job)
+                    elif attempts[job_id] <= self.retries:
                         schedule_retry(job)
                     else:
                         pending.pop(job_id)
@@ -479,6 +601,29 @@ class WorkerPool:
                         continue               # duplicate completion
                     job = pending.pop(job_id)
                     clear_flight(job_id)
+                    if isinstance(job, CohortJob):
+                        tracer.event("job.complete", job_id=job_id,
+                                     label=job.label, worker_id=wid,
+                                     attempts=max(attempts[job_id], 1),
+                                     wall_seconds=payload["wall_seconds"],
+                                     cache=payload.get("cache"),
+                                     cohort=len(job.jobs))
+                        tracer.event("pool.depth", pending=len(pending),
+                                     in_flight=len(in_flight))
+                        for k, member in enumerate(payload["members"]):
+                            yield JobResult(
+                                job_id=member["job_id"],
+                                label=member["label"], status="ok",
+                                attempts=max(attempts[job_id], 1),
+                                worker_id=wid,
+                                wall_seconds=member["payload"]
+                                                   ["wall_seconds"],
+                                result=member["payload"]["result"],
+                                cache=(payload.get("cache")
+                                       if k == 0 else None),
+                                extra={"cohort": job_id,
+                                       "cohort_size": len(job.jobs)})
+                        continue
                     tracer.event("job.complete", job_id=job_id,
                                  label=job.label, worker_id=wid,
                                  attempts=max(attempts[job_id], 1),
@@ -497,6 +642,19 @@ class WorkerPool:
                         continue
                     job = pending[job_id]
                     clear_flight(job_id)
+                    if isinstance(job, CohortJob):
+                        # don't retry the whole batch: split so only the
+                        # culprit member burns its budget (a watchdog
+                        # timeout also splits — per-member budgets are
+                        # fresh and the cohort budget was shared)
+                        pending.pop(job_id)
+                        tracer.event("job.failed", job_id=job_id,
+                                     label=job.label, worker_id=wid,
+                                     attempts=max(attempts[job_id], 1),
+                                     error_type=payload.get("error_type"),
+                                     cohort=len(job.jobs))
+                        split_cohort(job)
+                        continue
                     if (payload.get("retryable", True)
                             and attempts[job_id] <= self.retries):
                         schedule_retry(job)

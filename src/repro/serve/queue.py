@@ -24,8 +24,9 @@ import numpy as np
 from repro.core.config import DockingConfig
 from repro.obs import get_metrics
 
-__all__ = ["DockingJob", "JobQueue", "QueueFull",
-           "canonical_spec", "spawn_seed", "seed_from_spec"]
+__all__ = ["DockingJob", "CohortJob", "JobQueue", "QueueFull",
+           "canonical_spec", "pack_cohorts", "spawn_seed",
+           "seed_from_spec"]
 
 
 def canonical_spec(spec: dict) -> dict:
@@ -120,6 +121,125 @@ class DockingJob:
                    priority=int(d.get("priority", 0)),
                    deadline=d.get("deadline"),
                    label=d.get("label", ""))
+
+
+@dataclass(frozen=True)
+class CohortJob:
+    """A batch of :class:`DockingJob` members docked as one packed cohort.
+
+    Members must share an identical engine configuration and run count
+    (the lock-step cohort engine advances all ligands under one budget);
+    each keeps its own spec, seed and label, and its result is
+    bit-identical to running the member job alone.  The cohort id hashes
+    the *ordered* member ids — the same ligands packed differently are
+    different work units, but every member result is keyed by the member's
+    own content hash, so caches and manifests see through the packing.
+    """
+
+    jobs: tuple[DockingJob, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+        if not self.jobs:
+            raise ValueError("cohort must have at least one member")
+        head = self.jobs[0]
+        for job in self.jobs[1:]:
+            if (job.config.to_dict() != head.config.to_dict()
+                    or job.n_runs != head.n_runs):
+                raise ValueError(
+                    "cohort members must share config and n_runs")
+
+    @property
+    def config(self) -> DockingConfig:
+        return self.jobs[0].config
+
+    @property
+    def n_runs(self) -> int:
+        return self.jobs[0].n_runs
+
+    @property
+    def priority(self) -> int:
+        return min(job.priority for job in self.jobs)
+
+    @property
+    def job_id(self) -> str:
+        payload = json.dumps(
+            {"cohort": [job.job_id for job in self.jobs]},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def to_dict(self) -> dict:
+        return {"cohort": [job.to_dict() for job in self.jobs],
+                "label": self.label}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CohortJob":
+        return cls(jobs=tuple(DockingJob.from_dict(j)
+                              for j in d["cohort"]),
+                   label=d.get("label", ""))
+
+
+def _spec_size_key(spec: dict) -> tuple[int, int]:
+    """Greedy-packing sort key ``(atoms, torsions)`` for a job spec.
+
+    Library cases report their known rotatable-bond count (atom counts
+    scale with it, so one key suffices); file-based ligands are sized by
+    counting ATOM/HETATM and BRANCH records.  Unreadable specs sort
+    first — they still pack, just without a size hint.
+    """
+    kind = spec.get("kind")
+    if kind == "case":
+        from repro.testcases.library import _NAME_TO_NROT
+        nrot = _NAME_TO_NROT.get(spec.get("case"), 0)
+        return (nrot, nrot)
+    path = spec.get("ligand")
+    if not path:
+        return (0, 0)
+    try:
+        atoms = tors = 0
+        with open(path) as fh:
+            for line in fh:
+                if line.startswith(("ATOM", "HETATM")):
+                    atoms += 1
+                elif line.startswith("BRANCH"):
+                    tors += 1
+        return (atoms, tors)
+    except OSError:
+        return (0, 0)
+
+
+def pack_cohorts(jobs: list[DockingJob],
+                 cohort_size: int) -> list[DockingJob | CohortJob]:
+    """Greedily bucket jobs into size-sorted cohorts of ``cohort_size``.
+
+    Jobs are grouped by (config, n_runs) — a cohort must share both —
+    then sorted by :func:`_spec_size_key` (atoms, torsions) so each
+    cohort packs ligands of similar size, minimising the padding the
+    lock-step engine burns on heterogeneity (``cohort.pad_ratio``).
+    Leftover chunks of one stay plain :class:`DockingJob`; input order
+    is otherwise irrelevant because results are keyed per member.
+    """
+    if cohort_size <= 1 or len(jobs) <= 1:
+        return list(jobs)
+    groups: dict[str, list[DockingJob]] = {}
+    for job in jobs:
+        key = json.dumps({"config": job.config.to_dict(),
+                          "n_runs": job.n_runs},
+                         sort_keys=True, separators=(",", ":"))
+        groups.setdefault(key, []).append(job)
+    out: list[DockingJob | CohortJob] = []
+    for members in groups.values():
+        members.sort(key=lambda j: _spec_size_key(j.spec))
+        for i in range(0, len(members), cohort_size):
+            chunk = members[i:i + cohort_size]
+            if len(chunk) == 1:
+                out.append(chunk[0])
+            else:
+                out.append(CohortJob(
+                    jobs=tuple(chunk),
+                    label=f"cohort[{chunk[0].label}..{chunk[-1].label}]"))
+    return out
 
 
 class QueueFull(RuntimeError):

@@ -34,7 +34,7 @@ from repro.obs import get_tracer
 from repro.serve.cache import DEFAULT_CAPACITY, file_sha256, maps_digest
 from repro.serve.pool import JobResult, WorkerPool
 from repro.serve.queue import (DockingJob, JobQueue, canonical_spec,
-                               spawn_seed)
+                               pack_cohorts, spawn_seed)
 
 __all__ = ["VirtualScreen", "ScreenReport"]
 
@@ -172,8 +172,14 @@ class VirtualScreen:
             cache_bytes: int = DEFAULT_CAPACITY,
             start_method: str = "spawn",
             include_history: bool = False,
-            trace: str | Path | None = None) -> ScreenReport:
+            trace: str | Path | None = None,
+            cohort_size: int = 1) -> ScreenReport:
         """Execute the screen; returns the final :class:`ScreenReport`.
+
+        ``cohort_size > 1`` packs compatible jobs into lock-step cohorts
+        of up to that many ligands (:func:`repro.serve.queue.pack_cohorts`)
+        before dispatch; results stay keyed — and bit-identical — per
+        ligand, so manifests, resume and dedup are unaffected by packing.
 
         ``manifest`` is rewritten atomically after *every* completed job
         (the :class:`~repro.analysis.campaign.E50Campaign` tmp +
@@ -212,6 +218,10 @@ class VirtualScreen:
                     queue.submit(job, block=True)  # dedups same content
                 to_run = [job for job in queue.drain()
                           if job.job_id not in results]  # manifest skip
+                if cohort_size > 1:
+                    # pack after dedup/skip so cached work never rides
+                    # along in a cohort
+                    to_run = pack_cohorts(to_run, cohort_size)
             tracer.event("queue.stats", **queue.stats())
 
             new_results: list[JobResult] = []

@@ -1,0 +1,208 @@
+"""Cohort golden suite: bit-identity of the multi-ligand engine.
+
+The cohort engine's contract (``src/repro/docking/cohort.py``) is that
+packing N ligands into one lock-step LGA changes *nothing* about any
+individual ligand's trajectory: every score, genotype, eval count and
+history entry is bit-identical (float hex, not tolerance) to the same
+ligand docked alone with the same spawned seed.  These tests pin that
+contract across:
+
+* all five reduction backends on a mixed-size cohort (heterogeneous
+  atom/torsion/pair counts exercise the padded struct-of-arrays path);
+* duplicate-ligand cohorts (the identity-grouped / uniform fast paths,
+  including the pair-free ligand whose intra tables are empty);
+* both local-search methods, proportional selection, the eval-budget
+  early exit and the ``max_gens=0`` degenerate config;
+* RNG-stream isolation: dropping a member must not perturb the others;
+* the per-ligand eval ledger, which feeds the throughput metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DockingConfig
+from repro.core.engine import DockingEngine, dock_cohort
+from repro.search.cohort import CohortLGA
+from repro.search.ga import GAConfig, GeneticAlgorithm, next_generation_batched
+from repro.search.lga import LGAConfig
+from repro.search.parallel import ParallelLGA
+from repro.testcases import get_test_case
+
+#: small-but-real config: two runs, a couple of generations of GA + LS
+BASE = dict(pop_size=8, max_evals=300, max_gens=10, ls_iters=3, ls_rate=0.3)
+#: heterogeneous cohort: 1u4d has no torsions (and no intra pairs),
+#: 1xoz / 7cpa differ in atoms, torsions and pair counts
+MIXED = ("1u4d", "1xoz", "7cpa")
+BACKENDS = ("baseline", "warp-shuffle", "tc-fp16", "tcec-tf32", "exact")
+N_RUNS = 2
+
+
+def _seeds(n, entropy=99):
+    return [np.random.SeedSequence(entropy=entropy, spawn_key=(i,))
+            for i in range(n)]
+
+
+def _assert_runs_equal(cohort_runs, single_runs, label):
+    assert len(cohort_runs) == len(single_runs), label
+    for r, (a, b) in enumerate(zip(cohort_runs, single_runs)):
+        where = f"{label} run {r}"
+        assert float(a.best_score).hex() == float(b.best_score).hex(), where
+        assert a.best_genotype.tobytes() == b.best_genotype.tobytes(), where
+        assert a.evals_used == b.evals_used, where
+        assert a.generations == b.generations, where
+        assert len(a.history) == len(b.history), where
+        for (e1, v1, g1), (e2, v2, g2) in zip(a.history, b.history):
+            assert e1 == e2 and float(v1).hex() == float(v2).hex() \
+                and g1.tobytes() == g2.tobytes(), f"{where} history"
+
+
+def _compare_cohort(names, config, backend="baseline", n_runs=N_RUNS):
+    cases = [get_test_case(n) for n in names]
+    seeds = _seeds(len(cases))
+    cohort = CohortLGA([c.scoring() for c in cases], backend=backend,
+                       config=config, seeds=seeds).run(n_runs)
+    for i, case in enumerate(cases):
+        single = ParallelLGA(case.scoring(), backend=backend, config=config,
+                             seed=seeds[i]).run(n_runs)
+        _assert_runs_equal(cohort[i], single, f"{names[i]}/{backend}")
+
+
+# ----------------------------------------------------------------------
+# cohort vs single bit-identity
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_mixed_cohort_bit_identical_all_backends(backend):
+    _compare_cohort(MIXED, LGAConfig(**BASE), backend)
+
+
+def test_single_member_cohort():
+    _compare_cohort(("7cpa",), LGAConfig(**BASE))
+
+
+def test_duplicate_ligand_cohort_uniform_path():
+    # all slots share one ligand object -> identity-grouped uniform fast
+    # path (flat reshape views, representative coefficient rows)
+    _compare_cohort(("7cpa", "7cpa", "7cpa"), LGAConfig(**BASE))
+
+
+def test_duplicate_pair_free_cohort():
+    # torsion-free ligand: empty intra pair tables (P == 0) through the
+    # uniform fast path's explicit-row reshapes
+    _compare_cohort(("1u4d", "1u4d"), LGAConfig(**BASE))
+
+
+def test_mixed_cohort_with_duplicates():
+    # duplicates inside a heterogeneous cohort: grouped contractions for
+    # the repeated ligand, per-slot paths for the rest
+    _compare_cohort(("7cpa", "1u4d", "7cpa"), LGAConfig(**BASE))
+
+
+def test_solis_wets_cohort():
+    _compare_cohort(MIXED, LGAConfig(**BASE, ls_method="sw"))
+
+
+def test_proportional_selection_cohort():
+    _compare_cohort(MIXED, LGAConfig(**BASE,
+                                     ga=GAConfig(selection="proportional")))
+
+
+def test_eval_budget_exit_cohort():
+    # budget small enough that members trip the scored-final break in
+    # different generations
+    _compare_cohort(MIXED, LGAConfig(pop_size=8, max_evals=40, max_gens=50,
+                                     ls_iters=3, ls_rate=0.3))
+
+
+def test_max_gens_zero_cohort():
+    _compare_cohort(MIXED, LGAConfig(pop_size=8, max_evals=300, max_gens=0,
+                                     ls_iters=3, ls_rate=0.3))
+
+
+# ----------------------------------------------------------------------
+# RNG-stream isolation
+
+
+def test_dropping_a_member_does_not_perturb_the_rest():
+    cfg = LGAConfig(**BASE)
+    cases = [get_test_case(n) for n in MIXED]
+    seeds = _seeds(3)
+    full = CohortLGA([c.scoring() for c in cases], config=cfg,
+                     seeds=seeds).run(N_RUNS)
+    dropped = CohortLGA([cases[0].scoring(), cases[2].scoring()], config=cfg,
+                        seeds=[seeds[0], seeds[2]]).run(N_RUNS)
+    _assert_runs_equal(full[0], dropped[0], "drop/slot0")
+    _assert_runs_equal(full[2], dropped[1], "drop/slot2")
+
+
+# ----------------------------------------------------------------------
+# engine-level dock_cohort and the per-ligand eval ledger
+
+
+def test_dock_cohort_matches_engine_dock():
+    cfg = DockingConfig(lga=LGAConfig(**BASE))
+    cases = [get_test_case(n) for n in MIXED]
+    seeds = _seeds(3)
+    results = dock_cohort(cases, cfg, n_runs=N_RUNS, seeds=seeds)
+    for i, case in enumerate(cases):
+        single = DockingEngine(case, cfg).dock(N_RUNS, seed=seeds[i])
+        got, want = results[i], single
+        assert got.case_name == want.case_name
+        _assert_runs_equal(got.runs, want.runs, f"engine/{case.name}")
+        # ledger: the per-ligand totals feed evals/s metrics and must
+        # count exactly the single-path evaluations
+        assert got.total_evals == want.total_evals
+        assert got.total_evals == sum(r.evals_used for r in got.runs)
+        assert got.generations == want.generations
+        assert [float(v).hex() for v in got.final_rmsds] \
+            == [float(v).hex() for v in want.final_rmsds]
+
+
+def test_dock_cohort_seed_broadcast_and_validation():
+    cfg = DockingConfig(lga=LGAConfig(**BASE))
+    cases = [get_test_case("1u4d"), get_test_case("1xoz")]
+    with pytest.raises(ValueError, match="seeds"):
+        dock_cohort(cases, cfg, n_runs=1, seeds=_seeds(3))
+    assert dock_cohort([], cfg) == []
+    # one int seed broadcasts: every member sees the same stream a
+    # single-ligand dock would
+    results = dock_cohort(cases, cfg, n_runs=1, seeds=7)
+    for case, got in zip(cases, results):
+        want = DockingEngine(case, cfg).dock(1, seed=7)
+        _assert_runs_equal(got.runs, want.runs, f"broadcast/{case.name}")
+
+
+# ----------------------------------------------------------------------
+# batched GA selection fallback
+
+
+def _spawned_rngs(entropy, n=3):
+    return [np.random.Generator(np.random.PCG64(s))
+            for s in np.random.SeedSequence(entropy).spawn(n)]
+
+
+def test_proportional_batched_matches_scalar():
+    genes = np.random.default_rng(1).normal(size=(3, 10, 7))
+    scores = np.random.default_rng(2).normal(size=(3, 10))
+    scores[1] = 5.0     # degenerate: all-equal scores, zero total weight
+    cfg = GAConfig(selection="proportional")
+    gas_b = [GeneticAlgorithm(cfg, r) for r in _spawned_rngs(7)]
+    gas_s = [GeneticAlgorithm(cfg, r) for r in _spawned_rngs(7)]
+    out_b = next_generation_batched(gas_b, genes, scores)
+    out_s = np.stack([gas_s[r].next_generation(genes[r], scores[r])
+                      for r in range(3)])
+    assert out_b.tobytes() == out_s.tobytes()
+
+
+def test_tournament_batched_matches_scalar():
+    genes = np.random.default_rng(1).normal(size=(3, 10, 7))
+    scores = np.random.default_rng(2).normal(size=(3, 10))
+    cfg = GAConfig()
+    gas_b = [GeneticAlgorithm(cfg, r) for r in _spawned_rngs(8)]
+    gas_s = [GeneticAlgorithm(cfg, r) for r in _spawned_rngs(8)]
+    out_b = next_generation_batched(gas_b, genes, scores)
+    out_s = np.stack([gas_s[r].next_generation(genes[r], scores[r])
+                      for r in range(3)])
+    assert out_b.tobytes() == out_s.tobytes()

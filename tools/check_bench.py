@@ -8,17 +8,27 @@ the committed baseline (``BENCH_hot_path.json`` at the repository root)::
     python tools/check_bench.py BENCH_hot_path.json \
         --fresh fresh.json --tolerance 0.30
 
-Two gates:
+Three gates:
 
-* **schema** — every file must carry the ``bench-hot-path/v1`` layout:
+* **schema** — every file must carry the ``bench-hot-path/v2`` layout:
   machine calibration, per-backend throughput records with positive
-  evals/s and a per-stage breakdown;
+  evals/s and a per-stage breakdown, plus cohort sweep sections
+  (``cohort_smoke`` / ``cohort`` / ``cohort_mixed``) whose per-size
+  records carry positive throughput and a ``pad_ratio`` in ``[0, 1)``;
 * **regression** — for every backend present in both files' smoke
-  sections, the fresh *machine-normalised* throughput (evals/s scaled by
+  sections, and every cohort size present in both files' cohort-smoke
+  sweeps, the fresh *machine-normalised* throughput (evals/s scaled by
   the machine's ``numpy_ref_s`` calibration time, i.e. evals per
   calibration-unit) must be within ``--tolerance`` of the committed
   baseline.  Absolute evals/s is machine-dependent; the calibration
-  workload makes a laptop's file comparable to a CI runner's.
+  workload makes a laptop's file comparable to a CI runner's;
+* **cohort speedup** — a file carrying both a ``screen`` single-ligand
+  measurement and a ``cohort`` sweep with size 16 must show the cohort
+  at >= ``--cohort-min-speedup`` (default 2.0) times the single-ligand
+  baseline-backend throughput — the multi-ligand engine's reason to
+  exist.  Both sides run the *same* screening configuration (few runs
+  per ligand, the workload the cohort engine widens) on the same
+  machine in the same run, so the ratio needs no normalisation.
 
 Pure stdlib, so it runs before any project dependency is importable.
 """
@@ -30,9 +40,12 @@ import json
 import sys
 from pathlib import Path
 
-SCHEMA = "bench-hot-path/v1"
+SCHEMA = "bench-hot-path/v2"
 
 _STAGE_KEYS = ("score_s", "ga_s", "ls_s", "reduce4_s")
+_COHORT_SECTIONS = ("cohort_smoke", "cohort", "cohort_mixed")
+#: gated cohort width of the speedup acceptance check
+_GATE_SIZE = "16"
 
 
 class BenchError(Exception):
@@ -66,8 +79,9 @@ def validate(path: str, doc: dict) -> None:
     if not isinstance(ref_s, (int, float)) or ref_s <= 0:
         _fail(path, f"machine.numpy_ref_s must be positive, got {ref_s!r}")
 
-    sections = [s for s in ("smoke", "reference") if doc.get(s) is not None]
-    if not sections:
+    sections = [s for s in ("smoke", "reference", "screen")
+                if doc.get(s) is not None]
+    if not any(s in ("smoke", "reference") for s in sections):
         _fail(path, "needs at least one of 'smoke' / 'reference'")
     for sname in sections:
         section = doc[sname]
@@ -95,6 +109,32 @@ def validate(path: str, doc: dict) -> None:
                                       or v < 0):
                     _fail(path, f"{where}: stage {key} must be null or "
                                 f">= 0, got {v!r}")
+
+    for sname in _COHORT_SECTIONS:
+        section = doc.get(sname)
+        if section is None:
+            continue
+        for key in ("case", "n_runs", "seed", "lga", "backend", "sizes"):
+            if key not in section:
+                _fail(path, f"{sname}: missing {key!r}")
+        sizes = section["sizes"]
+        if not isinstance(sizes, dict) or not sizes:
+            _fail(path, f"{sname}: 'sizes' must be a non-empty object")
+        for size, rec in sizes.items():
+            where = f"{sname}.sizes.{size}"
+            if not str(size).isdigit() or int(size) < 1:
+                _fail(path, f"{sname}: size key {size!r} must be a "
+                            f"positive integer")
+            for key in ("cohort", "wall_s", "total_evals", "evals_per_s"):
+                v = rec.get(key)
+                if not isinstance(v, (int, float)) or v <= 0:
+                    _fail(path, f"{where}: {key} must be positive, "
+                                f"got {v!r}")
+            pad = rec.get("pad_ratio")
+            if (not isinstance(pad, (int, float))
+                    or not 0.0 <= pad < 1.0):
+                _fail(path, f"{where}: pad_ratio must be in [0, 1), "
+                            f"got {pad!r}")
 
 
 def normalised(doc: dict, section: str) -> dict[str, float]:
@@ -128,6 +168,60 @@ def compare(baseline: dict, fresh: dict, tolerance: float,
     return problems
 
 
+def compare_cohort(baseline: dict, fresh: dict, tolerance: float,
+                   section: str = "cohort_smoke") -> list[str]:
+    """Per-size machine-normalised regression check of a cohort sweep."""
+    if baseline.get(section) is None or fresh.get(section) is None:
+        return []          # sweep absent on one side: nothing to gate
+    base_ref = baseline["machine"]["numpy_ref_s"]
+    fresh_ref = fresh["machine"]["numpy_ref_s"]
+    base_sizes = baseline[section]["sizes"]
+    fresh_sizes = fresh[section]["sizes"]
+    problems = []
+    common = sorted(set(base_sizes) & set(fresh_sizes), key=int)
+    for size in common:
+        base_n = base_sizes[size]["evals_per_s"] * base_ref
+        fresh_n = fresh_sizes[size]["evals_per_s"] * fresh_ref
+        ratio = fresh_n / base_n
+        status = "OK" if ratio >= 1.0 - tolerance else "REGRESSION"
+        print(f"  cohort {size:>3s}    normalised {fresh_n:8.1f} vs "
+              f"baseline {base_n:8.1f}  ({ratio:5.2f}x)  {status}")
+        if status != "OK":
+            problems.append(
+                f"{section}/size {size}: machine-normalised evals/s fell "
+                f"to {ratio:.2f}x of baseline "
+                f"(tolerance {1.0 - tolerance:.2f}x)")
+    if not common:
+        problems.append(f"no common sizes in {section!r} sweeps")
+    return problems
+
+
+def cohort_gate(path: str, doc: dict, min_speedup: float) -> list[str]:
+    """Within-file speedup gate: cohort 16 vs the single-ligand path at
+    the same screening configuration (the ``screen`` section).
+
+    Only applies when the file carries both measurements (full reference
+    runs); smoke files pass vacuously.
+    """
+    ref = doc.get("screen")
+    sweep = doc.get("cohort")
+    if ref is None or sweep is None:
+        return []
+    single = ref["backends"].get("baseline")
+    rec = sweep["sizes"].get(_GATE_SIZE)
+    if single is None or rec is None:
+        return []
+    ratio = rec["evals_per_s"] / single["evals_per_s"]
+    status = "OK" if ratio >= min_speedup else "TOO SLOW"
+    print(f"  cohort {_GATE_SIZE} speedup: {rec['evals_per_s']:.0f} vs "
+          f"single {single['evals_per_s']:.0f} evals/s "
+          f"({ratio:.2f}x, need >= {min_speedup:.1f}x)  {status}")
+    if status != "OK":
+        return [f"{path}: cohort {_GATE_SIZE} is only {ratio:.2f}x the "
+                f"single-ligand baseline (need >= {min_speedup:.1f}x)"]
+    return []
+
+
 def main(argv: list[str] | None = None) -> int:
     p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     p.add_argument("baseline", help="committed BENCH_hot_path.json")
@@ -139,6 +233,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--section", default="smoke",
                    choices=("smoke", "reference"),
                    help="which section to regression-compare")
+    p.add_argument("--cohort-min-speedup", type=float, default=2.0,
+                   help="required cohort-16 speedup over the "
+                        "single-ligand baseline backend (files carrying "
+                        "both measurements; default 2.0)")
     args = p.parse_args(argv)
 
     try:
@@ -153,16 +251,23 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     print(f"OK: {args.baseline}: schema {SCHEMA} valid")
-    if fresh is None:
-        return 0
-    print(f"OK: {args.fresh}: schema {SCHEMA} valid")
-
-    problems = compare(baseline, fresh, args.tolerance, args.section)
+    problems = cohort_gate(args.baseline, baseline,
+                           args.cohort_min_speedup)
+    if fresh is not None:
+        print(f"OK: {args.fresh}: schema {SCHEMA} valid")
+        problems += cohort_gate(args.fresh, fresh,
+                                args.cohort_min_speedup)
+        problems += compare(baseline, fresh, args.tolerance, args.section)
+        if (baseline.get("screen") is not None
+                and fresh.get("screen") is not None):
+            problems += compare(baseline, fresh, args.tolerance, "screen")
+        problems += compare_cohort(baseline, fresh, args.tolerance)
     if problems:
         for msg in problems:
             print(f"FAIL: {msg}", file=sys.stderr)
         return 1
-    print(f"OK: no regression beyond {args.tolerance:.0%} tolerance")
+    if fresh is not None:
+        print(f"OK: no regression beyond {args.tolerance:.0%} tolerance")
     return 0
 
 
