@@ -1,0 +1,108 @@
+"""Throughput retained when one cohort lane is poisoned.
+
+Docks a 4-ligand lock-step cohort three ways and emits one JSON record::
+
+    QUARANTINE-RETENTION {"clean_evals_s": ..., \
+"quarantine_evals_s": ..., "split_evals_s": ..., ...}
+
+* **clean** — all four lanes healthy, one batched ``dock_cohort`` call:
+  the throughput ceiling.
+* **quarantine** — lane 1's affinity maps are all-NaN.  The lane is
+  quarantined at its first non-finite score; the three survivors finish
+  inside the same batched call.  Useful throughput = survivor evals over
+  the whole wall.
+* **full-split** — the pre-quarantine serving policy, simulated: the
+  poisoned batched attempt is discarded entirely and every member
+  re-runs solo through ``DockingEngine`` (wasted batched wall + four
+  sequential solo walls, poisoned member burning its full budget on
+  garbage).
+
+Only finite-scoring survivor evals count as useful work in the poisoned
+scenarios, so the retention ratios compare like with like.  Run with
+``pytest benchmarks/bench_quarantine_retention.py -s``.
+"""
+
+import json
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core import DockingConfig, DockingEngine
+from repro.core.engine import dock_cohort
+from repro.search.lga import LGAConfig
+from repro.testcases import get_test_case
+
+BENCH_CONFIG = DockingConfig(
+    backend="baseline",
+    lga=LGAConfig(pop_size=16, max_evals=2000, max_gens=24,
+                  ls_iters=5, ls_rate=0.3))
+CASES = ("1u4d", "1xoz", "1yv3", "7cpa")
+POISONED_LANE = 1
+N_RUNS = 4
+
+
+def _seeds(n, entropy=17):
+    return [np.random.SeedSequence(entropy=entropy, spawn_key=(i,))
+            for i in range(n)]
+
+
+def _poison(case):
+    return replace(case, maps=replace(
+        case.maps, affinity=np.full_like(case.maps.affinity, np.nan)))
+
+
+def _survivor_evals(results):
+    return sum(r.total_evals for r in results if r.quarantine is None)
+
+
+def test_quarantine_retention(capsys):
+    cases = [get_test_case(n) for n in CASES]
+    poisoned = list(cases)
+    poisoned[POISONED_LANE] = _poison(cases[POISONED_LANE])
+
+    # warm caches (grid construction, first-call numpy dispatch)
+    dock_cohort(cases, BENCH_CONFIG, n_runs=1, seeds=_seeds(4))
+
+    t0 = time.perf_counter()
+    clean = dock_cohort(cases, BENCH_CONFIG, n_runs=N_RUNS,
+                        seeds=_seeds(4))
+    clean_wall = time.perf_counter() - t0
+    assert all(r.quarantine is None for r in clean)
+    clean_rate = _survivor_evals(clean) / clean_wall
+
+    t0 = time.perf_counter()
+    quar = dock_cohort(poisoned, BENCH_CONFIG, n_runs=N_RUNS,
+                       seeds=_seeds(4))
+    quar_wall = time.perf_counter() - t0
+    assert quar[POISONED_LANE].quarantine is not None
+    quar_rate = _survivor_evals(quar) / quar_wall
+
+    # old policy: the batched attempt above is all wasted wall, then
+    # every member re-runs solo (sequentially — one fallback worker)
+    split_wall = quar_wall
+    split_evals = 0
+    for i, case in enumerate(poisoned):
+        t0 = time.perf_counter()
+        res = DockingEngine(case, BENCH_CONFIG).dock(
+            n_runs=N_RUNS, seed=_seeds(4)[i])
+        split_wall += time.perf_counter() - t0
+        if i != POISONED_LANE and np.isfinite(res.best_score):
+            split_evals += res.total_evals
+    split_rate = split_evals / split_wall
+
+    record = {
+        "cases": list(CASES),
+        "poisoned_lane": POISONED_LANE,
+        "n_runs": N_RUNS,
+        "clean_evals_s": round(clean_rate, 1),
+        "quarantine_evals_s": round(quar_rate, 1),
+        "split_evals_s": round(split_rate, 1),
+        "quarantine_retained": round(quar_rate / clean_rate, 3),
+        "split_retained": round(split_rate / clean_rate, 3),
+    }
+    with capsys.disabled():
+        print(f"\nQUARANTINE-RETENTION {json.dumps(record)}")
+    # the whole point of quarantine: losing one lane must not cost the
+    # cohort more throughput than the lane itself carried
+    assert quar_rate > split_rate

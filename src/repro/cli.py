@@ -313,11 +313,19 @@ def build_screen_parser() -> argparse.ArgumentParser:
                    help="resumable ranked manifest path (JSON, written "
                         "atomically after every job)")
     p.add_argument("--resume", action="store_true",
-                   help="skip jobs already completed in --manifest")
+                   help="skip jobs already completed in --manifest "
+                        "(dead-letter records stay terminal)")
+    p.add_argument("--retry-dead", action="store_true",
+                   help="with --resume: re-admit dead-letter jobs with "
+                        "a fresh retry budget")
     p.add_argument("--retries", type=int, default=2,
                    help="retry budget per crashed/failed job")
     p.add_argument("--job-timeout", type=float, default=None,
                    metavar="SEC", help="per-job watchdog budget")
+    p.add_argument("--lease", type=float, default=None, metavar="SEC",
+                   help="parent-side hard lease: an in-flight job older "
+                        "than this gets its worker terminated (default "
+                        "4x --job-timeout)")
     p.add_argument("--cache-mb", type=int, default=256,
                    help="per-worker content cache capacity [MiB]")
     p.add_argument("--top", type=int, default=10,
@@ -370,22 +378,29 @@ def screen_main(argv: list[str] | None = None) -> int:
                   f"{result.wall_seconds:.2f}s)")
         else:
             err = (result.error or {}).get("error_type", "unknown")
-            print(f"  [{done['n']}/{n_jobs}] {result.label}: FAILED "
+            word = "DEAD" if result.status == "dead" else "FAILED"
+            print(f"  [{done['n']}/{n_jobs}] {result.label}: {word} "
                   f"({err} after {result.attempts} attempt(s))")
 
     report = screen.run(workers=args.workers, manifest=args.manifest,
                         resume=args.resume, stream=stream,
                         retries=args.retries,
                         job_wall_seconds=args.job_timeout,
+                        lease_seconds=args.lease,
                         cache_bytes=args.cache_mb * 1024 * 1024,
                         trace=args.trace,
-                        cohort_size=args.cohort_size)
+                        cohort_size=args.cohort_size,
+                        retry_dead=args.retry_dead)
 
     s = report.stats
     print(f"\nScreen finished: {s['jobs_completed']} new, "
           f"{s['jobs_cached']} cached, {s['jobs_failed']} failed "
-          f"({s['jobs_per_second']:.2f} jobs/s over "
+          f"({s['jobs_dead']} dead-lettered, "
+          f"{s['jobs_per_second']:.2f} jobs/s over "
           f"{s['wall_seconds']:.1f}s)")
+    if s.get("pool", {}).get("quarantines"):
+        print(f"Lane quarantines: {s['pool']['quarantines']} cohort "
+              f"member(s) re-dispatched individually")
     c = s["cache"]
     print(f"Grid cache: {c['hits']} hits / {c['misses']} misses "
           f"(hit rate {c['hit_rate']:.0%})")

@@ -65,8 +65,13 @@ class DockingConfig:
         :class:`~repro.robustness.GuardedReduction` and surfaces the
         :class:`~repro.robustness.FaultLedger` in the result.
     inject_rate / inject_mode / inject_seed:
-        Deterministic fault injection into the reduction outputs
-        (:mod:`repro.robustness.inject`); rate 0 disables.
+        Deterministic fault injection (:mod:`repro.robustness.inject`);
+        rate 0 disables.
+    inject_site:
+        Where the injector corrupts: ``"reduce4"`` (reduction output
+        blocks, the default) or ``"grid"`` (grid-map lookups — corrupt
+        affinity cells for the single-ligand path, the gathered trilinear
+        corner values for the cohort grid-gather).
     """
 
     backend: str = "tcec-tf32"
@@ -80,6 +85,7 @@ class DockingConfig:
     inject_rate: float = 0.0
     inject_mode: str = "nan"
     inject_seed: int = 0
+    inject_site: str = "reduce4"
 
     def __post_init__(self) -> None:
         if self.backend not in _BACKENDS:
@@ -93,6 +99,10 @@ class DockingConfig:
                 f"None, 'raise', 'degrade' or 'ignore'")
         if not 0.0 <= self.inject_rate <= 1.0:
             raise ValueError("inject_rate must be in [0, 1]")
+        if self.inject_site not in ("reduce4", "grid"):
+            raise ValueError(
+                f"unknown inject_site {self.inject_site!r}; expected "
+                f"'reduce4' or 'grid'")
         if self.inject_rate > 0 and self.fault_policy is None:
             raise ValueError(
                 "fault injection requires a fault_policy so the faults are "

@@ -19,7 +19,7 @@ speedups follow the simulated hardware).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -31,7 +31,8 @@ from repro.docking.rmsd import rmsd
 from repro.obs import get_metrics, get_tracer
 from repro.reduction.api import ReductionBackend, get_reduction_backend
 from repro.robustness import FaultLedger, GuardedReduction
-from repro.robustness.inject import FaultInjector, InjectingReduction
+from repro.robustness.inject import (FaultInjector, InjectingReduction,
+                                     corrupt_grid_maps)
 from repro.search.cohort import CohortLGA
 from repro.search.lga import LGAResult, LGARun
 from repro.search.parallel import ParallelLGA, as_seed_sequence
@@ -42,11 +43,16 @@ __all__ = ["DockingEngine", "DockingResult", "build_backend", "dock_cohort"]
 
 def build_backend(cfg: DockingConfig) -> tuple[str | ReductionBackend,
                                                FaultLedger | None]:
-    """Reduction back-end per config: raw, or guarded (+ injected)."""
+    """Reduction back-end per config: raw, or guarded (+ injected).
+
+    Grid-site injection (``inject_site="grid"``) corrupts the lookup
+    path, not the reduction outputs, so the back-end is guarded but not
+    wrapped in an :class:`InjectingReduction`.
+    """
     if cfg.fault_policy is None:
         return cfg.backend, None
     inner = get_reduction_backend(cfg.backend)
-    if cfg.inject_rate > 0:
+    if cfg.inject_rate > 0 and cfg.inject_site == "reduce4":
         inner = InjectingReduction(
             inner, FaultInjector(cfg.inject_rate, mode=cfg.inject_mode,
                                  seed=cfg.inject_seed))
@@ -119,12 +125,19 @@ def dock_cohort(cases: list[TestCase],
     (see :mod:`repro.docking.cohort` for the packing contract).  ``seeds``
     is one seed (broadcast to every member) or a per-ligand sequence.
 
-    Two configurations cannot run packed and transparently fall back to
-    per-ligand docking: AutoStop (needs per-run termination control) and
-    fault injection (the injector's RNG stream walks the reduce4 call
-    sequence, which a packed batch reshapes).  With ``fault_policy`` set
-    but no injection, the cohort shares one :class:`FaultLedger`, so each
-    member's ``fault_stats`` reports the cohort-aggregate counts.
+    AutoStop cannot run packed (it needs per-run termination control) and
+    transparently falls back to per-ligand docking.  Fault handling runs
+    *in* the packed path: the cohort shares one :class:`FaultLedger`
+    (each member's ``fault_stats`` reports the cohort-aggregate counts,
+    with per-lane attribution in ``by_lane``), injection corrupts the
+    batched reduce4 stream or the cohort grid-gather per
+    ``config.inject_site`` — note the injector stride walks the *batched*
+    call sequence, so the injected fault set differs from a solo dock of
+    the same member — and a member whose energies/gradients go non-finite
+    (or whose guard trips under ``raise``) is quarantined: its result
+    carries the best-so-far poses plus a ``quarantine`` record, while
+    every surviving member stays bit-identical to a cohort that never
+    contained it.
     """
     cfg = config or DockingConfig()
     C = len(cases)
@@ -135,8 +148,7 @@ def dock_cohort(cases: list[TestCase],
     seeds = list(seeds)
     if len(seeds) != C:
         raise ValueError(f"{len(seeds)} seeds for {C} cases")
-    if cfg.lga.autostop or (cfg.fault_policy is not None
-                            and cfg.inject_rate > 0):
+    if cfg.lga.autostop:
         return [DockingEngine(case, cfg).dock(n_runs, seed=s,
                                               on_generation=on_generation)
                 for case, s in zip(cases, seeds)]
@@ -150,13 +162,20 @@ def dock_cohort(cases: list[TestCase],
         with tracer.span("engine.search", method=cfg.lga.ls_method,
                          autostop=False, cohort=C):
             runner = CohortLGA(scorings, backend, cfg.lga, seeds=seeds)
+            if cfg.inject_rate > 0 and cfg.inject_site == "grid":
+                runner.cohort.pack.grid_injector = FaultInjector(
+                    cfg.inject_rate, mode=cfg.inject_mode,
+                    seed=cfg.inject_seed)
             all_runs = runner.run(n_runs, on_generation=on_generation)
         results = [_assemble_result(case, cfg, runs, ledger)
                    for case, runs in zip(cases, all_runs)]
+        for lane, q in runner.quarantines.items():
+            results[lane].quarantine = q.to_dict()
         m = get_metrics()
         m.counter("engine.cohorts").inc()
         m.histogram("cohort.size").observe(C)
-        span.set(total_evals=sum(r.total_evals for r in results))
+        span.set(total_evals=sum(r.total_evals for r in results),
+                 quarantined=len(runner.quarantines))
     return results
 
 
@@ -177,6 +196,10 @@ class DockingResult:
     final_rmsds: list[float] = field(default_factory=list)
     #: fault-ledger summary when the run was guarded (config.fault_policy)
     fault_stats: dict | None = None
+    #: :class:`~repro.robustness.LaneQuarantine` record (as a dict) when
+    #: this member was frozen out of a cohort run; ``None`` for healthy
+    #: members and single-ligand docks
+    quarantine: dict | None = None
 
     @property
     def best_score(self) -> float:
@@ -234,6 +257,7 @@ class DockingResult:
             "runtime_seconds": float(self.runtime_seconds),
             "final_rmsds": [float(x) for x in self.final_rmsds],
             "fault_stats": self.fault_stats,
+            "quarantine": self.quarantine,
         }
 
     @classmethod
@@ -249,6 +273,7 @@ class DockingResult:
             runtime_seconds=float(d["runtime_seconds"]),
             final_rmsds=[float(x) for x in d["final_rmsds"]],
             fault_stats=d.get("fault_stats"),
+            quarantine=d.get("quarantine"),
         )
 
 
@@ -257,8 +282,16 @@ class DockingEngine:
 
     def __init__(self, case: TestCase,
                  config: DockingConfig | None = None) -> None:
-        self.case = case
         self.config = config or DockingConfig()
+        if self.config.inject_rate > 0 \
+                and self.config.inject_site == "grid":
+            # grid-site injection: poison affinity cells of a *copy* of
+            # the maps (cases are shared via caches and must stay clean)
+            case = replace(case, maps=corrupt_grid_maps(
+                case.maps, FaultInjector(self.config.inject_rate,
+                                         mode=self.config.inject_mode,
+                                         seed=self.config.inject_seed)))
+        self.case = case
         self.scoring = case.scoring()
 
     # ------------------------------------------------------------------

@@ -50,7 +50,8 @@ from repro.docking.grids import OUT_OF_BOX_PENALTY, GridMaps
 from repro.docking.pose import calc_coords
 from repro.docking.quaternion import cross3, so3_left_jacobian
 from repro.docking.scoring import ScoringFunction
-from repro.obs import get_metrics
+from repro.obs import get_metrics, get_tracer
+from repro.robustness.faults import NumericalFaultError
 from repro.reduction.api import ReductionBackend, get_reduction_backend
 from repro.reduction.simt_backend import simt_tree_reduce
 
@@ -88,6 +89,13 @@ class LigandPack:
         self.n_rot = np.array([sf.ligand.n_rot for sf in scorings],
                               dtype=np.int64)
         self.glens = _N_RIGID + self.n_rot
+        #: position of each slot in the cohort it was *submitted* with;
+        #: subsets carry these through so fault attribution and quarantine
+        #: records always name the original lane
+        self.global_indices = np.arange(self.C, dtype=np.int64)
+        #: optional FaultInjector corrupting the gathered trilinear corner
+        #: values (the grid-gather stride site); shared by all subsets
+        self.grid_injector = None
         self._init_derived()
 
         # ---- grid maps: concatenate the deduplicated flat buffers of all
@@ -283,6 +291,8 @@ class LigandPack:
         if cached is None:
             cached = self._make_subset(np.array(key, dtype=np.int64))
             self._subsets[key] = cached
+        # the injector may be installed after a subset was cached
+        cached.grid_injector = self.grid_injector
         return cached
 
     def _make_subset(self, idx: np.ndarray) -> "LigandPack":
@@ -294,6 +304,8 @@ class LigandPack:
         sub.n_pairs = self.n_pairs[idx]
         sub.n_rot = self.n_rot[idx]
         sub.glens = self.glens[idx]
+        sub.global_indices = self.global_indices[idx]
+        sub.grid_injector = self.grid_injector
         sub._init_derived()
         N, P, R = sub.N, sub.P, sub.R
         sub.flat_maps = self.flat_maps
@@ -336,10 +348,34 @@ class LigandPack:
     # batched physics (per-ligand slices bit-identical to GridMaps /
     # intra_contributions on the unpadded arrays)
 
+    def _record_nonfinite(self, u: np.ndarray) -> None:
+        """Emit per-lane observability for non-finite grid coordinates.
+
+        Called only on the slow path (a non-finite value was seen), so the
+        corruption is on record — trace event plus metrics counter naming
+        the offending lanes — even when the run's fault policy clamps and
+        continues (``ignore``).
+        """
+        bad = ~np.isfinite(u).reshape(self.C, -1).all(axis=1)
+        lanes = [int(g) for g in self.global_indices[bad]]
+        names = [getattr(self.ligands[int(a)], "name", "")
+                 for a in np.nonzero(bad)[0]]
+        get_metrics().counter("cohort.nonfinite_lanes").inc(len(lanes))
+        get_tracer().event("cohort.nonfinite", site="grid-interp",
+                           lanes=lanes, ligands=names,
+                           n_values=int(np.count_nonzero(~np.isfinite(u))))
+
     def inter_energy(self, coords: np.ndarray, with_gradient: bool = False):
         """Grid-map interpolation over ``(C, B, N, 3)`` coordinates."""
         u = (coords - self.origin) / self.spacing
-        u = np.nan_to_num(u, nan=1e4, posinf=1e4, neginf=-1e4)
+        # non-finite coordinates used to be masked silently; keep the
+        # clamp (the trajectory still needs finite lookups) but record
+        # which lanes were hit first.  The finite fast path skips the
+        # nan_to_num copy entirely — bit-identical, since it only
+        # rewrites NaN/Inf.
+        if not np.isfinite(u).all():
+            self._record_nonfinite(u)
+            u = np.nan_to_num(u, nan=1e4, posinf=1e4, neginf=-1e4)
         uc = np.clip(u, 0.0, self.dims_lim)
         out = u - uc
         i0 = np.floor(uc).astype(np.int64)
@@ -363,6 +399,19 @@ class LigandPack:
         flat[..., 6] = r01 + z1
         flat[..., 7] = r11 + z1
         c = self.flat_maps.take(flat[None] + self.offs)    # (4, C, B, N, 8)
+        if self.grid_injector is not None:
+            # grid-gather stride site: corrupt the fetched corner values
+            # (modelling corrupt device memory under the trilinear blend)
+            c, inj = self.grid_injector.corrupt_values(c)
+            if inj.any():
+                per_lane = inj.sum(axis=(0, 2, 3, 4))
+                get_metrics().counter("cohort.grid_injected").inc(
+                    int(inj.sum()))
+                get_tracer().event(
+                    "cohort.grid_inject",
+                    lanes=[int(g) for g in
+                           self.global_indices[per_lane > 0]],
+                    n_values=int(inj.sum()))
         e = GridMaps._interp(c, f)
         energy = (e[0] + self.charges * e[1]
                   + self.solpar * e[2] + self.vol * e[3])
@@ -644,6 +693,31 @@ class CohortGradientCalculator:
         np.clip(g_atoms, -GRADCLAMP, GRADCLAMP, out=g_atoms)
         return e_atoms, g_atoms
 
+    def _attribute_lane_faults(self, B: int) -> dict[int, int]:
+        """Map the guard's per-block fault mask back to global lanes.
+
+        The reduce4 operand is ligand-major (``batch = A * B``), so block
+        column ``b`` belongs to lane ``global_indices[b // B]``.  Faulty
+        block counts are folded into the shared ledger's ``by_lane`` and
+        surfaced through obs; a no-guard backend (no ``last_fault_mask``)
+        costs one ``getattr``.
+        """
+        mask = getattr(self.backend, "last_fault_mask", None)
+        if mask is None or not mask.any():
+            return {}
+        cols = np.nonzero(mask)[-1]
+        lanes, counts = np.unique(
+            self._pack.global_indices[cols // B], return_counts=True)
+        lane_counts = {int(a): int(n) for a, n in zip(lanes, counts)}
+        ledger = getattr(self.backend, "ledger", None)
+        if ledger is not None:
+            ledger.record_lane_faults(lane_counts)
+        get_metrics().counter("cohort.lane_faults").inc(
+            int(np.count_nonzero(mask)))
+        get_tracer().event("cohort.lane_faults", site="reduce4",
+                           lanes={str(k): v for k, v in lane_counts.items()})
+        return lane_counts
+
     def __call__(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         pack = self._pack
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
@@ -668,8 +742,15 @@ class CohortGradientCalculator:
         vecs[1, ..., 0:3] = torque_like
         vecs[1, ..., 3] = 0.0
         t_red = time.perf_counter()
-        red = self.backend.reduce4(vecs.reshape(2, batch, pack.N, 4))
+        try:
+            red = self.backend.reduce4(vecs.reshape(2, batch, pack.N, 4))
+        except NumericalFaultError as exc:
+            # raise policy: name the lanes before the exception unwinds so
+            # the lock-step driver can quarantine them (and only them)
+            exc.lanes = tuple(sorted(self._attribute_lane_faults(B)))
+            raise
         t_red = time.perf_counter() - t_red
+        self._attribute_lane_faults(B)
         g_trans = red[0, :, 0:3].astype(np.float64)
         energy = (red[0, :, 3].astype(np.float64).reshape(A, B)
                   + pack.tors_pen).reshape(batch)

@@ -27,6 +27,7 @@ and recover from such faults:
 from repro.robustness.faults import (
     FP16_MAX,
     FaultLedger,
+    LaneQuarantine,
     NumericalFaultError,
     fault_mask,
 )
@@ -41,6 +42,7 @@ from repro.robustness.watchdog import CellFailure, Watchdog, WatchdogTimeout
 __all__ = [
     "FP16_MAX",
     "FaultLedger",
+    "LaneQuarantine",
     "NumericalFaultError",
     "fault_mask",
     "POLICIES",

@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["FP16_MAX", "NumericalFaultError", "fault_mask", "FaultLedger"]
+__all__ = ["FP16_MAX", "NumericalFaultError", "fault_mask", "FaultLedger",
+           "LaneQuarantine"]
 
 #: Largest finite FP16 magnitude; beyond it an FP16 accumulator saturates.
 FP16_MAX = 65504.0
@@ -29,10 +30,14 @@ class NumericalFaultError(ArithmeticError):
     """
 
     def __init__(self, message: str, *, n_blocks: int = 0,
-                 site: str = "reduce4") -> None:
+                 site: str = "reduce4",
+                 lanes: tuple[int, ...] = ()) -> None:
         super().__init__(message)
         self.n_blocks = n_blocks
         self.site = site
+        #: cohort lanes the faulty blocks belong to, when the caller could
+        #: attribute them (empty for single-ligand reductions)
+        self.lanes = tuple(int(x) for x in lanes)
 
 
 def fault_mask(values: np.ndarray, *, check_overflow: bool = False,
@@ -73,6 +78,9 @@ class FaultLedger:
     consumer_zeroed: int = 0
     #: detections broken down by site label ("reduce4", "grid", ...)
     by_site: dict[str, int] = field(default_factory=dict)
+    #: detections broken down by cohort lane (global ligand index);
+    #: empty for single-ligand runs where attribution is trivial
+    by_lane: dict[int, int] = field(default_factory=dict)
 
     def record_checked(self, n_blocks: int) -> None:
         self.blocks_checked += int(n_blocks)
@@ -90,6 +98,13 @@ class FaultLedger:
 
     def record_consumer_zeroed(self, n_values: int) -> None:
         self.consumer_zeroed += int(n_values)
+
+    def record_lane_faults(self, lane_counts: dict[int, int]) -> None:
+        """Attribute faulty blocks to cohort lanes (global ligand index)."""
+        for lane, n in lane_counts.items():
+            if n:
+                self.by_lane[int(lane)] = \
+                    self.by_lane.get(int(lane), 0) + int(n)
 
     # ------------------------------------------------------------------
 
@@ -109,6 +124,8 @@ class FaultLedger:
         self.consumer_zeroed += other.consumer_zeroed
         for site, n in other.by_site.items():
             self.by_site[site] = self.by_site.get(site, 0) + n
+        for lane, n in other.by_lane.items():
+            self.by_lane[lane] = self.by_lane.get(lane, 0) + n
 
     def summary(self) -> dict:
         """JSON-ready counter snapshot (surfaced in DockingResult)."""
@@ -120,9 +137,43 @@ class FaultLedger:
             "consumer_zeroed": self.consumer_zeroed,
             "fault_rate": self.fault_rate,
             "by_site": dict(self.by_site),
+            "by_lane": {str(k): v for k, v in self.by_lane.items()},
         }
 
     def __str__(self) -> str:
         return (f"FaultLedger({self.blocks_faulty}/{self.blocks_checked} "
                 f"blocks faulty, {self.blocks_recovered} recovered, "
                 f"{self.blocks_unrecoverable} unrecoverable)")
+
+
+@dataclass(frozen=True)
+class LaneQuarantine:
+    """Why one cohort lane was frozen out of the lock-step search.
+
+    Recorded by :class:`~repro.search.cohort.CohortLGA` the moment a
+    ligand's energies or gradients go non-finite (or its guarded
+    reduction trips under the ``raise`` policy).  The lane keeps its
+    best-so-far result; the siblings continue untouched.
+    """
+
+    #: position of the ligand in the cohort it was submitted with
+    lane: int
+    #: ligand/case name when known (``""`` otherwise)
+    name: str
+    #: generation index at which the lane was frozen
+    generation: int
+    #: ``"nonfinite-score"`` or ``"guard-raise"``
+    reason: str
+    #: human-readable specifics (fault counts, exception text, ...)
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"lane": self.lane, "name": self.name,
+                "generation": self.generation, "reason": self.reason,
+                "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LaneQuarantine":
+        return cls(lane=int(d["lane"]), name=d.get("name", ""),
+                   generation=int(d["generation"]), reason=d["reason"],
+                   detail=d.get("detail", ""))

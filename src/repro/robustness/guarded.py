@@ -74,6 +74,10 @@ class GuardedReduction(ReductionBackend):
             check_overflow = (
                 getattr(inner, "accumulator_format", None) == "fp16")
         self.check_overflow = check_overflow
+        #: per-block fault mask of the most recent ``reduce4`` call
+        #: (set before any policy action, so callers can attribute faults
+        #: to cohort lanes even when the ``raise`` policy fires)
+        self.last_fault_mask: np.ndarray | None = None
         # the guard adds epilogue compares, not reduction work: priced and
         # named after the wrapped back-end
         self.cost_key = inner.cost_key
@@ -89,6 +93,7 @@ class GuardedReduction(ReductionBackend):
         out = self.inner.reduce4(vectors)
         mask = fault_mask(out, check_overflow=self.check_overflow,
                           overflow_limit=FP16_MAX)
+        self.last_fault_mask = mask
         n_blocks = int(np.prod(mask.shape)) if mask.shape else 1
         self.ledger.record_checked(n_blocks)
         n_faulty = int(np.count_nonzero(mask))

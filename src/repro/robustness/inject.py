@@ -128,6 +128,28 @@ class FaultInjector:
         self.n_injected += int(idx.size)
         return flat.reshape(out.shape), mask.reshape(out.shape[:-1])
 
+    def corrupt_values(self, values: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray]:
+        """Corrupt scheduled scalar elements of an arbitrary array.
+
+        The generic stride site for paths that are not block-shaped —
+        notably the cohort grid-gather (the eight trilinear corner values
+        fetched per atom).  Returns ``(corrupted, mask)`` with ``mask``
+        flagging corrupted elements at ``values.shape``; when nothing is
+        due this call, ``values`` is returned unchanged (no copy).
+        """
+        flat = values.reshape(-1)
+        mask = np.zeros(flat.shape[0], dtype=bool)
+        idx = self._due(flat.shape[0])
+        if idx.size == 0:
+            return values, mask.reshape(values.shape)
+        flat = flat.copy()
+        for i in idx:
+            flat[i] = self._value(np.float32(flat[i]))
+        mask[idx] = True
+        self.n_injected += int(idx.size)
+        return flat.reshape(values.shape), mask.reshape(values.shape)
+
     def corrupt_tiles(self, tiles: np.ndarray, *,
                       element: tuple[int, int] | None = None) -> np.ndarray:
         """Corrupt scheduled ``(..., 16, 16)`` accumulator tiles.

@@ -17,11 +17,19 @@ seed=seeds[c]).run(n_runs)``:
   ``spawn(n_runs)``; the Solis-Wets stream keyed at ``SW_STREAM_KEY``), so
   dropping or adding cohort members cannot perturb another member's
   trajectory;
-* per-ligand termination replicates the single loop via a three-state
-  machine (running -> needs-final-score -> done): a ligand whose budget is
-  exhausted at the loop top keeps its pre-exit score as the final score,
-  one that exits on the generation check gets exactly one more scoring
-  pass — the same two exit paths ``ParallelLGA.run`` has;
+* per-ligand termination replicates the single loop via a state machine
+  (running -> needs-final-score -> done, plus a quarantined sink state):
+  a ligand whose budget is exhausted at the loop top keeps its pre-exit
+  score as the final score, one that exits on the generation check gets
+  exactly one more scoring pass — the same two exit paths
+  ``ParallelLGA.run`` has;
+* a lane whose energies go non-finite (or whose guarded reduction trips
+  under the ``raise`` policy) is *quarantined*: frozen at its best-so-far
+  result and dropped from the lock-step batch.  Because survivors keep
+  their own spawned RNG streams and the pack re-trims around them,
+  sibling lanes' trajectories stay bit-identical to a cohort that never
+  contained the poisoned member (``CohortLGA.quarantines`` names the
+  frozen lanes and why).
 * eval ledgers are per ligand per run, with the single path's
   base-plus-remainder split of each ligand's own local-search evals.
 
@@ -40,6 +48,7 @@ from repro.docking.genotype import random_genotypes
 from repro.docking.scoring import ScoringFunction
 from repro.obs import get_metrics, get_tracer
 from repro.reduction.api import ReductionBackend
+from repro.robustness.faults import LaneQuarantine, NumericalFaultError
 from repro.search.adadelta import AdadeltaConfig, AdadeltaLocalSearch
 from repro.search.ga import GeneticAlgorithm, next_generation_batched
 from repro.search.lga import LGAConfig, LGAResult
@@ -48,7 +57,7 @@ from repro.search.solis_wets import SolisWetsConfig
 
 __all__ = ["CohortLGA", "CohortSolisWets"]
 
-_RUNNING, _FINAL, _DONE = 0, 1, 2
+_RUNNING, _FINAL, _DONE, _QUARANTINED = 0, 1, 2, 3
 
 
 class CohortSolisWets:
@@ -170,6 +179,9 @@ class CohortLGA:
         self.seeds = list(seeds)
         if len(self.seeds) != C:
             raise ValueError(f"{len(self.seeds)} seeds for {C} ligands")
+        #: lanes frozen out of the lock-step search, keyed by cohort
+        #: position (filled during :meth:`run`)
+        self.quarantines: dict[int, LaneQuarantine] = {}
         self.gradient = None
         if self.config.ls_method == "ad":
             self.gradient = CohortGradientCalculator(self.cohort, backend)
@@ -188,6 +200,34 @@ class CohortLGA:
                 sw_rngs.append(
                     np.random.Generator(np.random.PCG64(sw_seq)))
             self.local_search = CohortSolisWets(self.cohort, sw_cfg, sw_rngs)
+
+    def _quarantine(self, lane: int, generation: int, reason: str,
+                    detail: str) -> None:
+        name = getattr(self.cohort.pack.ligands[lane], "name", "")
+        q = LaneQuarantine(lane=lane, name=name, generation=generation,
+                           reason=reason, detail=detail)
+        self.quarantines[lane] = q
+        get_metrics().counter("cohort.quarantines").inc()
+        # "name" would collide with the event's own name parameter
+        attrs = {**q.to_dict(), "ligand": q.name}
+        attrs.pop("name")
+        get_tracer().event("cohort.quarantine", **attrs)
+
+    def _freeze_faulty(self, exc: NumericalFaultError, work, gw, subsets,
+                       selected, gens, state):
+        """Quarantine the lanes a guard-raise attributed; narrow the
+        in-flight generation's arrays to the survivors."""
+        bad = {int(a) for a in getattr(exc, "lanes", ())} \
+            & {int(a) for a in work}
+        if not bad:
+            # unattributable fault: no lane can be trusted this generation
+            bad = {int(a) for a in work}
+        for a in sorted(bad):
+            self._quarantine(a, int(gens[a]), "guard-raise", str(exc))
+            state[a] = _QUARANTINED
+        keep = np.array([i for i, a in enumerate(work) if int(a) not in bad],
+                        dtype=np.int64)
+        return work[keep], gw[keep], subsets[keep], selected[keep]
 
     def run(self, n_runs: int, on_generation=None) -> list[list[LGAResult]]:
         """Execute the cohort; returns one result list per ligand.
@@ -229,10 +269,14 @@ class CohortLGA:
             else _FINAL,
             dtype=np.int8)
 
+        self.quarantines = {}
+
         def track(c: int, sc: np.ndarray) -> None:
             idx = np.argmin(sc, axis=1)
             vals = sc[np.arange(R), idx]
-            improved = vals < best_score[c]
+            # the isfinite guard keeps a poisoned -inf score from
+            # hijacking the best-pose bookkeeping (no-op on clean runs)
+            improved = (vals < best_score[c]) & np.isfinite(vals)
             gl = int(pack.glens[c])
             for r in np.nonzero(improved)[0]:
                 best_score[c, r] = vals[r]
@@ -251,8 +295,8 @@ class CohortLGA:
                            ls_method=cfg.ls_method,
                            pad_ratio=pack.pad_ratio)
         with span:
-            while (state != _DONE).any():
-                live = np.nonzero(state != _DONE)[0]
+            while (state < _DONE).any():
+                live = np.nonzero(state < _DONE)[0]
                 t0 = time.perf_counter()
                 sc = self.cohort.score(
                     genes[live].reshape(len(live), R * pop, G),
@@ -260,9 +304,19 @@ class CohortLGA:
                 metrics.histogram("lga.stage.score_s").observe(
                     time.perf_counter() - t0)
                 scores[live] = sc
+                finite = np.isfinite(sc).reshape(len(live), -1).all(axis=1)
                 work = []
-                for c in live:
+                for k, c in enumerate(live):
                     evals_run[c] += pop
+                    if not finite[k]:
+                        # poisoned energies: freeze the lane at its
+                        # best-so-far, keep the siblings in lock step
+                        self._quarantine(
+                            int(c), int(gens[c]), "nonfinite-score",
+                            f"{int(np.count_nonzero(~np.isfinite(sc[k])))} "
+                            f"non-finite scores")
+                        state[c] = _QUARANTINED
+                        continue
                     track(c, scores[c])
                     if state[c] == _FINAL:
                         state[c] = _DONE
@@ -299,26 +353,45 @@ class CohortLGA:
                     selected = np.take_along_axis(
                         gw, subsets[..., None], axis=2)   # (W, R, n_ls, G)
                     if cfg.ls_method == "ad":
-                        self.gradient.bind(work)
-                        refined, _, total_ls = self.local_search.minimize(
-                            selected.reshape(W * R * n_ls, G))
-                        # ADADELTA evals are deterministic (iters x batch),
-                        # so each ligand's share is exactly its single-path
-                        # iters x R x n_ls
-                        ls_evals = np.full(W, total_ls // W, dtype=np.int64)
-                        refined = refined.reshape(W, R, n_ls, G)
+                        refined = None
+                        while W > 0:
+                            self.gradient.bind(work)
+                            try:
+                                refined, _, total_ls = \
+                                    self.local_search.minimize(
+                                        selected.reshape(W * R * n_ls, G))
+                            except NumericalFaultError as exc:
+                                # quarantine the attributed lanes and
+                                # replay this generation's LS for the
+                                # survivors: ADADELTA is deterministic, so
+                                # their replay is bit-identical to a
+                                # cohort that never held the bad member
+                                work, gw, subsets, selected = \
+                                    self._freeze_faulty(
+                                        exc, work, gw, subsets, selected,
+                                        gens, state)
+                                W = len(work)
+                                continue
+                            # ADADELTA evals are deterministic
+                            # (iters x batch), so each ligand's share is
+                            # exactly its single-path iters x R x n_ls
+                            ls_evals = np.full(W, total_ls // W,
+                                               dtype=np.int64)
+                            refined = refined.reshape(W, R, n_ls, G)
+                            break
                     else:
                         refined, _, ls_evals = \
                             self.local_search.minimize_cohort(
                                 selected.reshape(W, R * n_ls, G), work)
                         refined = refined.reshape(W, R, n_ls, G)
-                    np.put_along_axis(gw, subsets[..., None], refined,
-                                      axis=2)
-                    for w, c in enumerate(work):
-                        base, rem = divmod(int(ls_evals[w]), R)
-                        evals_run[c] += base
-                        if rem:
-                            evals_run[c, :rem] += 1
+                    if refined is not None:
+                        np.put_along_axis(gw, subsets[..., None], refined,
+                                          axis=2)
+                        for w, c in enumerate(work):
+                            base, rem = divmod(int(ls_evals[w]), R)
+                            evals_run[c] += base
+                            if rem:
+                                evals_run[c, :rem] += 1
                     metrics.histogram("lga.stage.ls_s").observe(
                         time.perf_counter() - t0)
                 genes[work] = gw
@@ -333,7 +406,8 @@ class CohortLGA:
                     on_generation(int(gens.max()), int(evals_run.max()))
 
             span.set(generations=int(gens.max()),
-                     evals_per_run=int(evals_run.max()))
+                     evals_per_run=int(evals_run.max()),
+                     quarantined=len(self.quarantines))
 
         results = []
         for c in range(C):

@@ -20,7 +20,7 @@ throughput argument is about (screening large ligand libraries):
 
 from repro.serve.cache import ContentCache, file_sha256, maps_digest
 from repro.serve.pool import (JobResult, WorkerPool, execute_cohort,
-                              execute_job)
+                              execute_job, validate_result_payload)
 from repro.serve.queue import (
     CohortJob,
     DockingJob,
@@ -49,4 +49,5 @@ __all__ = [
     "pack_cohorts",
     "seed_from_spec",
     "spawn_seed",
+    "validate_result_payload",
 ]

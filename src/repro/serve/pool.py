@@ -14,10 +14,26 @@ by a parent-side hard lease for workers too wedged to cooperate.
 
 Completions are idempotent by job id, so the at-least-once dispatch that
 crash recovery implies can never produce duplicate results.
+
+Fault containment
+-----------------
+Results are validated parent-side (:func:`validate_result_payload`): a
+payload with missing runs or non-finite best scores counts as a failed
+attempt, not a completion.  A job that exhausts its retry budget (or
+fails non-retryably) lands in the pool's **dead-letter queue**: a
+terminal ``status="dead"`` :class:`JobResult` carrying the error class
+and the full attempt history (``pool.dead_letters`` collects them).
+Cohorts complete *partially*: healthy members complete straight from the
+batched run, and only members the lock-step engine quarantined (see
+:class:`~repro.robustness.LaneQuarantine`) are re-dispatched
+individually with a fresh per-member retry budget; the whole-cohort
+split remains only as the backstop for crashes, where no per-member
+attribution exists.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing as mp
 import os
 import time
@@ -28,7 +44,8 @@ from repro.obs import get_metrics, get_tracer
 from repro.serve.cache import DEFAULT_CAPACITY, ContentCache, load_case
 from repro.serve.queue import CohortJob, DockingJob, seed_from_spec
 
-__all__ = ["JobResult", "WorkerPool", "execute_cohort", "execute_job"]
+__all__ = ["JobResult", "WorkerPool", "execute_cohort", "execute_job",
+           "validate_result_payload"]
 
 #: exit code a worker uses for the injected-crash test hook
 _CRASH_EXIT = 17
@@ -40,7 +57,7 @@ class JobResult:
 
     job_id: str
     label: str
-    status: str                       # "ok" | "failed" | "cached"
+    status: str                       # "ok" | "failed" | "dead" | "cached"
     attempts: int = 1
     worker_id: int | None = None
     wall_seconds: float = 0.0
@@ -75,6 +92,48 @@ class JobResult:
                    error=d.get("error"), extra=d.get("extra", {}))
 
 
+def _apply_poison(case, spec: dict):
+    """Chaos hook: ``"poison_nonfinite": true`` NaNs out the grid maps.
+
+    The shared/cached case object is never mutated — the poisoned copy is
+    built with :func:`dataclasses.replace`, mirroring how the grid-site
+    fault injector treats cases.  A poisoned solo job produces non-finite
+    best scores (caught by parent-side validation); a poisoned cohort
+    member trips lane quarantine in the lock-step engine.
+    """
+    if not spec.get("poison_nonfinite"):
+        return case
+    import numpy as np
+    from dataclasses import replace
+    maps = replace(case.maps,
+                   affinity=np.full_like(case.maps.affinity, np.nan))
+    return replace(case, maps=maps)
+
+
+def validate_result_payload(payload: dict) -> dict | None:
+    """Parent-side result validation; returns an error dict or ``None``.
+
+    A worker can crash, but it can also *lie* — a wedged allocator or an
+    injected fault can hand back a structurally-broken or non-finite
+    result.  Completion therefore requires the payload to carry a
+    non-empty run list with finite best scores; anything else counts as
+    a failed (retryable) attempt, never as a completion.
+    """
+    result = payload.get("result") if isinstance(payload, dict) else None
+    runs = result.get("runs") if isinstance(result, dict) else None
+    if not isinstance(runs, list) or not runs:
+        return {"error_type": "CorruptResult",
+                "message": "result payload has no runs",
+                "retryable": True}
+    for i, run in enumerate(runs):
+        score = run.get("best_score") if isinstance(run, dict) else None
+        if not isinstance(score, (int, float)) or not math.isfinite(score):
+            return {"error_type": "NonFiniteResult",
+                    "message": f"run {i} best_score is {score!r}",
+                    "retryable": True}
+    return None
+
+
 def execute_job(job: DockingJob, cache: ContentCache | None = None,
                 wall_seconds: float | None = None,
                 include_history: bool = False) -> dict:
@@ -91,7 +150,7 @@ def execute_job(job: DockingJob, cache: ContentCache | None = None,
     span = get_tracer().span("job.execute", job_id=job.job_id,
                              label=job.label)
     with span:
-        case = load_case(job.spec, cache)
+        case = _apply_poison(load_case(job.spec, cache), job.spec)
         engine = DockingEngine(case, job.config)
         watchdog = (Watchdog(wall_seconds=wall_seconds)
                     if wall_seconds is not None else None)
@@ -117,11 +176,16 @@ def execute_cohort(job: CohortJob, cache: ContentCache | None = None,
                    include_history: bool = False) -> dict:
     """Run a cohort job through the packed lock-step engine.
 
-    Returns ``{"members": [{"job_id", "label", "payload"}, ...], ...}`` —
-    one ``ok``-shaped payload per member, each bit-identical to what
-    :func:`execute_job` would have produced for that member alone.  Wall
-    time is split evenly across members (the lock-step engine advances
-    them together, so there is no per-member attribution).
+    Returns ``{"members": [{"job_id", "label", "payload"}, ...],
+    "quarantined": [{"job_id", "label", "quarantine"}, ...], ...}`` —
+    one ``ok``-shaped payload per *healthy* member, each bit-identical to
+    what :func:`execute_job` would have produced for that member alone.
+    Members the lock-step engine quarantined (non-finite lane or guard
+    trip, see :class:`~repro.robustness.LaneQuarantine`) carry their
+    quarantine record instead of a result; the caller re-dispatches them
+    individually.  Wall time is split evenly across members (the
+    lock-step engine advances them together, so there is no per-member
+    attribution).
     """
     from repro.core.engine import dock_cohort
     from repro.robustness import Watchdog
@@ -131,7 +195,8 @@ def execute_cohort(job: CohortJob, cache: ContentCache | None = None,
     span = get_tracer().span("job.execute_cohort", job_id=job.job_id,
                              label=job.label, cohort=len(job.jobs))
     with span:
-        cases = [load_case(m.spec, cache) for m in job.jobs]
+        cases = [_apply_poison(load_case(m.spec, cache), m.spec)
+                 for m in job.jobs]
         seeds = [seed_from_spec(m.seed) for m in job.jobs]
         watchdog = (Watchdog(wall_seconds=wall_seconds)
                     if wall_seconds is not None else None)
@@ -140,19 +205,26 @@ def execute_cohort(job: CohortJob, cache: ContentCache | None = None,
             on_generation=watchdog.check if watchdog is not None else None)
         wall = time.monotonic() - t0
         share = wall / len(job.jobs)
+        members, quarantined = [], []
+        for m, r in zip(job.jobs, results):
+            if r.quarantine is not None:
+                quarantined.append({"job_id": m.job_id, "label": m.label,
+                                    "quarantine": r.quarantine})
+            else:
+                members.append({"job_id": m.job_id, "label": m.label,
+                                "payload": {
+                                    "result": r.to_dict(
+                                        include_history=include_history),
+                                    "wall_seconds": share}})
         payload = {
-            "members": [
-                {"job_id": m.job_id, "label": m.label,
-                 "payload": {
-                     "result": r.to_dict(include_history=include_history),
-                     "wall_seconds": share}}
-                for m, r in zip(job.jobs, results)],
+            "members": members,
+            "quarantined": quarantined,
             "wall_seconds": wall,
             "cohort_size": len(job.jobs),
         }
         if cache is not None:
             payload["cache"] = ContentCache.delta(before, cache.stats())
-        span.set(wall_seconds=wall,
+        span.set(wall_seconds=wall, quarantined=len(quarantined),
                  total_evals=sum(r.total_evals for r in results))
     m = get_metrics()
     m.histogram("job.wall_seconds").observe(wall)
@@ -161,29 +233,72 @@ def execute_cohort(job: CohortJob, cache: ContentCache | None = None,
     return payload
 
 
-def _maybe_inject_crash(job: DockingJob | CohortJob) -> None:
-    """Crash-once fault-injection hook for the recovery tests.
+def _fire_once(spec: dict, key: str) -> bool:
+    """Check-and-set a fired-once chaos marker file; True if it fires."""
+    marker = spec.get(key)
+    if marker and not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write(key)
+        return True
+    return False
 
-    A job spec carrying ``"crash_once": <path>`` makes the *first* worker
-    that picks it up die hard (``os._exit``, no cleanup — the closest
-    portable stand-in for a kill -9 mid-job); the path acts as the
-    fired-once marker, so the retry proceeds normally.  Mirrors the
-    deterministic fault injection of :mod:`repro.robustness.inject`.
+
+def _maybe_inject_chaos(job: DockingJob | CohortJob) -> None:
+    """Pre-execution chaos hooks for the recovery tests.
+
+    Job specs opt in via fired-once marker paths (so the retry proceeds
+    normally), mirroring the deterministic fault injection of
+    :mod:`repro.robustness.inject`:
+
+    * ``"crash_once": <path>`` — the first worker that picks the job up
+      dies hard (``os._exit``, no cleanup — the closest portable
+      stand-in for a kill -9 mid-job), exercising crash detection,
+      respawn and re-dispatch.
+    * ``"hang_once": <path>`` — the worker wedges forever; only the
+      parent-side hard lease can free the job, exercising lease
+      termination and crash-style recovery.
+    * ``"slow_once": <path>`` — the worker stalls for
+      ``spec["slow_seconds"]`` (default 1.0) before executing,
+      exercising lease head-room and stall accounting without failing.
     """
     if isinstance(job, CohortJob):
         for member in job.jobs:
-            _maybe_inject_crash(member)
+            _maybe_inject_chaos(member)
         return
-    marker = job.spec.get("crash_once")
-    if marker and not os.path.exists(marker):
-        with open(marker, "w") as fh:
-            fh.write(job.job_id)
+    if _fire_once(job.spec, "crash_once"):
         # give the result queue's feeder thread a beat to flush the
         # "started" ack — a crash *mid-job* (ack delivered) exercises the
         # worker-liveness recovery path; a crash before the ack lands in
         # the slower lost-dispatch backstop instead
         time.sleep(0.25)
         os._exit(_CRASH_EXIT)
+    if _fire_once(job.spec, "hang_once"):
+        while True:              # wedged: only the parent lease frees us
+            time.sleep(0.5)
+    if _fire_once(job.spec, "slow_once"):
+        time.sleep(float(job.spec.get("slow_seconds", 1.0)))
+
+
+def _maybe_corrupt_result(job: DockingJob | CohortJob, payload: dict) -> dict:
+    """Post-execution chaos hook: ``"corrupt_result_once": <path>``.
+
+    Mangles the first attempt's result (best scores → NaN) *after* a
+    clean run, so the parent-side :func:`validate_result_payload` path —
+    reject, retry, eventually dead-letter — is exercised end to end.
+    """
+    def poison(p: dict) -> None:
+        for run in p["result"]["runs"]:
+            run["best_score"] = float("nan")
+
+    if isinstance(job, CohortJob):
+        spec_by_id = {m.job_id: m.spec for m in job.jobs}
+        for entry in payload.get("members", []):
+            if _fire_once(spec_by_id[entry["job_id"]],
+                          "corrupt_result_once"):
+                poison(entry["payload"])
+    elif _fire_once(job.spec, "corrupt_result_once"):
+        poison(payload)
+    return payload
 
 
 def _heartbeat(worker_id: int, jobs_done: int, jobs_failed: int,
@@ -223,7 +338,7 @@ def _worker_main(task_q, result_q, worker_id: int, cache_bytes: int,
             result_q.put(("bye", None, worker_id, None))
             return
         result_q.put(("started", job.job_id, worker_id, None))
-        _maybe_inject_crash(job)
+        _maybe_inject_chaos(job)
         try:
             if isinstance(job, CohortJob):
                 payload = execute_cohort(
@@ -233,6 +348,7 @@ def _worker_main(task_q, result_q, worker_id: int, cache_bytes: int,
                 payload = execute_job(
                     job, cache, wall_seconds=wall_seconds,
                     include_history=include_history)
+            payload = _maybe_corrupt_result(job, payload)
             jobs_done += 1
             result_q.put(("done", job.job_id, worker_id, payload))
         except Exception as exc:
@@ -324,6 +440,42 @@ class WorkerPool:
         self.workers_replaced = 0
         #: last heartbeat per worker id (inline mode uses key "inline")
         self.heartbeats: dict = {}
+        #: terminal ``status="dead"`` results (cumulative over map calls)
+        self.dead_letters: list[JobResult] = []
+        #: cohort members quarantined by the lock-step engine (count)
+        self.quarantines = 0
+
+    # ------------------------------------------------------------------
+
+    def _dead(self, job, attempts: int, error: dict | None,
+              history: list[dict], worker_id: int | None = None
+              ) -> JobResult:
+        """Build, record and return a terminal dead-letter result."""
+        res = JobResult(
+            job_id=job.job_id, label=job.label, status="dead",
+            attempts=attempts, worker_id=worker_id, error=error,
+            extra={"attempt_history": list(history)})
+        self.dead_letters.append(res)
+        get_metrics().counter("pool.dead_letters").inc()
+        get_tracer().event("job.dead", job_id=job.job_id, label=job.label,
+                           attempts=attempts,
+                           error_type=(error or {}).get("error_type"))
+        return res
+
+    def _note_quarantines(self, cohort_id: str, quarantined: list[dict],
+                          history: dict) -> None:
+        """Account a cohort's quarantined members before re-dispatch."""
+        self.quarantines += len(quarantined)
+        get_metrics().counter("pool.quarantines").inc(len(quarantined))
+        for q in quarantined:
+            get_tracer().event(
+                "cohort.quarantine_redispatch", cohort=cohort_id,
+                job_id=q["job_id"], label=q["label"],
+                reason=q["quarantine"].get("reason"))
+            history.setdefault(q["job_id"], []).append({
+                "attempt": 0, "error_type": "LaneQuarantine",
+                "message": (f"{q['quarantine'].get('reason')}: "
+                            f"{q['quarantine'].get('detail', '')}")})
 
     # ------------------------------------------------------------------
 
@@ -343,10 +495,30 @@ class WorkerPool:
     # -- inline (workers=0) -------------------------------------------
 
     def _map_inline(self, jobs):
-        tracer = get_tracer()
+        """Inline execution: one cache and one set of counters.
+
+        The cache, the heartbeat's ``jobs_done``/``jobs_failed`` counters
+        and the completed-id set are shared across the cohort-split /
+        quarantine-re-dispatch recursion in :meth:`_run_inline`, so a
+        split cohort reuses the warm cache, the heartbeat counts stay
+        monotone across recursion, and a job can never complete twice
+        (idempotent completion, same contract as the process pool).
+        """
         cache = ContentCache(self.cache_bytes)
-        jobs_done = jobs_failed = 0
+        state = {"done": 0, "failed": 0, "completed": set(),
+                 "history": {}}
+        yield from self._run_inline(list(jobs), cache, state)
+
+    def _inline_heartbeat(self, cache, state) -> None:
+        hb = _heartbeat(-1, state["done"], state["failed"], cache)
+        self.heartbeats["inline"] = hb
+        get_tracer().event("worker.heartbeat", **hb)
+
+    def _run_inline(self, jobs, cache, state):
+        tracer = get_tracer()
         for job in jobs:
+            if job.job_id in state["completed"]:
+                continue                 # already terminal via recursion
             if isinstance(job, CohortJob):
                 tracer.event("job.dispatch", job_id=job.job_id,
                              label=job.label, cohort=len(job.jobs))
@@ -355,22 +527,37 @@ class WorkerPool:
                         job, cache, wall_seconds=self.job_wall_seconds,
                         include_history=self.include_history)
                 except Exception as exc:
-                    # one bad member poisons the packed batch: fall back
-                    # to the members individually (each gets the normal
-                    # retry budget)
+                    # no per-member attribution on a raw exception: fall
+                    # back to the members individually (each gets the
+                    # normal retry budget; completed ids are skipped)
                     get_metrics().counter("pool.cohort_splits").inc()
                     tracer.event("cohort.split", job_id=job.job_id,
                                  members=len(job.jobs),
                                  error_type=type(exc).__name__)
-                    yield from self._map_inline(list(job.jobs))
+                    yield from self._run_inline(list(job.jobs), cache,
+                                                state)
                     continue
-                jobs_done += len(job.jobs)
+                members_by_id = {m.job_id: m for m in job.jobs}
+                redispatch = [members_by_id[q["job_id"]]
+                              for q in payload["quarantined"]]
+                self._note_quarantines(job.job_id, payload["quarantined"],
+                                       state["history"])
                 tracer.event("job.complete", job_id=job.job_id,
                              label=job.label, attempts=1,
                              wall_seconds=payload["wall_seconds"],
                              cache=payload.get("cache"),
-                             cohort=len(job.jobs))
+                             cohort=len(job.jobs),
+                             quarantined=len(payload["quarantined"]))
                 for k, member in enumerate(payload["members"]):
+                    err = validate_result_payload(member["payload"])
+                    if err is not None:
+                        state["history"].setdefault(
+                            member["job_id"], []).append(
+                            {"attempt": 1, **err})
+                        redispatch.append(members_by_id[member["job_id"]])
+                        continue
+                    state["done"] += 1
+                    state["completed"].add(member["job_id"])
                     yield JobResult(
                         job_id=member["job_id"], label=member["label"],
                         status="ok", attempts=1, worker_id=None,
@@ -379,20 +566,36 @@ class WorkerPool:
                         cache=payload.get("cache") if k == 0 else None,
                         extra={"cohort": job.job_id,
                                "cohort_size": len(job.jobs)})
-                hb = _heartbeat(-1, jobs_done, jobs_failed, cache)
-                self.heartbeats["inline"] = hb
-                tracer.event("worker.heartbeat", **hb)
+                self._inline_heartbeat(cache, state)
+                if redispatch:
+                    # quarantine-aware partial completion: only the
+                    # frozen/invalid members retry individually
+                    yield from self._run_inline(redispatch, cache, state)
                 continue
             attempts = 0
+            history = state["history"].setdefault(job.job_id, [])
             tracer.event("job.dispatch", job_id=job.job_id,
                          label=job.label)
             while True:
                 attempts += 1
+                err = None
+                payload = None
                 try:
                     payload = execute_job(
                         job, cache, wall_seconds=self.job_wall_seconds,
                         include_history=self.include_history)
-                    jobs_done += 1
+                    err = validate_result_payload(payload)
+                except Exception as exc:
+                    from repro.robustness import WatchdogTimeout
+                    err = {"error_type": type(exc).__name__,
+                           "message": str(exc),
+                           # watchdog aborts are deterministic: retrying
+                           # burns the same budget again
+                           "retryable": not isinstance(exc,
+                                                       WatchdogTimeout)}
+                if err is None:
+                    state["done"] += 1
+                    state["completed"].add(job.job_id)
                     tracer.event("job.complete", job_id=job.job_id,
                                  label=job.label, attempts=attempts,
                                  wall_seconds=payload["wall_seconds"],
@@ -402,31 +605,27 @@ class WorkerPool:
                         attempts=attempts, worker_id=None,
                         wall_seconds=payload["wall_seconds"],
                         result=payload["result"],
-                        cache=payload.get("cache"))
+                        cache=payload.get("cache"),
+                        extra=({"attempt_history": list(history)}
+                               if history else {}))
                     break
-                except Exception as exc:
-                    from repro.robustness import WatchdogTimeout
-                    retryable = not isinstance(exc, WatchdogTimeout)
-                    if retryable and attempts <= self.retries:
-                        get_metrics().counter("pool.retries").inc()
-                        tracer.event("job.retry", job_id=job.job_id,
-                                     attempts=attempts)
-                        time.sleep(self.backoff * 2 ** (attempts - 1))
-                        continue
-                    jobs_failed += 1
-                    tracer.event("job.failed", job_id=job.job_id,
-                                 label=job.label, attempts=attempts,
-                                 error_type=type(exc).__name__)
-                    yield JobResult(
-                        job_id=job.job_id, label=job.label,
-                        status="failed", attempts=attempts,
-                        error={"error_type": type(exc).__name__,
-                               "message": str(exc),
-                               "retryable": retryable})
-                    break
-            hb = _heartbeat(-1, jobs_done, jobs_failed, cache)
-            self.heartbeats["inline"] = hb
-            tracer.event("worker.heartbeat", **hb)
+                history.append({"attempt": attempts,
+                                "error_type": err["error_type"],
+                                "message": err["message"]})
+                if err.get("retryable", True) and attempts <= self.retries:
+                    get_metrics().counter("pool.retries").inc()
+                    tracer.event("job.retry", job_id=job.job_id,
+                                 attempts=attempts)
+                    time.sleep(self.backoff * 2 ** (attempts - 1))
+                    continue
+                state["failed"] += 1
+                state["completed"].add(job.job_id)
+                tracer.event("job.failed", job_id=job.job_id,
+                             label=job.label, attempts=attempts,
+                             error_type=err["error_type"])
+                yield self._dead(job, attempts, err, history)
+                break
+            self._inline_heartbeat(cache, state)
 
     # -- multiprocessing ----------------------------------------------
 
@@ -450,6 +649,7 @@ class WorkerPool:
 
         pending: dict[str, DockingJob] = {}
         attempts: dict[str, int] = {}
+        history: dict[str, list[dict]] = {}            # id -> attempt log
         in_flight: dict[str, tuple[int, float]] = {}   # id -> (wid, t0)
         worker_job: dict[int, str] = {}
         retry_at: list[tuple[float, DockingJob]] = []
@@ -511,6 +711,14 @@ class WorkerPool:
                 if job_id is not None and job_id in pending:
                     in_flight.pop(job_id, None)
                     job = pending[job_id]
+                    crash = {"error_type": "WorkerCrash",
+                             "message": f"worker {wid} died "
+                                        f"(exit {proc.exitcode})",
+                             "retryable": False}
+                    history.setdefault(job_id, []).append(
+                        {"attempt": attempts[job_id],
+                         "error_type": crash["error_type"],
+                         "message": crash["message"]})
                     if isinstance(job, CohortJob):
                         pending.pop(job_id)
                         split_cohort(job)
@@ -518,14 +726,9 @@ class WorkerPool:
                         schedule_retry(job)
                     else:
                         pending.pop(job_id)
-                        lost.append(JobResult(
-                            job_id=job_id, label=job.label,
-                            status="failed", attempts=attempts[job_id],
-                            worker_id=wid,
-                            error={"error_type": "WorkerCrash",
-                                   "message": f"worker {wid} died "
-                                              f"(exit {proc.exitcode})",
-                                   "retryable": False}))
+                        lost.append(self._dead(
+                            job, attempts[job_id], crash,
+                            history[job_id], worker_id=wid))
                 if pending:                  # keep the pool at strength
                     if respawns["n"] >= self.max_respawns:
                         raise RuntimeError(
@@ -602,15 +805,32 @@ class WorkerPool:
                     job = pending.pop(job_id)
                     clear_flight(job_id)
                     if isinstance(job, CohortJob):
+                        quarantined = payload.get("quarantined") or []
+                        members_by_id = {m.job_id: m for m in job.jobs}
+                        redispatch = [members_by_id[q["job_id"]]
+                                      for q in quarantined]
+                        self._note_quarantines(job_id, quarantined,
+                                               history)
                         tracer.event("job.complete", job_id=job_id,
                                      label=job.label, worker_id=wid,
                                      attempts=max(attempts[job_id], 1),
                                      wall_seconds=payload["wall_seconds"],
                                      cache=payload.get("cache"),
-                                     cohort=len(job.jobs))
+                                     cohort=len(job.jobs),
+                                     quarantined=len(quarantined))
                         tracer.event("pool.depth", pending=len(pending),
                                      in_flight=len(in_flight))
                         for k, member in enumerate(payload["members"]):
+                            err = validate_result_payload(
+                                member["payload"])
+                            if err is not None:
+                                history.setdefault(
+                                    member["job_id"], []).append(
+                                    {"attempt": 1, **err})
+                                redispatch.append(
+                                    members_by_id[member["job_id"]])
+                                continue
+                            mh = history.get(member["job_id"])
                             yield JobResult(
                                 job_id=member["job_id"],
                                 label=member["label"], status="ok",
@@ -622,7 +842,44 @@ class WorkerPool:
                                 cache=(payload.get("cache")
                                        if k == 0 else None),
                                 extra={"cohort": job_id,
-                                       "cohort_size": len(job.jobs)})
+                                       "cohort_size": len(job.jobs),
+                                       **({"attempt_history": list(mh)}
+                                          if mh else {})})
+                        # quarantine-aware partial completion: healthy
+                        # members are done above; only frozen/invalid
+                        # members retry individually, with a fresh
+                        # per-member budget (they never ran solo)
+                        for member in redispatch:
+                            if member.job_id in pending:
+                                continue
+                            pending[member.job_id] = member
+                            attempts[member.job_id] = 0
+                            task_q.put(member)
+                            tracer.event("job.dispatch",
+                                         job_id=member.job_id,
+                                         label=member.label,
+                                         requeued_from=job_id)
+                        continue
+                    err = validate_result_payload(payload)
+                    if err is not None:
+                        # the worker reported success but the result is
+                        # unusable: a failed attempt, never a completion
+                        get_metrics().counter("pool.corrupt_results").inc()
+                        tracer.event("job.corrupt_result", job_id=job_id,
+                                     worker_id=wid,
+                                     error_type=err["error_type"],
+                                     message=err["message"])
+                        history.setdefault(job_id, []).append(
+                            {"attempt": attempts[job_id],
+                             "error_type": err["error_type"],
+                             "message": err["message"]})
+                        if attempts[job_id] <= self.retries:
+                            pending[job_id] = job
+                            schedule_retry(job)
+                        else:
+                            yield self._dead(
+                                job, max(attempts[job_id], 1), err,
+                                history[job_id], worker_id=wid)
                         continue
                     tracer.event("job.complete", job_id=job_id,
                                  label=job.label, worker_id=wid,
@@ -631,17 +888,24 @@ class WorkerPool:
                                  cache=payload.get("cache"))
                     tracer.event("pool.depth", pending=len(pending),
                                  in_flight=len(in_flight))
+                    jh = history.get(job_id)
                     yield JobResult(
                         job_id=job_id, label=job.label, status="ok",
                         attempts=max(attempts[job_id], 1), worker_id=wid,
                         wall_seconds=payload["wall_seconds"],
                         result=payload["result"],
-                        cache=payload.get("cache"))
+                        cache=payload.get("cache"),
+                        extra=({"attempt_history": list(jh)}
+                               if jh else {}))
                 elif kind == "failed":
                     if job_id not in pending:
                         continue
                     job = pending[job_id]
                     clear_flight(job_id)
+                    history.setdefault(job_id, []).append(
+                        {"attempt": attempts[job_id],
+                         "error_type": payload.get("error_type"),
+                         "message": payload.get("message")})
                     if isinstance(job, CohortJob):
                         # don't retry the whole batch: split so only the
                         # culprit member burns its budget (a watchdog
@@ -666,11 +930,9 @@ class WorkerPool:
                                      error_type=payload.get("error_type"))
                         tracer.event("pool.depth", pending=len(pending),
                                      in_flight=len(in_flight))
-                        yield JobResult(
-                            job_id=job_id, label=job.label,
-                            status="failed",
-                            attempts=max(attempts[job_id], 1),
-                            worker_id=wid, error=payload)
+                        yield self._dead(
+                            job, max(attempts[job_id], 1), payload,
+                            history[job_id], worker_id=wid)
                 # "bye" needs no handling: drain happens after the loop
 
             # graceful drain: every job accounted for

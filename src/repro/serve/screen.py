@@ -45,7 +45,7 @@ MANIFEST_VERSION = 1
 class ScreenReport:
     """Terminal state of one screen invocation."""
 
-    #: job_id -> terminal JobResult (ok / failed / cached)
+    #: job_id -> terminal JobResult (ok / failed / dead / cached)
     results: dict[str, JobResult]
     #: completed jobs sorted best-score-first
     ranking: list[dict]
@@ -54,11 +54,19 @@ class ScreenReport:
 
     @property
     def completed(self) -> list[JobResult]:
-        return [r for r in self.results.values() if r.status != "failed"]
+        return [r for r in self.results.values()
+                if r.status not in ("failed", "dead")]
 
     @property
     def failed(self) -> list[JobResult]:
-        return [r for r in self.results.values() if r.status == "failed"]
+        """Terminal failures: legacy ``failed`` plus dead-letter records."""
+        return [r for r in self.results.values()
+                if r.status in ("failed", "dead")]
+
+    @property
+    def dead(self) -> list[JobResult]:
+        """Dead-letter records (``repro screen --retry-dead`` re-admits)."""
+        return [r for r in self.results.values() if r.status == "dead"]
 
 
 @dataclass
@@ -88,6 +96,13 @@ class VirtualScreen:
         Relative deadline applied to every job at queue-build time.
     queue_size:
         Backpressure bound of the staging queue (``None`` = unbounded).
+    chaos:
+        Optional chaos-injection map ``label -> extra spec keys`` merged
+        into that entry's job spec (``crash_once`` / ``hang_once`` /
+        ``slow_once`` / ``corrupt_result_once`` marker paths,
+        ``poison_nonfinite`` — see :mod:`repro.serve.pool`).  Chaos keys
+        are part of the content-addressed job id, so chaos runs never
+        collide with clean manifests.  Test/CI hook, not a user feature.
     """
 
     cases: list[str] | None = None
@@ -100,6 +115,7 @@ class VirtualScreen:
     priorities: list[int] | None = None
     deadline_seconds: float | None = None
     queue_size: int | None = None
+    chaos: dict | None = None
 
     def __post_init__(self) -> None:
         styles = [self.cases is not None,
@@ -123,7 +139,7 @@ class VirtualScreen:
         if self.cases is not None:
             for name in self.cases:
                 out.append((name, {"kind": "case", "case": name}))
-            return out
+            return self._with_chaos(out)
         fld_digest = maps_digest(self.fld) if self.fld is not None else None
         for path in self.ligands:
             path = str(path)
@@ -138,7 +154,14 @@ class VirtualScreen:
                     "kind": "files", "fld": str(self.fld),
                     "fld_sha256": fld_digest,
                     "ligand": path, "ligand_sha256": lig_digest}))
-        return out
+        return self._with_chaos(out)
+
+    def _with_chaos(self, specs: list[tuple[str, dict]]
+                    ) -> list[tuple[str, dict]]:
+        if not self.chaos:
+            return specs
+        return [(label, {**spec, **self.chaos.get(label, {})})
+                for label, spec in specs]
 
     def jobs(self) -> list[DockingJob]:
         """One content-addressed job per library entry."""
@@ -169,11 +192,13 @@ class VirtualScreen:
             retries: int = 2,
             backoff: float = 0.25,
             job_wall_seconds: float | None = None,
+            lease_seconds: float | None = None,
             cache_bytes: int = DEFAULT_CAPACITY,
             start_method: str = "spawn",
             include_history: bool = False,
             trace: str | Path | None = None,
-            cohort_size: int = 1) -> ScreenReport:
+            cohort_size: int = 1,
+            retry_dead: bool = False) -> ScreenReport:
         """Execute the screen; returns the final :class:`ScreenReport`.
 
         ``cohort_size > 1`` packs compatible jobs into lock-step cohorts
@@ -186,10 +211,14 @@ class VirtualScreen:
         ``os.replace`` pattern), so a killed screen loses at most the
         jobs in flight; ``resume=True`` reloads it and skips every job
         whose id is already terminal — identical inputs do zero new
-        docking work.  ``stream(result)`` is called per terminal
-        :class:`JobResult` as it arrives.  ``trace`` names a JSONL event
-        log: the parent *and every worker* append spans/events to it
-        (``repro stats <log>`` renders the summary afterwards).
+        docking work.  Dead-letter records (``status="dead"``) are kept
+        terminal on resume; ``retry_dead=True`` (the ``--retry-dead``
+        CLI flag) drops them from the loaded manifest so those jobs are
+        re-admitted with a fresh retry budget.  ``stream(result)`` is
+        called per terminal :class:`JobResult` as it arrives.  ``trace``
+        names a JSONL event log: the parent *and every worker* append
+        spans/events to it (``repro stats <log>`` renders the summary
+        afterwards).
         """
         if resume and manifest is None:
             raise ValueError("resume=True requires a manifest path")
@@ -208,6 +237,11 @@ class VirtualScreen:
                 if prior.status == "ok":
                     prior.status = "cached"
                     results[prior.job_id] = prior
+                elif prior.status in ("dead", "failed") and not retry_dead:
+                    # dead letters are terminal: resuming must not retry
+                    # a job that already exhausted its budget unless the
+                    # operator explicitly re-admits it
+                    results[prior.job_id] = prior
 
         span = tracer.span("screen.run", workers=workers, resume=resume)
         heartbeats: dict = {}
@@ -225,10 +259,12 @@ class VirtualScreen:
             tracer.event("queue.stats", **queue.stats())
 
             new_results: list[JobResult] = []
+            pool_stats: dict = {}
             if to_run:
                 pool = WorkerPool(workers=workers, retries=retries,
                                   backoff=backoff,
                                   job_wall_seconds=job_wall_seconds,
+                                  lease_seconds=lease_seconds,
                                   cache_bytes=cache_bytes,
                                   start_method=start_method,
                                   include_history=include_history,
@@ -239,28 +275,40 @@ class VirtualScreen:
                     results[result.job_id] = result
                     new_results.append(result)
                     heartbeats = pool.heartbeats
+                    pool_stats = self._pool_stats(pool)
                     # persist before notifying: a crash in the consumer
                     # must not lose a job that already finished
                     if manifest is not None:
                         self._save_manifest(manifest, results, queue,
-                                            t0, workers, heartbeats)
+                                            t0, workers, heartbeats,
+                                            pool_stats)
                     if stream is not None:
                         stream(result)
                 heartbeats = pool.heartbeats
+                pool_stats = self._pool_stats(pool)
             span.set(jobs_total=len(results),
-                     jobs_new=len(new_results))
+                     jobs_new=len(new_results),
+                     jobs_dead=sum(1 for r in new_results
+                                   if r.status == "dead"))
 
         report = ScreenReport(
             results=results,
             ranking=self._ranking(results),
             stats=self._stats(results, new_results, queue, t0, workers,
-                              heartbeats),
+                              heartbeats, pool_stats),
             manifest_path=str(manifest) if manifest is not None else None)
         if manifest is not None:
             self._save_manifest(manifest, results, queue, t0, workers,
-                                heartbeats)
+                                heartbeats, pool_stats)
         tracer.flush()
         return report
+
+    @staticmethod
+    def _pool_stats(pool: WorkerPool) -> dict:
+        """Pool-side fault counters surfaced in stats and the manifest."""
+        return {"quarantines": pool.quarantines,
+                "dead_letters": len(pool.dead_letters),
+                "workers_replaced": pool.workers_replaced}
 
     # ------------------------------------------------------------------
 
@@ -277,7 +325,8 @@ class VirtualScreen:
 
     @staticmethod
     def _stats(results, new_results, queue: JobQueue, t0: float,
-               workers: int, heartbeats: dict | None = None) -> dict:
+               workers: int, heartbeats: dict | None = None,
+               pool_stats: dict | None = None) -> dict:
         wall = time.monotonic() - t0
         cache = {"hits": 0, "misses": 0, "evictions": 0, "races": 0}
         for r in new_results:
@@ -294,11 +343,17 @@ class VirtualScreen:
             "jobs_completed": n_new,
             "jobs_cached": sum(1 for r in results.values()
                                if r.status == "cached"),
+            # jobs_failed counts every terminal failure (legacy "failed"
+            # plus dead-letter records) for manifest compatibility;
+            # jobs_dead counts the dead-letter subset
             "jobs_failed": sum(1 for r in results.values()
-                               if r.status == "failed"),
+                               if r.status in ("failed", "dead")),
+            "jobs_dead": sum(1 for r in results.values()
+                             if r.status == "dead"),
             "jobs_per_second": n_new / wall if wall > 0 else 0.0,
             "queue": queue.stats(),
             "cache": cache,
+            "pool": dict(pool_stats or {}),
             # last heartbeat per worker: liveness + per-worker metrics
             # snapshot (cache hit rates, job counts) for the manifest
             "heartbeats": {str(k): v
@@ -308,7 +363,8 @@ class VirtualScreen:
     def _save_manifest(self, path: str | Path,
                        results: dict[str, JobResult], queue: JobQueue,
                        t0: float, workers: int,
-                       heartbeats: dict | None = None) -> None:
+                       heartbeats: dict | None = None,
+                       pool_stats: dict | None = None) -> None:
         """Atomic write: a killed screen never leaves a torn manifest."""
         path = Path(path)
         payload = {
@@ -321,7 +377,8 @@ class VirtualScreen:
             "jobs": {jid: r.to_dict() for jid, r in results.items()},
             "ranking": self._ranking(results),
             "stats": self._stats(results, list(results.values()),
-                                 queue, t0, workers, heartbeats),
+                                 queue, t0, workers, heartbeats,
+                                 pool_stats),
         }
         tmp = path.with_name(path.name + ".tmp")
         tmp.write_text(json.dumps(payload, indent=2))

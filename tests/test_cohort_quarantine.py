@@ -1,0 +1,161 @@
+"""Lane quarantine: a poisoned cohort member freezes out of the
+lock-step search without perturbing its siblings.
+
+Acceptance (ISSUE 7 golden): a cohort with one deliberately-poisoned
+lane produces bit-identical results for all surviving lanes vs. docking
+them without the poisoned member; the fault is attributed to the right
+lane in the ledger.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.config import DockingConfig
+from repro.core.engine import dock_cohort
+from repro.reduction.api import ReductionBackend, get_reduction_backend
+from repro.robustness import FaultLedger, GuardedReduction
+from repro.robustness.inject import FaultInjector
+from repro.search.cohort import CohortLGA
+from repro.search.lga import LGAConfig
+from repro.testcases import get_test_case
+
+BASE = dict(pop_size=8, max_evals=300, max_gens=10, ls_iters=3,
+            ls_rate=0.3)
+MIXED = ("1u4d", "1xoz", "7cpa")
+N_RUNS = 2
+
+
+def _seeds(n, entropy=99):
+    return [np.random.SeedSequence(entropy=entropy, spawn_key=(i,))
+            for i in range(n)]
+
+
+def _poison(case):
+    """All-NaN affinity maps: every grid lookup goes non-finite.
+
+    Built with ``dataclasses.replace`` — the library case object is
+    shared/cached and must never be mutated.
+    """
+    return replace(case, maps=replace(
+        case.maps, affinity=np.full_like(case.maps.affinity, np.nan)))
+
+
+def _assert_member_equal(got, want):
+    """Bitwise equality of one ligand's per-run LGA results."""
+    assert len(got) == len(want)
+    for a, b in zip(got, want):
+        assert a.best_score == b.best_score
+        assert a.best_genotype.tobytes() == b.best_genotype.tobytes()
+        assert a.evals_used == b.evals_used
+
+
+class _PoisonLaneOnce(ReductionBackend):
+    """Fire-once wrapper: NaNs one lane's reduce4 output blocks on the
+    first call, then passes through clean — the deterministic stand-in
+    for a transient per-lane numerical fault."""
+
+    def __init__(self, inner, lane, n_lanes):
+        self.inner = inner
+        self.name = inner.name
+        self.cost_key = inner.cost_key
+        self.lane, self.n_lanes = lane, n_lanes
+        self.fired = False
+
+    def reduce4(self, vectors):
+        out = self.inner.reduce4(vectors)
+        if not self.fired:
+            self.fired = True
+            b = out.shape[1] // self.n_lanes
+            out = out.copy()
+            out[:, self.lane * b:(self.lane + 1) * b] = np.nan
+        return out
+
+
+class TestNonFiniteScoreQuarantine:
+    def test_survivors_bit_identical_and_poisoned_member_flagged(self):
+        cases = [get_test_case(n) for n in MIXED]
+        poisoned = list(cases)
+        poisoned[1] = _poison(cases[1])
+        cfg = DockingConfig(backend="baseline", lga=LGAConfig(**BASE))
+        seeds = _seeds(3)
+
+        got = dock_cohort(poisoned, cfg, n_runs=N_RUNS, seeds=seeds)
+        assert got[1].quarantine is not None
+        assert got[1].quarantine["reason"] == "nonfinite-score"
+        assert got[1].quarantine["lane"] == 1
+        assert got[0].quarantine is None and got[2].quarantine is None
+
+        ref = dock_cohort([cases[0], cases[2]], cfg, n_runs=N_RUNS,
+                          seeds=[seeds[0], seeds[2]])
+        for g, r in zip((got[0], got[2]), ref):
+            dg, dr = g.to_dict(), r.to_dict()
+            for d in (dg, dr):
+                d.pop("runtime_seconds")
+            assert dg == dr
+
+    def test_quarantine_record_round_trips(self):
+        from repro.robustness import LaneQuarantine
+        q = LaneQuarantine(lane=2, name="7cpa", generation=3,
+                           reason="guard-raise", detail="boom")
+        assert LaneQuarantine.from_dict(q.to_dict()) == q
+
+
+class TestGuardRaiseQuarantine:
+    def test_attributed_lane_frozen_survivors_bit_identical(self):
+        scorings = [get_test_case(n).scoring() for n in MIXED]
+        ledger = FaultLedger()
+        backend = GuardedReduction(
+            _PoisonLaneOnce(get_reduction_backend("baseline"),
+                            lane=1, n_lanes=3),
+            policy="raise", ledger=ledger)
+        cfg = LGAConfig(**BASE)
+        runner = CohortLGA(scorings, backend=backend, config=cfg,
+                           seeds=_seeds(3))
+        results = runner.run(n_runs=N_RUNS)
+
+        assert set(runner.quarantines) == {1}
+        q = runner.quarantines[1]
+        assert q.reason == "guard-raise"
+        assert q.lane == 1
+        # fault attribution: every corrupted block charged to lane 1
+        assert set(ledger.by_lane) == {1}
+        assert ledger.by_lane[1] > 0
+        assert ledger.summary()["by_lane"] == {"1": ledger.by_lane[1]}
+
+        # survivors replay the generation and finish bit-identical to a
+        # cohort that never held the poisoned member
+        ref = CohortLGA([scorings[0], scorings[2]], backend="baseline",
+                        config=cfg,
+                        seeds=[_seeds(3)[0], _seeds(3)[2]]).run(
+            n_runs=N_RUNS)
+        _assert_member_equal(results[0], ref[0])
+        _assert_member_equal(results[2], ref[1])
+
+
+class TestGridSiteInjection:
+    def test_corrupt_values_is_a_deterministic_stride(self):
+        vals = np.ones((4, 100), dtype=np.float32)
+        inj = FaultInjector(rate=0.01, mode="nan", seed=3)
+        out, mask = inj.corrupt_values(vals)
+        assert mask.shape == vals.shape
+        assert int(mask.sum()) == 4          # 400 values / period 100
+        assert np.isnan(out[mask]).all()
+        assert not np.isnan(out[~mask]).any()
+        assert vals.sum() == 400.0           # input untouched
+        out2, mask2 = FaultInjector(rate=0.01, mode="nan",
+                                    seed=3).corrupt_values(vals)
+        assert (mask == mask2).all()
+        assert inj.n_injected == 4
+
+    def test_grid_injection_quarantines_poisoned_lanes(self):
+        cases = [get_test_case(n) for n in MIXED]
+        cfg = DockingConfig(backend="baseline", lga=LGAConfig(**BASE),
+                            fault_policy="ignore", inject_rate=1e-3,
+                            inject_mode="nan", inject_site="grid",
+                            inject_seed=11)
+        results = dock_cohort(cases, cfg, n_runs=N_RUNS, seeds=_seeds(3))
+        hit = [r for r in results if r.quarantine is not None]
+        assert hit                            # NaN grid cells poison lanes
+        assert all(r.quarantine["reason"] == "nonfinite-score"
+                   for r in hit)

@@ -59,9 +59,12 @@ class TestInlinePool:
         pool = WorkerPool(workers=0, retries=3, backoff=0.0,
                           job_wall_seconds=0.0)   # expires immediately
         [res] = list(pool.map(_jobs(["1u4d"])))
-        assert res.status == "failed"
+        assert res.status == "dead"               # terminal: dead-lettered
         assert res.attempts == 1                  # deterministic: no retry
         assert res.error["error_type"] == WatchdogTimeout.__name__
+        assert pool.dead_letters == [res]
+        assert res.extra["attempt_history"][0]["error_type"] == \
+            WatchdogTimeout.__name__
 
 
 class TestProcessPool:
@@ -109,10 +112,14 @@ class TestProcessPool:
         pool = WorkerPool(workers=1, retries=1, backoff=0.01,
                           poll_seconds=0.05)
         [res] = list(pool.map([bad]))
-        assert res.status == "failed"
+        assert res.status == "dead"
         assert res.attempts == 2
         assert res.error["error_type"] == "ValueError"
         assert "no-such-case" in res.error["message"]
+        assert pool.dead_letters == [res]
+        assert [h["error_type"]
+                for h in res.extra["attempt_history"]] == \
+            ["ValueError", "ValueError"]
 
     def test_per_job_cache_stats_reported(self):
         jobs = _jobs(["1u4d", "1u4d"])    # same case, distinct seeds

@@ -30,6 +30,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--expect-span", action="append", default=[],
                    metavar="NAME", help="span name that must appear "
                    "(repeatable)")
+    p.add_argument("--expect-event", action="append", default=[],
+                   metavar="NAME", help="point-event name that must "
+                   "appear (repeatable) — e.g. cohort.quarantine, "
+                   "job.dead in the chaos-smoke job")
     args = p.parse_args(argv)
 
     from repro.obs.schema import SchemaError, read_log, validate_event
@@ -37,6 +41,7 @@ def main(argv: list[str] | None = None) -> int:
     spans = points = 0
     sources: set[str] = set()
     span_names: set[str] = set()
+    event_names: set[str] = set()
     try:
         for line_no, record in read_log(args.log):
             validate_event(record, line_no)
@@ -46,6 +51,7 @@ def main(argv: list[str] | None = None) -> int:
                 span_names.add(record["name"])
             else:
                 points += 1
+                event_names.add(record["name"])
     except FileNotFoundError:
         print(f"FAIL: no such log: {args.log}", file=sys.stderr)
         return 2
@@ -62,6 +68,9 @@ def main(argv: list[str] | None = None) -> int:
     for name in args.expect_span:
         if name not in span_names:
             problems.append(f"span {name!r} never recorded")
+    for name in args.expect_event:
+        if name not in event_names:
+            problems.append(f"event {name!r} never recorded")
     if problems:
         for msg in problems:
             print(f"FAIL: {args.log}: {msg}", file=sys.stderr)
