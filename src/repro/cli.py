@@ -95,6 +95,8 @@ def main(argv: list[str] | None = None) -> int:
         return screen_main(argv[1:])
     if argv and argv[0] == "stats":
         return stats_main(argv[1:])
+    if argv and argv[0] == "gateway":
+        return gateway_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.trace:
         from repro.obs import configure
@@ -334,7 +336,21 @@ def build_screen_parser() -> argparse.ArgumentParser:
                    help="shared JSONL trace log: the parent and every "
                         "worker append spans/events to it (summarise "
                         "with 'stats <log>')")
+    p.add_argument("--heartbeat", type=float, default=None, metavar="SEC",
+                   help="worker heartbeat interval in seconds (liveness "
+                        "cadence of idle workers; default "
+                        f"{_default_heartbeat()}s)")
+    p.add_argument("--allow-dead", action="store_true",
+                   help="exit 0 even when the manifest contains "
+                        "dead-lettered (status='dead') jobs; by default "
+                        "dead jobs make the screen exit nonzero so CI "
+                        "sees the failure")
     return p
+
+
+def _default_heartbeat() -> float:
+    from repro.serve.pool import DEFAULT_HEARTBEAT_SECONDS
+    return DEFAULT_HEARTBEAT_SECONDS
 
 
 def screen_main(argv: list[str] | None = None) -> int:
@@ -390,7 +406,8 @@ def screen_main(argv: list[str] | None = None) -> int:
                         cache_bytes=args.cache_mb * 1024 * 1024,
                         trace=args.trace,
                         cohort_size=args.cohort_size,
-                        retry_dead=args.retry_dead)
+                        retry_dead=args.retry_dead,
+                        heartbeat_seconds=args.heartbeat)
 
     s = report.stats
     print(f"\nScreen finished: {s['jobs_completed']} new, "
@@ -409,7 +426,22 @@ def screen_main(argv: list[str] | None = None) -> int:
         print(f"  #{hit['rank']:<3} {hit['label']:<24} "
               f"{hit['best_score']:+9.3f} kcal/mol  [{hit['status']}]")
     print(f"Manifest written to {report.manifest_path}")
-    return 1 if s["jobs_failed"] else 0
+    # Exit code contract: plain failures are always fatal (1); a
+    # manifest left with dead-lettered jobs is fatal too (3) unless the
+    # operator explicitly accepts partial results with --allow-dead.
+    if s["jobs_failed"] > s["jobs_dead"]:
+        return 1
+    if s["jobs_dead"]:
+        if args.allow_dead:
+            print(f"{s['jobs_dead']} dead-lettered job(s) accepted "
+                  f"(--allow-dead)")
+            return 0
+        print(f"error: manifest contains {s['jobs_dead']} dead-lettered "
+              f"job(s); rerun with --resume --retry-dead to re-admit "
+              f"them, or pass --allow-dead to accept partial results",
+              file=sys.stderr)
+        return 3
+    return 0
 
 
 def build_stats_parser() -> argparse.ArgumentParser:
@@ -448,6 +480,141 @@ def stats_main(argv: list[str] | None = None) -> int:
         return 2
     print(render_summary(summary, top=args.top))
     return 0
+
+
+def build_gateway_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="autodock-py gateway",
+        description="Serving gateway (repro.gateway): an asyncio HTTP "
+                    "front-end over sharded worker pools with SLO-driven, "
+                    "cost-model-aware admission and scheduling.")
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    s = sub.add_parser("serve", help="run a gateway instance")
+    s.add_argument("--host", default="127.0.0.1")
+    s.add_argument("--port", type=int, default=8321,
+                   help="listen port (0 = ephemeral)")
+    s.add_argument("--shards", type=int, default=2,
+                   help="content-hash shard count (one pool each)")
+    s.add_argument("--workers", type=int, default=0,
+                   help="worker processes per shard (0 = inline)")
+    s.add_argument("--slo", type=float, default=None, metavar="SEC",
+                   help="submit-to-result SLO; jobs predicted to miss "
+                        "it are rejected with 429")
+    s.add_argument("--route", default="hash", choices=("hash", "packed"),
+                   help="shard routing: strict content-hash partition, "
+                        "or bin-pack new ids by predicted backlog")
+    s.add_argument("--quantum", type=float, default=1.0, metavar="SEC",
+                   help="weighted-deficit-round-robin quantum")
+    s.add_argument("--autoscale", action="store_true",
+                   help="resize shard pools from predicted backlog "
+                        "(requires --workers > 0)")
+    s.add_argument("--min-workers", type=int, default=1)
+    s.add_argument("--max-workers", type=int, default=4)
+    s.add_argument("--drain-target", type=float, default=30.0,
+                   metavar="SEC", help="autoscale drain target")
+    s.add_argument("--retries", type=int, default=1)
+    s.add_argument("--job-timeout", type=float, default=None,
+                   metavar="SEC")
+    s.add_argument("--heartbeat", type=float,
+                   default=_default_heartbeat(), metavar="SEC",
+                   help="worker heartbeat interval")
+    s.add_argument("--manifest", default=None,
+                   help="ranked manifest path (atomic rewrite per job)")
+    s.add_argument("--trace", default=None, metavar="JSONL")
+    s.add_argument("--bench", default=None, metavar="JSON",
+                   help="predictor calibration file (default: the "
+                        "committed BENCH_gateway.json)")
+
+    c = sub.add_parser("submit", help="submit jobs over HTTP")
+    c.add_argument("--url", required=True,
+                   help="gateway base URL (http://host:port)")
+    c.add_argument("--cases", nargs="+", required=True, metavar="NAME",
+                   help="library cases to dock")
+    c.add_argument("-nrun", type=int, default=4)
+    c.add_argument("-seed", type=int, default=2025)
+    c.add_argument("--tensor", default="tcec-tf32",
+                   choices=("baseline", "tc-fp16", "tcec-tf32", "exact"))
+    c.add_argument("--device", default="A100",
+                   choices=("A100", "H100", "B200"))
+    c.add_argument("--nwi", type=int, default=64,
+                   choices=(32, 64, 128, 256))
+    c.add_argument("--evals", type=int, default=4_000)
+    c.add_argument("--pop", type=int, default=16)
+    c.add_argument("--lsit", type=int, default=20)
+    c.add_argument("--tenant", default="default")
+    c.add_argument("--deadline", type=float, default=None, metavar="SEC",
+                   help="per-job deadline; jobs predicted to miss it "
+                        "are rejected")
+    c.add_argument("--priority", type=int, default=0)
+    c.add_argument("--watch", action="store_true",
+                   help="stream results until every job is terminal")
+
+    w = sub.add_parser("watch", help="stream terminal results (NDJSON)")
+    w.add_argument("--url", required=True)
+    w.add_argument("--once", action="store_true",
+                   help="dump currently-terminal records and exit")
+    return p
+
+
+def gateway_main(argv: list[str] | None = None) -> int:
+    """The ``autodock-py gateway`` subcommand."""
+    args = build_gateway_parser().parse_args(argv)
+
+    if args.cmd == "serve":
+        from repro.gateway import Gateway, GatewayConfig
+        cfg = GatewayConfig(
+            host=args.host, port=args.port, n_shards=args.shards,
+            workers=args.workers, slo_seconds=args.slo, route=args.route,
+            quantum_s=args.quantum, autoscale=args.autoscale,
+            min_workers=args.min_workers, max_workers=args.max_workers,
+            drain_target_s=args.drain_target, retries=args.retries,
+            job_wall_seconds=args.job_timeout,
+            heartbeat_seconds=args.heartbeat, manifest=args.manifest,
+            trace=args.trace, bench_path=args.bench)
+        return Gateway(cfg).run()
+
+    from repro.gateway import GatewayClient
+
+    if args.cmd == "submit":
+        client = GatewayClient(args.url)
+        docs = [{"case": name, "n_runs": args.nrun,
+                 "seed": {"entropy": args.seed, "index": i},
+                 "backend": args.tensor, "device": args.device,
+                 "block_size": args.nwi, "evals": args.evals,
+                 "pop": args.pop, "ls_iters": args.lsit,
+                 "tenant": args.tenant, "priority": args.priority,
+                 **({"deadline_s": args.deadline}
+                    if args.deadline is not None else {})}
+                for i, name in enumerate(args.cases)]
+        out = client.submit_batch(docs)
+        for rec in out["accepted"]:
+            dup = " (duplicate)" if rec.get("duplicate") else ""
+            print(f"accepted {rec['label']:<12} shard {rec['shard']} "
+                  f"predicted {rec['predicted_s']:.2f}s "
+                  f"[{rec['job_id'][:12]}]{dup}")
+        for rej in out["rejected"]:
+            print(f"REJECTED {rej['job_id'][:12]}: {rej['reason']} "
+                  f"(predicted {rej['predicted_seconds']:.2f}s + "
+                  f"{rej['backlog_seconds']:.2f}s backlog > "
+                  f"{rej['limit_seconds']:.2f}s; retry after "
+                  f"{rej['retry_after_s']:.1f}s)")
+        if args.watch and out["accepted"]:
+            for rec in client.stream():
+                score = rec.get("best_score")
+                score_txt = (f"best {score:+.3f} kcal/mol"
+                             if score is not None else rec["status"])
+                print(f"  {rec['label']:<12} [{rec['status']}] "
+                      f"{score_txt}")
+        return 1 if out["rejected"] and not out["accepted"] else 0
+
+    if args.cmd == "watch":
+        import json as _json
+        client = GatewayClient(args.url)
+        for rec in client.stream(once=args.once):
+            print(_json.dumps(rec))
+        return 0
+    return 2
 
 
 def replace_case_ligand(case, ligand):

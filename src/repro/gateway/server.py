@@ -1,0 +1,459 @@
+"""Asyncio HTTP front-end over sharded worker pools.
+
+The long-running serving shape the ROADMAP's north star asks for: an
+``asyncio`` event loop owns the sockets (stdlib only — see
+:mod:`repro.gateway.protocol`), one OS thread per shard owns a
+:class:`~repro.serve.WorkerPool`, and the
+:class:`~repro.gateway.scheduler.SLOScheduler` in between decides what
+is admitted, where it runs and in what order.  The front-end never
+blocks on docking work: handlers read shared state under a plain lock
+and poll with short sleeps, so status and streaming stay responsive
+while shards grind.
+
+Endpoints (JSON in, JSON/NDJSON out, ``Connection: close``):
+
+========================  ==================================================
+``POST /v1/jobs``         submit one job or ``{"jobs": [...]}``; per-job
+                          accept/reject with predicted seconds (a single
+                          rejected job answers 429 with the structured
+                          admission payload)
+``GET /v1/jobs/<id>``     one job record (``queued``/``running``/terminal)
+``GET /v1/stream``        NDJSON: terminal records as they complete, until
+                          every known job is terminal (``?once=1`` dumps
+                          and closes)
+``GET /v1/stats``         scheduler snapshot + gateway counters
+``GET /v1/manifest``      ranked manifest of completed jobs
+``GET /healthz``          liveness
+``POST /v1/shutdown``     graceful stop
+========================  ==================================================
+
+Completion stays idempotent end to end: job identity is the content
+hash, duplicate submissions return the existing record, and each shard's
+pool inherits the dedup/retry/dead-letter semantics of
+:mod:`repro.serve`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.gateway.protocol import (HttpRequest, ProtocolError,
+                                    job_from_request, json_response,
+                                    ndjson_line, read_request)
+from repro.gateway.scheduler import AdmissionError, SLOScheduler
+from repro.obs import get_metrics, get_tracer
+from repro.serve.pool import (DEFAULT_HEARTBEAT_SECONDS, JobResult,
+                              WorkerPool)
+
+__all__ = ["Gateway", "GatewayConfig"]
+
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class GatewayConfig:
+    """Serving knobs of one gateway instance.
+
+    ``workers`` is the *process* count per shard pool; ``0`` executes
+    inline in the shard thread (deterministic, no multiprocessing — the
+    right choice for tests and small hosts).  Autoscaling requires
+    process pools (``workers > 0``); it resizes within
+    ``[min_workers, max_workers]`` from predicted backlog.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0                       # 0 = ephemeral (tests, CI)
+    n_shards: int = 2
+    workers: int = 0
+    slo_seconds: float | None = None
+    route: str = "hash"
+    quantum_s: float = 1.0
+    tenant_weights: dict = field(default_factory=dict)
+    autoscale: bool = False
+    min_workers: int = 1
+    max_workers: int = 4
+    drain_target_s: float = 30.0
+    retries: int = 1
+    job_wall_seconds: float | None = None
+    heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS
+    include_history: bool = False
+    manifest: str | None = None
+    trace: str | None = None
+    bench_path: str | None = None       # None = committed default
+    poll_s: float = 0.05
+
+
+class Gateway:
+    """A running (or runnable) gateway instance.
+
+    ``predictor`` defaults to the committed calibration
+    (:meth:`repro.simt.predictor.RuntimePredictor.from_bench`); tests
+    inject their own.  Use :meth:`start` / :meth:`stop` for in-process
+    serving (CLI, tests) or :meth:`run` to block until shutdown.
+    """
+
+    def __init__(self, config: GatewayConfig | None = None,
+                 predictor=None) -> None:
+        self.config = config or GatewayConfig()
+        if predictor is None:
+            from repro.simt.predictor import (DEFAULT_BENCH_PATH,
+                                              RuntimePredictor)
+            predictor = RuntimePredictor.from_bench(
+                self.config.bench_path or DEFAULT_BENCH_PATH)
+        self.predictor = predictor
+        self.scheduler = SLOScheduler(
+            n_shards=self.config.n_shards, predictor=predictor,
+            slo_seconds=self.config.slo_seconds, route=self.config.route,
+            quantum_s=self.config.quantum_s,
+            tenant_weights=self.config.tenant_weights,
+            workers=max(1, self.config.workers),
+            min_workers=self.config.min_workers,
+            max_workers=self.config.max_workers,
+            drain_target_s=self.config.drain_target_s)
+        if self.config.trace:
+            from repro.obs import configure
+            configure(self.config.trace, source="gateway")
+        self._lock = threading.Lock()
+        #: job_id -> record dict (see ``_record``); insertion-ordered
+        self.jobs: dict[str, dict] = {}
+        self._stop = threading.Event()
+        self._ready = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._loop_thread: threading.Thread | None = None
+        self.port: int | None = None
+        self.requests = 0
+
+    # ------------------------------------------------------------------
+    # records
+
+    @staticmethod
+    def _record(job, tenant: str, shard: int, predicted_s: float) -> dict:
+        return {"job_id": job.job_id, "label": job.label,
+                "tenant": tenant, "shard": shard,
+                "predicted_s": predicted_s, "status": "queued",
+                "submitted_at": time.time(), "attempts": 0,
+                "wall_seconds": None, "best_score": None,
+                "result": None, "error": None}
+
+    def _public(self, rec: dict, with_result: bool = False) -> dict:
+        out = {k: v for k, v in rec.items() if k != "result"}
+        if with_result:
+            out["result"] = rec["result"]
+        return out
+
+    # ------------------------------------------------------------------
+    # shard runners
+
+    def _apply_result(self, rec: dict, result: JobResult) -> None:
+        rec["status"] = result.status
+        rec["attempts"] = result.attempts
+        rec["wall_seconds"] = result.wall_seconds
+        rec["best_score"] = result.best_score
+        rec["error"] = result.error
+        rec["result"] = result.to_dict()
+        rec["completed_at"] = time.time()
+
+    def _shard_runner(self, shard: int) -> None:
+        """One shard's service loop: fair batch → pool → records."""
+        cfg = self.config
+        tracer = get_tracer()
+        while not self._stop.is_set():
+            batch = self.scheduler.next_batch(shard)
+            if not batch:
+                time.sleep(cfg.poll_s)
+                continue
+            workers = cfg.workers
+            if cfg.autoscale and cfg.workers > 0:
+                workers = self.scheduler.apply_autoscale(shard)
+            predicted = {sj.job.job_id: sj.predicted_s for sj in batch}
+            with self._lock:
+                for sj in batch:
+                    rec = self.jobs.get(sj.job.job_id)
+                    if rec is not None:
+                        rec["status"] = "running"
+            tracer.event("gateway.dispatch", shard=shard,
+                         jobs=len(batch), workers=workers)
+            pool = WorkerPool(
+                workers=workers, retries=cfg.retries,
+                job_wall_seconds=cfg.job_wall_seconds,
+                include_history=cfg.include_history,
+                heartbeat_seconds=cfg.heartbeat_seconds,
+                trace_path=cfg.trace)
+            try:
+                for result in pool.map([sj.job for sj in batch]):
+                    self.scheduler.job_done(
+                        shard, predicted.get(result.job_id, 0.0))
+                    with self._lock:
+                        rec = self.jobs.get(result.job_id)
+                        if rec is not None:
+                            self._apply_result(rec, result)
+                    tracer.event("gateway.done", job_id=result.job_id,
+                                 shard=shard, status=result.status,
+                                 wall_seconds=result.wall_seconds,
+                                 predicted_s=predicted.get(
+                                     result.job_id))
+                    if cfg.manifest:
+                        self._write_manifest()
+            except Exception as exc:          # pool-level failure: the
+                # whole batch dead-letters so callers are never wedged
+                for sj in batch:
+                    self.scheduler.job_done(
+                        shard, predicted.get(sj.job.job_id, 0.0))
+                    with self._lock:
+                        rec = self.jobs.get(sj.job.job_id)
+                        if rec is not None and rec["status"] in (
+                                "queued", "running"):
+                            rec["status"] = "dead"
+                            rec["error"] = {
+                                "error_type": type(exc).__name__,
+                                "message": str(exc)}
+                            rec["completed_at"] = time.time()
+                tracer.event("gateway.shard_error", shard=shard,
+                             error_type=type(exc).__name__,
+                             message=str(exc))
+
+    # ------------------------------------------------------------------
+    # manifest
+
+    def _ranking(self) -> list[dict]:
+        done = [r for r in self.jobs.values()
+                if r["status"] == "ok" and r["best_score"] is not None]
+        done.sort(key=lambda r: r["best_score"])
+        return [{"rank": k + 1, "label": r["label"],
+                 "job_id": r["job_id"], "best_score": r["best_score"],
+                 "status": r["status"], "shard": r["shard"]}
+                for k, r in enumerate(done)]
+
+    def _manifest_doc(self) -> dict:
+        with self._lock:
+            jobs = {jid: dict(rec) for jid, rec in self.jobs.items()}
+            ranking = self._ranking()
+        return {"version": MANIFEST_VERSION,
+                "gateway": {"n_shards": self.config.n_shards,
+                            "route": self.config.route,
+                            "slo_seconds": self.config.slo_seconds,
+                            "written_at": time.time()},
+                "jobs": jobs,
+                "ranking": ranking,
+                "scheduler": self.scheduler.snapshot()}
+
+    def _write_manifest(self) -> None:
+        """Atomic manifest write (tmp + ``os.replace``, the repo idiom)."""
+        path = Path(self.config.manifest)
+        doc = self._manifest_doc()
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(doc, indent=2))
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # HTTP handlers
+
+    async def _handle(self, reader, writer) -> None:
+        status = 500
+        req: HttpRequest | None = None
+        try:
+            req = await read_request(reader)
+            status, payload = await self._route(req, writer)
+            if payload is not None:       # streaming routes wrote already
+                writer.write(payload)
+        except ProtocolError as exc:
+            status = exc.status
+            writer.write(json_response(exc.status, {"error": str(exc)}))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            status = 499
+        except Exception as exc:
+            writer.write(json_response(
+                500, {"error": f"{type(exc).__name__}: {exc}"}))
+        finally:
+            self.requests += 1
+            get_metrics().counter("gateway.requests").inc()
+            if req is not None:
+                get_tracer().event("gateway.request", method=req.method,
+                                   path=req.path, status=status)
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _route(self, req: HttpRequest, writer
+                     ) -> tuple[int, bytes | None]:
+        path, method = req.path, req.method
+        if path == "/healthz":
+            return 200, json_response(200, {"ok": True})
+        if path == "/v1/jobs" and method == "POST":
+            return self._submit(req)
+        if path.startswith("/v1/jobs/") and method == "GET":
+            return self._status(path.removeprefix("/v1/jobs/"))
+        if path == "/v1/stream" and method == "GET":
+            await self._stream(req, writer)
+            return 200, None
+        if path == "/v1/stats" and method == "GET":
+            return 200, json_response(200, self.stats())
+        if path == "/v1/manifest" and method == "GET":
+            return 200, json_response(200, self._manifest_doc())
+        if path == "/v1/shutdown" and method == "POST":
+            self._stop.set()
+            return 200, json_response(200, {"stopping": True})
+        raise ProtocolError(404 if method in ("GET", "POST") else 405,
+                            f"no route for {method} {path}")
+
+    def _submit(self, req: HttpRequest) -> tuple[int, bytes]:
+        doc = req.json()
+        batch = "jobs" in doc
+        docs = doc["jobs"] if batch else [doc]
+        if not isinstance(docs, list) or not docs:
+            raise ProtocolError(400, "'jobs' must be a non-empty list")
+        accepted, rejected = [], []
+        for jdoc in docs:
+            if not isinstance(jdoc, dict):
+                raise ProtocolError(400, "each job must be an object")
+            job, tenant, deadline_s = job_from_request(jdoc)
+            with self._lock:
+                existing = self.jobs.get(job.job_id)
+                if existing is not None:
+                    dup = self._public(existing)
+                    dup["duplicate"] = True
+                    accepted.append(dup)
+                    continue
+            try:
+                shard, predicted = self.scheduler.admit(
+                    job, tenant=tenant, deadline_s=deadline_s)
+            except AdmissionError as exc:
+                rejected.append(exc.payload)
+                continue
+            rec = self._record(job, tenant, shard, predicted)
+            with self._lock:
+                self.jobs[job.job_id] = rec
+            accepted.append(self._public(rec))
+        body = {"accepted": accepted, "rejected": rejected}
+        # a bare (non-batch) submission surfaces its rejection as HTTP
+        # backpressure; batches always 200 with both lists, so one
+        # rejected job cannot hide its siblings' admissions
+        if not batch and rejected:
+            return 429, json_response(
+                429, rejected[0],
+                extra_headers={"Retry-After": str(max(
+                    1, int(rejected[0]["retry_after_s"])))})
+        return 200, json_response(200, body)
+
+    def _status(self, job_id: str) -> tuple[int, bytes]:
+        with self._lock:
+            rec = self.jobs.get(job_id)
+            if rec is None:
+                return 404, json_response(
+                    404, {"error": f"unknown job {job_id!r}"})
+            return 200, json_response(
+                200, self._public(rec, with_result=True))
+
+    async def _stream(self, req: HttpRequest, writer) -> None:
+        """NDJSON stream of terminal records (submission order kept).
+
+        Runs until every known job is terminal; ``?once=1`` writes what
+        is terminal now and closes (manifest-style polling).
+        """
+        once = req.query.get("once") in ("1", "true", "yes")
+        writer.write((b"HTTP/1.1 200 OK\r\n"
+                      b"Content-Type: application/x-ndjson\r\n"
+                      b"Connection: close\r\n\r\n"))
+        await writer.drain()
+        get_tracer().event("gateway.stream", once=once)
+        sent: set[str] = set()
+        terminal = ("ok", "failed", "dead", "rejected")
+        while True:
+            fresh, all_done, total = [], True, 0
+            with self._lock:
+                for jid, rec in self.jobs.items():
+                    total += 1
+                    if rec["status"] in terminal:
+                        if jid not in sent:
+                            fresh.append(self._public(rec))
+                    else:
+                        all_done = False
+            for rec in fresh:
+                sent.add(rec["job_id"])
+                writer.write(ndjson_line(rec))
+            if fresh:
+                await writer.drain()
+            if once or (total > 0 and all_done) or self._stop.is_set():
+                return
+            await asyncio.sleep(self.config.poll_s)
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            by_status: dict[str, int] = {}
+            for rec in self.jobs.values():
+                by_status[rec["status"]] = \
+                    by_status.get(rec["status"], 0) + 1
+        return {"requests": self.requests,
+                "jobs": by_status,
+                "workers_per_shard": self.config.workers,
+                "heartbeat_seconds": self.config.heartbeat_seconds,
+                "predictor": {"machine_factor":
+                              self.predictor.machine_factor,
+                              "coeff_a": self.predictor.coeff_a,
+                              "coeff_b": self.predictor.coeff_b},
+                "scheduler": self.scheduler.snapshot()}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def _serve_async(self) -> None:
+        server = await asyncio.start_server(
+            self._handle, host=self.config.host, port=self.config.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        async with server:
+            while not self._stop.is_set():
+                await asyncio.sleep(self.config.poll_s)
+
+    def start(self, timeout: float = 10.0) -> "Gateway":
+        """Start shard threads + the HTTP loop; returns when bound."""
+        for shard in range(self.config.n_shards):
+            t = threading.Thread(target=self._shard_runner,
+                                 args=(shard,), daemon=True,
+                                 name=f"gateway-shard-{shard}")
+            t.start()
+            self._threads.append(t)
+        self._loop_thread = threading.Thread(
+            target=lambda: asyncio.run(self._serve_async()),
+            daemon=True, name="gateway-http")
+        self._loop_thread.start()
+        if not self._ready.wait(timeout):
+            self._stop.set()
+            raise RuntimeError("gateway failed to bind within timeout")
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        for t in self._threads:
+            t.join(timeout)
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout)
+        if self.config.manifest:
+            self._write_manifest()
+        get_tracer().flush()
+
+    def run(self) -> int:
+        """Blocking serve (the CLI path): start, wait for shutdown."""
+        self.start()
+        print(f"gateway listening on http://{self.config.host}:"
+              f"{self.port} ({self.config.n_shards} shards, "
+              f"route={self.config.route}, "
+              f"workers/shard={self.config.workers})")
+        try:
+            while not self._stop.is_set():
+                time.sleep(0.2)
+        except KeyboardInterrupt:
+            pass
+        self.stop()
+        return 0

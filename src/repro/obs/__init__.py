@@ -19,8 +19,8 @@ summary.
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                                get_metrics, reset_metrics)
 from repro.obs.report import render_summary, summarize_log
-from repro.obs.schema import (SCHEMA_VERSION, SchemaError, validate_event,
-                              validate_log)
+from repro.obs.schema import (SCHEMA_VERSION, WELL_KNOWN_EVENTS,
+                              SchemaError, validate_event, validate_log)
 from repro.obs.trace import (NullTracer, Span, Tracer, configure, disable,
                              get_tracer)
 
@@ -28,6 +28,7 @@ __all__ = [
     "Tracer", "NullTracer", "Span", "configure", "disable", "get_tracer",
     "MetricsRegistry", "Counter", "Gauge", "Histogram",
     "get_metrics", "reset_metrics",
-    "SCHEMA_VERSION", "SchemaError", "validate_event", "validate_log",
+    "SCHEMA_VERSION", "WELL_KNOWN_EVENTS", "SchemaError",
+    "validate_event", "validate_log",
     "summarize_log", "render_summary",
 ]

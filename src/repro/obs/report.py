@@ -124,7 +124,10 @@ def render_summary(summary: dict, top: int = 20) -> str:
             rate = cstats.get("hit_rate")
             rate_txt = f", cache hit rate {rate:.0%}" \
                 if isinstance(rate, (int, float)) else ""
-            out(f"  {src}: {done} jobs done{rate_txt}")
+            interval = hb.get("interval_s")
+            interval_txt = f", heartbeat every {interval:g}s" \
+                if isinstance(interval, (int, float)) else ""
+            out(f"  {src}: {done} jobs done{rate_txt}{interval_txt}")
 
     points = {k: v for k, v in summary["events"].items()}
     if points:

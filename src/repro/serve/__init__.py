@@ -19,15 +19,20 @@ throughput argument is about (screening large ligand libraries):
 """
 
 from repro.serve.cache import ContentCache, file_sha256, maps_digest
-from repro.serve.pool import (JobResult, WorkerPool, execute_cohort,
-                              execute_job, validate_result_payload)
+from repro.serve.pool import (DEFAULT_HEARTBEAT_SECONDS, JobResult,
+                              WorkerPool, execute_cohort, execute_job,
+                              validate_result_payload)
 from repro.serve.queue import (
     CohortJob,
     DockingJob,
     JobQueue,
     QueueFull,
+    WrongShard,
     pack_cohorts,
     seed_from_spec,
+    shard_for,
+    shard_key,
+    shard_ranges,
     spawn_seed,
 )
 from repro.serve.screen import ScreenReport, VirtualScreen
@@ -35,6 +40,7 @@ from repro.serve.screen import ScreenReport, VirtualScreen
 __all__ = [
     "CohortJob",
     "ContentCache",
+    "DEFAULT_HEARTBEAT_SECONDS",
     "DockingJob",
     "JobQueue",
     "JobResult",
@@ -42,12 +48,16 @@ __all__ = [
     "ScreenReport",
     "VirtualScreen",
     "WorkerPool",
+    "WrongShard",
     "execute_cohort",
     "execute_job",
     "file_sha256",
     "maps_digest",
     "pack_cohorts",
     "seed_from_spec",
+    "shard_for",
+    "shard_key",
+    "shard_ranges",
     "spawn_seed",
     "validate_result_payload",
 ]

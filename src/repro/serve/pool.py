@@ -44,8 +44,8 @@ from repro.obs import get_metrics, get_tracer
 from repro.serve.cache import DEFAULT_CAPACITY, ContentCache, load_case
 from repro.serve.queue import CohortJob, DockingJob, seed_from_spec
 
-__all__ = ["JobResult", "WorkerPool", "execute_cohort", "execute_job",
-           "validate_result_payload"]
+__all__ = ["DEFAULT_HEARTBEAT_SECONDS", "JobResult", "WorkerPool",
+           "execute_cohort", "execute_job", "validate_result_payload"]
 
 #: exit code a worker uses for the injected-crash test hook
 _CRASH_EXIT = 17
@@ -301,19 +301,27 @@ def _maybe_corrupt_result(job: DockingJob | CohortJob, payload: dict) -> dict:
     return payload
 
 
+#: default worker heartbeat cadence (seconds); override per pool/CLI
+DEFAULT_HEARTBEAT_SECONDS = 5.0
+
+
 def _heartbeat(worker_id: int, jobs_done: int, jobs_failed: int,
-               cache: ContentCache) -> dict:
+               cache: ContentCache,
+               interval_s: float = DEFAULT_HEARTBEAT_SECONDS) -> dict:
     """One worker heartbeat: liveness + a metrics snapshot.
 
     Emitted to the trace log and sent to the parent, which surfaces the
     last one per worker in :class:`~repro.serve.screen.VirtualScreen`'s
-    manifest stats.
+    manifest stats.  ``interval_s`` records the *effective* cadence so
+    downstream consumers (``stats`` subcommand, gateway liveness checks)
+    can judge staleness without knowing pool configuration.
     """
     return {
         "worker_id": worker_id,
         "pid": os.getpid(),
         "jobs_done": jobs_done,
         "jobs_failed": jobs_failed,
+        "interval_s": interval_s,
         "cache": cache.stats(),
         "metrics": get_metrics().snapshot(),
     }
@@ -321,8 +329,17 @@ def _heartbeat(worker_id: int, jobs_done: int, jobs_failed: int,
 
 def _worker_main(task_q, result_q, worker_id: int, cache_bytes: int,
                  wall_seconds: float | None, include_history: bool,
-                 trace_path: str | None = None) -> None:
-    """Worker loop: steal a job, ack, execute, report; ``None`` drains."""
+                 trace_path: str | None = None,
+                 heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS
+                 ) -> None:
+    """Worker loop: steal a job, ack, execute, report; ``None`` drains.
+
+    Heartbeats are emitted after every job *and* whenever the queue stays
+    empty for ``heartbeat_seconds`` — an idle worker still proves
+    liveness at the configured cadence.
+    """
+    import queue as _queue
+
     tracer = get_tracer()
     if trace_path is not None:
         from repro.obs import configure
@@ -331,7 +348,14 @@ def _worker_main(task_q, result_q, worker_id: int, cache_bytes: int,
     jobs_done = jobs_failed = 0
     tracer.event("worker.start", worker_id=worker_id, pid=os.getpid())
     while True:
-        job = task_q.get()
+        try:
+            job = task_q.get(timeout=max(heartbeat_seconds, 0.05))
+        except _queue.Empty:
+            hb = _heartbeat(worker_id, jobs_done, jobs_failed, cache,
+                            interval_s=heartbeat_seconds)
+            tracer.event("worker.heartbeat", **hb)
+            result_q.put(("heartbeat", None, worker_id, hb))
+            continue
         if job is None:
             tracer.event("worker.stop", worker_id=worker_id,
                          jobs_done=jobs_done, jobs_failed=jobs_failed)
@@ -363,7 +387,8 @@ def _worker_main(task_q, result_q, worker_id: int, cache_bytes: int,
                 # same budget again (the campaign convention)
                 "retryable": not isinstance(exc, WatchdogTimeout),
             }))
-        hb = _heartbeat(worker_id, jobs_done, jobs_failed, cache)
+        hb = _heartbeat(worker_id, jobs_done, jobs_failed, cache,
+                        interval_s=heartbeat_seconds)
         tracer.event("worker.heartbeat", **hb)
         result_q.put(("heartbeat", None, worker_id, hb))
 
@@ -406,6 +431,13 @@ class WorkerPool:
     trace_path:
         Shared JSONL trace log; workers configure their own
         :mod:`repro.obs` tracer appending to it (``None`` = no tracing).
+    heartbeat_seconds:
+        Worker heartbeat cadence: idle workers emit a liveness heartbeat
+        at this interval (busy workers also heartbeat after every job).
+        A serving-layer knob, not part of :class:`~repro.core.config
+        .DockingConfig` — config fields feed the content hash that is a
+        job's identity, and the heartbeat cadence must not change job
+        ids or dedup semantics.
     """
 
     def __init__(self, workers: int = 2, retries: int = 2,
@@ -418,7 +450,9 @@ class WorkerPool:
                  poll_seconds: float = 0.1,
                  stall_seconds: float = 10.0,
                  max_respawns: int | None = None,
-                 trace_path: str | None = None) -> None:
+                 trace_path: str | None = None,
+                 heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS
+                 ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers
@@ -436,6 +470,9 @@ class WorkerPool:
         self.max_respawns = (max_respawns if max_respawns is not None
                              else 8 * max(workers, 1))
         self.trace_path = trace_path
+        if heartbeat_seconds <= 0:
+            raise ValueError("heartbeat_seconds must be > 0")
+        self.heartbeat_seconds = heartbeat_seconds
         #: workers replaced after a crash (cumulative over map calls)
         self.workers_replaced = 0
         #: last heartbeat per worker id (inline mode uses key "inline")
@@ -510,7 +547,8 @@ class WorkerPool:
         yield from self._run_inline(list(jobs), cache, state)
 
     def _inline_heartbeat(self, cache, state) -> None:
-        hb = _heartbeat(-1, state["done"], state["failed"], cache)
+        hb = _heartbeat(-1, state["done"], state["failed"], cache,
+                        interval_s=self.heartbeat_seconds)
         self.heartbeats["inline"] = hb
         get_tracer().event("worker.heartbeat", **hb)
 
@@ -634,7 +672,7 @@ class WorkerPool:
             target=_worker_main,
             args=(task_q, result_q, worker_id, self.cache_bytes,
                   self.job_wall_seconds, self.include_history,
-                  self.trace_path),
+                  self.trace_path, self.heartbeat_seconds),
             daemon=True, name=f"repro-serve-worker-{worker_id}")
         proc.start()
         return proc

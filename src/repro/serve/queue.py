@@ -25,8 +25,63 @@ from repro.core.config import DockingConfig
 from repro.obs import get_metrics
 
 __all__ = ["DockingJob", "CohortJob", "JobQueue", "QueueFull",
-           "canonical_spec", "pack_cohorts", "spawn_seed",
-           "seed_from_spec"]
+           "WrongShard", "canonical_spec", "pack_cohorts", "spawn_seed",
+           "seed_from_spec", "shard_for", "shard_ranges", "shard_key",
+           "SHARD_KEY_BITS"]
+
+# ---------------------------------------------------------------------------
+# content-hash shard partitioning
+#
+# A shard owns a contiguous, disjoint range of the 32-bit key space carved
+# out of the job's content hash.  The partition is a pure function of the
+# job id string, so every process — gateway front-end, shard pools on this
+# or any other host, a resuming manifest reader — computes the same
+# assignment without coordination, and dedup/idempotent-completion
+# semantics survive sharding: one job id maps to exactly one shard.
+
+#: width of the shard key sliced off the front of the SHA-256 job id
+SHARD_KEY_BITS = 32
+
+_SHARD_SPACE = 1 << SHARD_KEY_BITS
+
+
+def shard_key(job_id: str) -> int:
+    """The 32-bit partition key of a content-hash job id.
+
+    The leading 8 hex digits of the SHA-256 are uniform over the key
+    space, so equal-width ranges receive equal expected load.
+    """
+    return int(job_id[: SHARD_KEY_BITS // 4], 16)
+
+
+def shard_ranges(n_shards: int) -> list[tuple[int, int]]:
+    """Disjoint half-open key ranges ``[lo, hi)`` covering the space.
+
+    The ``2**32 % n_shards`` remainder keys go one-apiece to the lowest
+    shards, so ranges differ in width by at most one key.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    span, extra = divmod(_SHARD_SPACE, n_shards)
+    ranges, lo = [], 0
+    for i in range(n_shards):
+        hi = lo + span + (1 if i < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def shard_for(job_id: str, n_shards: int) -> int:
+    """Which shard owns ``job_id`` — the arithmetic inverse of
+    :func:`shard_ranges`, O(1) per lookup."""
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    key = shard_key(job_id)
+    span, extra = divmod(_SHARD_SPACE, n_shards)
+    wide = extra * (span + 1)           # keys held by the widened shards
+    if key < wide:
+        return key // (span + 1)
+    return extra + (key - wide) // span
 
 
 def canonical_spec(spec: dict) -> dict:
@@ -252,6 +307,18 @@ class QueueFull(RuntimeError):
         self.pending = pending
 
 
+class WrongShard(RuntimeError):
+    """A job was submitted to a shard that does not own its hash range."""
+
+    def __init__(self, job_id: str, shard: int, owner: int) -> None:
+        super().__init__(
+            f"job {job_id[:12]} belongs to shard {owner}, "
+            f"not shard {shard}")
+        self.job_id = job_id
+        self.shard = shard
+        self.owner = owner
+
+
 class JobQueue:
     """Bounded, deduplicating priority queue of :class:`DockingJob`.
 
@@ -265,14 +332,29 @@ class JobQueue:
         How many recently-expired jobs :attr:`expired` retains for
         inspection; the full count lives in :attr:`expired_total`, so
         the record stays bounded on long-running services.
+    shard / n_shards:
+        When both are given, this queue owns shard ``shard`` of an
+        ``n_shards``-way content-hash partition (:func:`shard_ranges`)
+        and :meth:`submit` raises :class:`WrongShard` for any job whose
+        id hashes outside its range — multiple pools pulling from their
+        own shard queues therefore see disjoint work by construction.
     """
 
     def __init__(self, maxsize: int | None = None,
-                 clock=time.monotonic, expired_keep: int = 64) -> None:
+                 clock=time.monotonic, expired_keep: int = 64,
+                 shard: int | None = None,
+                 n_shards: int | None = None) -> None:
         if maxsize is not None and maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         if expired_keep < 1:
             raise ValueError("expired_keep must be >= 1")
+        if (shard is None) != (n_shards is None):
+            raise ValueError("shard and n_shards must be given together")
+        if shard is not None and not 0 <= shard < n_shards:
+            raise ValueError(f"shard {shard} out of range for "
+                             f"{n_shards} shards")
+        self.shard = shard
+        self.n_shards = n_shards
         self.maxsize = maxsize
         self._clock = clock
         self._heap: list[tuple[int, int, DockingJob]] = []
@@ -300,8 +382,14 @@ class JobQueue:
         done) is *not* enqueued again — the id is returned and the
         duplicate counted.  On a full queue, ``block=True`` waits up to
         ``timeout`` seconds for space; otherwise :class:`QueueFull`.
+        A sharded queue (``shard=``/``n_shards=``) raises
+        :class:`WrongShard` for jobs outside its hash range.
         """
         job_id = job.job_id
+        if self.shard is not None:
+            owner = shard_for(job_id, self.n_shards)
+            if owner != self.shard:
+                raise WrongShard(job_id, self.shard, owner)
         with self._not_full:
             if job_id in self._seen:
                 self.deduped += 1
@@ -361,6 +449,10 @@ class JobQueue:
 
     def stats(self) -> dict:
         with self._lock:
-            return {"submitted": self.submitted, "deduped": self.deduped,
-                    "popped": self.popped, "expired": self.expired_total,
-                    "pending": len(self._heap)}
+            out = {"submitted": self.submitted, "deduped": self.deduped,
+                   "popped": self.popped, "expired": self.expired_total,
+                   "pending": len(self._heap)}
+            if self.shard is not None:
+                out["shard"] = self.shard
+                out["n_shards"] = self.n_shards
+            return out

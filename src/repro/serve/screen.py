@@ -198,7 +198,8 @@ class VirtualScreen:
             include_history: bool = False,
             trace: str | Path | None = None,
             cohort_size: int = 1,
-            retry_dead: bool = False) -> ScreenReport:
+            retry_dead: bool = False,
+            heartbeat_seconds: float | None = None) -> ScreenReport:
         """Execute the screen; returns the final :class:`ScreenReport`.
 
         ``cohort_size > 1`` packs compatible jobs into lock-step cohorts
@@ -261,16 +262,17 @@ class VirtualScreen:
             new_results: list[JobResult] = []
             pool_stats: dict = {}
             if to_run:
-                pool = WorkerPool(workers=workers, retries=retries,
-                                  backoff=backoff,
-                                  job_wall_seconds=job_wall_seconds,
-                                  lease_seconds=lease_seconds,
-                                  cache_bytes=cache_bytes,
-                                  start_method=start_method,
-                                  include_history=include_history,
-                                  trace_path=(str(trace)
-                                              if trace is not None
-                                              else None))
+                pool_kwargs = dict(
+                    workers=workers, retries=retries, backoff=backoff,
+                    job_wall_seconds=job_wall_seconds,
+                    lease_seconds=lease_seconds, cache_bytes=cache_bytes,
+                    start_method=start_method,
+                    include_history=include_history,
+                    trace_path=(str(trace) if trace is not None
+                                else None))
+                if heartbeat_seconds is not None:
+                    pool_kwargs["heartbeat_seconds"] = heartbeat_seconds
+                pool = WorkerPool(**pool_kwargs)
                 for result in pool.map(to_run):
                     results[result.job_id] = result
                     new_results.append(result)

@@ -13,7 +13,10 @@ CUDA kernels execute:
 * :mod:`repro.simt.costmodel` — the ADADELTA kernel cost model (compute,
   barriers, reductions, memory) for baseline / TC / TCEC back-ends;
 * :mod:`repro.simt.profiler` — Nsight-Compute-style derived metrics
-  (operational intensity, GFLOP/s, FMA / ALU / TC utilisation; Table 6).
+  (operational intensity, GFLOP/s, FMA / ALU / TC utilisation; Table 6);
+* :mod:`repro.simt.predictor` — host wall-time prediction for the
+  serving gateway: the cost model's per-eval shape function, affine-
+  calibrated against committed bench traces (``BENCH_gateway.json``).
 """
 
 from repro.simt.counters import OpCounters, RegionClock
@@ -24,6 +27,8 @@ from repro.simt.costmodel import (
     REDUCTION_BACKENDS,
 )
 from repro.simt.devices import A100, B200, H100, DeviceSpec, get_device, list_devices
+from repro.simt.predictor import (JobShape, RuntimePredictor,
+                                  shape_from_case, shape_from_pdbqt)
 from repro.simt.profiler import KernelProfile, profile_kernel
 from repro.simt.roofline import RooflinePoint, classify, ridge_point
 
@@ -40,6 +45,10 @@ __all__ = [
     "DeviceSpec",
     "get_device",
     "list_devices",
+    "JobShape",
+    "RuntimePredictor",
+    "shape_from_case",
+    "shape_from_pdbqt",
     "KernelProfile",
     "RooflinePoint",
     "classify",

@@ -1,0 +1,171 @@
+"""End-to-end gateway tests: HTTP submission through NDJSON results.
+
+Real sockets on an ephemeral port, two inline shards (workers=0 — the
+single-CPU CI runner runs jobs in the shard threads themselves), the
+committed predictor for admission.  Small eval budgets keep each dock
+in the tens of milliseconds.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.gateway import (Gateway, GatewayConfig, GatewayClient,
+                           GatewayRejected)
+from repro.serve import shard_for
+
+
+def _doc(case="1u4d", i=0, evals=200, n_runs=1, **extra):
+    return {"case": case, "n_runs": n_runs, "evals": evals, "pop": 10,
+            "ls_iters": 5, "backend": "baseline",
+            "seed": {"entropy": 42, "index": i}, **extra}
+
+
+#: a job no machine finishes in 10ms: predicted minutes of work
+_IMPOSSIBLE = dict(evals=200_000, n_runs=8, deadline_s=0.01)
+
+
+@pytest.fixture()
+def gateway(tmp_path):
+    cfg = GatewayConfig(port=0, n_shards=2, workers=0, poll_s=0.01,
+                        manifest=str(tmp_path / "manifest.json"))
+    gw = Gateway(cfg).start()
+    try:
+        yield gw, GatewayClient(f"http://127.0.0.1:{gw.port}")
+    finally:
+        gw.stop()
+
+
+class TestEndToEnd:
+    def test_mixed_batch_streams_and_ranks(self, gateway, tmp_path):
+        gw, client = gateway
+        assert client.healthz()["ok"] is True
+
+        docs = [_doc(i=i) for i in range(6)]
+        docs.append(_doc(i=99, **_IMPOSSIBLE))
+        out = client.submit_batch(docs)
+
+        assert len(out["accepted"]) == 6
+        assert len(out["rejected"]) == 1
+        rej = out["rejected"][0]
+        assert rej["error"] == "admission_rejected"
+        assert rej["reason"] == "deadline"
+        assert rej["predicted_seconds"] > rej["limit_seconds"]
+
+        # hash routing: the reply's shard is the content-hash owner
+        for rec in out["accepted"]:
+            assert rec["shard"] == shard_for(rec["job_id"], 2)
+        assert {rec["shard"] for rec in out["accepted"]} == {0, 1}
+
+        # stream until every accepted job is terminal
+        results = list(client.stream())
+        assert len(results) == 6
+        assert all(rec["status"] == "ok" for rec in results)
+        assert all(rec["best_score"] is not None for rec in results)
+
+        # per-job status carries the full result payload
+        jid = out["accepted"][0]["job_id"]
+        status = client.status(jid)
+        assert status["status"] == "ok"
+        payload = status["result"]          # full JobResult record
+        assert payload["status"] == "ok"
+        runs = payload["result"]["runs"]
+        assert min(r["best_score"] for r in runs) == \
+            pytest.approx(status["best_score"])
+
+        # the manifest on disk is the ranked, atomic artifact
+        doc = json.loads((tmp_path / "manifest.json").read_text())
+        scores = [r["best_score"] for r in doc["ranking"]]
+        assert scores == sorted(scores)
+        assert len(doc["ranking"]) == 6
+        assert doc["scheduler"]["completed"] == 6
+
+        stats = client.stats()
+        assert stats["jobs"]["ok"] == 6
+        assert stats["heartbeat_seconds"] > 0
+        assert stats["scheduler"]["rejected"] == 1
+
+    def test_single_rejection_is_429(self, gateway):
+        _, client = gateway
+        with pytest.raises(GatewayRejected) as exc:
+            client.submit(_doc(i=0, **_IMPOSSIBLE))
+        assert exc.value.status == 429
+        assert exc.value.payload["reason"] == "deadline"
+        assert exc.value.payload["retry_after_s"] > 0
+
+    def test_duplicate_submission_is_idempotent(self, gateway):
+        _, client = gateway
+        first = client.submit(_doc(i=1))["accepted"][0]
+        again = client.submit(_doc(i=1))["accepted"][0]
+        assert again["job_id"] == first["job_id"]
+        assert again["duplicate"] is True
+        # the duplicate never re-enqueued: exactly one job known
+        assert client.stats()["scheduler"]["admitted"] == 1
+
+    def test_unknown_job_is_404(self, gateway):
+        _, client = gateway
+        from repro.gateway import GatewayError
+        with pytest.raises(GatewayError) as exc:
+            client.status("f" * 64)
+        assert exc.value.status == 404
+
+    def test_bad_request_is_400(self, gateway):
+        gw, client = gateway
+        import http.client
+        conn = http.client.HTTPConnection("127.0.0.1", gw.port,
+                                          timeout=10)
+        conn.request("POST", "/v1/jobs", body=b"not json",
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        assert resp.status == 400
+        conn.close()
+
+
+class TestSloAdmission:
+    def test_slo_rejects_before_deadline_checks(self, tmp_path):
+        cfg = GatewayConfig(port=0, n_shards=2, workers=0, poll_s=0.01,
+                            slo_seconds=0.001)
+        gw = Gateway(cfg).start()
+        try:
+            client = GatewayClient(f"http://127.0.0.1:{gw.port}")
+            with pytest.raises(GatewayRejected) as exc:
+                client.submit(_doc(i=0, evals=100_000, n_runs=8))
+            assert exc.value.payload["reason"] == "slo"
+        finally:
+            gw.stop()
+
+
+class TestGatewayCli:
+    def test_submit_watch_and_stream(self, gateway, capsys):
+        gw, _ = gateway
+        url = f"http://127.0.0.1:{gw.port}"
+        rc = main(["gateway", "submit", "--url", url,
+                   "--cases", "1u4d", "1t46", "--tensor", "baseline",
+                   "-nrun", "1", "--evals", "200", "--pop", "10",
+                   "--lsit", "5", "--watch"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("accepted") == 2
+        assert "[ok]" in out and "kcal/mol" in out
+
+        rc = main(["gateway", "watch", "--url", url, "--once"])
+        assert rc == 0
+        lines = [json.loads(line) for line in
+                 capsys.readouterr().out.splitlines() if line.strip()]
+        assert len(lines) == 2
+        assert all(rec["status"] == "ok" for rec in lines)
+
+    def test_submit_all_rejected_exits_nonzero(self, tmp_path, capsys):
+        cfg = GatewayConfig(port=0, n_shards=1, workers=0, poll_s=0.01,
+                            slo_seconds=0.001)
+        gw = Gateway(cfg).start()
+        try:
+            url = f"http://127.0.0.1:{gw.port}"
+            rc = main(["gateway", "submit", "--url", url,
+                       "--cases", "7cpa", "--evals", "100000",
+                       "-nrun", "8"])
+            assert rc == 1
+            assert "REJECTED" in capsys.readouterr().out
+        finally:
+            gw.stop()

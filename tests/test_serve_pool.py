@@ -152,3 +152,99 @@ def test_jobs_helper_uses_distinct_spawned_streams():
     a, b = _jobs(["1u4d", "1u4d"])
     assert a.seed != b.seed
     assert a.job_id != b.job_id
+
+
+class TestResultValidation:
+    """Edge cases of parent-side payload validation: a worker that lies
+    (non-finite scores, missing run lists) must never count as done."""
+
+    def _ok_payload(self, scores=(-5.0, -4.2)):
+        return {"status": "ok",
+                "result": {"runs": [{"best_score": s} for s in scores]}}
+
+    def test_well_formed_payload_validates(self):
+        from repro.serve.pool import validate_result_payload
+        assert validate_result_payload(self._ok_payload()) is None
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf"), None, "nan"])
+    def test_non_finite_or_missing_best_score_rejected(self, bad):
+        from repro.serve.pool import validate_result_payload
+        payload = self._ok_payload(scores=(-5.0,))
+        payload["result"]["runs"].append({"best_score": bad})
+        err = validate_result_payload(payload)
+        assert err["error_type"] == "NonFiniteResult"
+        assert err["retryable"] is True
+        assert "run 1" in err["message"]
+
+    @pytest.mark.parametrize("payload", [
+        None,                                     # not a dict at all
+        {},                                       # no result
+        {"result": None},                         # result wiped
+        {"result": {}},                           # runs missing
+        {"result": {"runs": []}},                 # truncated empty
+        {"result": {"runs": "gone"}},             # wrong type
+    ])
+    def test_structurally_broken_payloads_rejected(self, payload):
+        from repro.serve.pool import validate_result_payload
+        err = validate_result_payload(payload)
+        assert err["error_type"] == "CorruptResult"
+        assert err["retryable"] is True
+
+    def test_run_record_that_is_not_a_dict_rejected(self):
+        from repro.serve.pool import validate_result_payload
+        payload = {"result": {"runs": [42]}}
+        err = validate_result_payload(payload)
+        assert err["error_type"] == "NonFiniteResult"
+
+    def test_missing_quarantine_and_history_are_not_fatal(self):
+        """Advisory metadata (quarantine records, attempt history) may
+        be absent or truncated without invalidating a sound result."""
+        from repro.serve.pool import validate_result_payload
+        payload = self._ok_payload()
+        payload["extra"] = {"attempt_history": []}    # truncated
+        assert validate_result_payload(payload) is None
+        del payload["extra"]                          # missing entirely
+        assert validate_result_payload(payload) is None
+
+
+class TestHeartbeatConfig:
+    """The heartbeat cadence is a pool/CLI knob, never part of job
+    identity (DockingConfig feeds the content hash)."""
+
+    def test_default_interval(self):
+        from repro.serve import DEFAULT_HEARTBEAT_SECONDS
+        pool = WorkerPool(workers=0)
+        assert pool.heartbeat_seconds == DEFAULT_HEARTBEAT_SECONDS
+
+    @pytest.mark.parametrize("bad", [0, -1.5])
+    def test_non_positive_interval_rejected(self, bad):
+        with pytest.raises(ValueError, match="heartbeat"):
+            WorkerPool(workers=0, heartbeat_seconds=bad)
+
+    def test_inline_heartbeat_reports_configured_interval(self):
+        pool = WorkerPool(workers=0, heartbeat_seconds=0.25)
+        list(pool.map(_jobs(["1u4d"])))
+        hb = pool.heartbeats["inline"]
+        assert hb["interval_s"] == 0.25
+        assert hb["jobs_done"] == 1
+
+    def test_interval_not_in_job_identity(self):
+        a, b = _jobs(["1u4d"]), _jobs(["1u4d"])
+        assert a[0].job_id == b[0].job_id
+        assert "heartbeat" not in str(a[0].to_dict())
+
+    def test_report_renders_interval(self, tmp_path):
+        """The trace report surfaces the effective cadence per worker."""
+        from repro.obs import render_summary, summarize_log
+        from repro.obs.trace import configure, disable
+        log = tmp_path / "trace.jsonl"
+        configure(log, source="main")
+        try:
+            pool = WorkerPool(workers=0, heartbeat_seconds=0.5,
+                              trace_path=str(log))
+            list(pool.map(_jobs(["1u4d"])))
+        finally:
+            disable()
+        text = render_summary(summarize_log(log))
+        assert "heartbeat every 0.5s" in text

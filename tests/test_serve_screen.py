@@ -249,3 +249,61 @@ class TestScreenCli:
         assert rc == 0
         out = capsys.readouterr().out
         assert "Screening 2 ligands" in out
+
+
+class TestScreenExitCodes:
+    """CLI exit contract: 0 clean, 1 plain failures, 3 dead letters
+    unless the operator accepts them with --allow-dead."""
+
+    def _chaotic_main(self, monkeypatch, poison_case):
+        """Route the screen CLI through a VirtualScreen that poisons
+        one case, producing a dead-lettered job."""
+        import repro.serve as serve_mod
+        real = serve_mod.VirtualScreen
+
+        def chaotic(*args, **kwargs):
+            kwargs["chaos"] = {poison_case: {"poison_nonfinite": True}}
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(serve_mod, "VirtualScreen", chaotic)
+
+    def _argv(self, tmp_path, *extra):
+        return ["screen", "--cases", "1u4d", "1xoz", "--workers", "0",
+                "-nrun", "1", "--evals", "200", "--pop", "8",
+                "--lsit", "4", "--tensor", "baseline", "--retries", "0",
+                "--manifest", str(tmp_path / "m.json"), *extra]
+
+    def test_dead_letters_fail_with_exit_3(self, monkeypatch, tmp_path,
+                                           capsys):
+        self._chaotic_main(monkeypatch, "1u4d")
+        assert main(self._argv(tmp_path)) == 3
+        err = capsys.readouterr().err
+        assert "dead-lettered" in err
+        assert "--allow-dead" in err
+        assert "--retry-dead" in err
+
+    def test_allow_dead_accepts_partial_results(self, monkeypatch,
+                                                tmp_path, capsys):
+        self._chaotic_main(monkeypatch, "1u4d")
+        assert main(self._argv(tmp_path, "--allow-dead")) == 0
+        out = capsys.readouterr().out
+        assert "accepted (--allow-dead)" in out
+
+    def test_clean_screen_still_exits_zero(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path)) == 0
+        capsys.readouterr()
+
+    def test_heartbeat_flag_threads_through_to_pool(self, tmp_path,
+                                                    capsys):
+        """--heartbeat reaches the workers: the trace log's heartbeats
+        carry the configured cadence."""
+        from repro.obs.schema import read_log
+        trace = tmp_path / "t.jsonl"
+        rc = main(self._argv(tmp_path, "--heartbeat", "0.75",
+                             "--trace", str(trace)))
+        assert rc == 0
+        capsys.readouterr()
+        beats = [rec for _, rec in read_log(trace)
+                 if rec.get("name") == "worker.heartbeat"]
+        assert beats
+        assert all(b["attrs"]["interval_s"] == 0.75 for b in beats)

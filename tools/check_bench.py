@@ -30,6 +30,14 @@ Three gates:
   per ligand, the workload the cohort engine widens) on the same
   machine in the same run, so the ratio needs no normalisation.
 
+The checker also validates ``bench-gateway/v1`` files
+(``BENCH_gateway.json`` from ``benchmarks/bench_gateway_latency.py``) —
+dispatched on the file's ``schema`` field: shape table and calibration
+traces well-formed, the runtime predictor's p50 relative error within
+``--max-p50-err`` (default 0.30, the serving acceptance gate), latency
+quantiles ordered, and (with ``--fresh``) machine-normalised p50
+submit→result latency within tolerance of the committed baseline.
+
 Pure stdlib, so it runs before any project dependency is importable.
 """
 
@@ -41,6 +49,9 @@ import sys
 from pathlib import Path
 
 SCHEMA = "bench-hot-path/v2"
+GATEWAY_SCHEMA = "bench-gateway/v1"
+
+_SHAPE_KEYS = ("n_atoms", "n_rot", "n_rotlist", "n_intra", "n_genes")
 
 _STAGE_KEYS = ("score_s", "ga_s", "ls_s", "reduce4_s")
 _COHORT_SECTIONS = ("cohort_smoke", "cohort", "cohort_mixed")
@@ -137,6 +148,125 @@ def validate(path: str, doc: dict) -> None:
                             f"got {pad!r}")
 
 
+def validate_gateway(path: str, doc: dict) -> None:
+    """Schema gate of a ``bench-gateway/v1`` file."""
+    machine = doc.get("machine")
+    if not isinstance(machine, dict):
+        _fail(path, "missing 'machine' section")
+    ref_s = machine.get("numpy_ref_s")
+    if not isinstance(ref_s, (int, float)) or ref_s <= 0:
+        _fail(path, f"machine.numpy_ref_s must be positive, got {ref_s!r}")
+
+    shapes = doc.get("shapes")
+    if not isinstance(shapes, dict) or not shapes:
+        _fail(path, "'shapes' must be a non-empty object")
+    for name, shape in shapes.items():
+        if not isinstance(shape, dict):
+            _fail(path, f"shapes.{name}: must be an object")
+        for key in _SHAPE_KEYS:
+            v = shape.get(key)
+            if not isinstance(v, int) or v < 0:
+                _fail(path, f"shapes.{name}: {key} must be a "
+                            f"non-negative integer, got {v!r}")
+        if shape["n_atoms"] < 1 or shape["n_genes"] < 6:
+            _fail(path, f"shapes.{name}: implausible shape {shape!r}")
+
+    cal = doc.get("calibration")
+    if not isinstance(cal, dict):
+        _fail(path, "missing 'calibration' section")
+    entries = cal.get("entries")
+    if not isinstance(entries, list) or len(entries) < 3:
+        _fail(path, "calibration.entries needs >= 3 measured traces")
+    for i, rec in enumerate(entries):
+        where = f"calibration.entries[{i}]"
+        if rec.get("case") not in shapes:
+            _fail(path, f"{where}: case {rec.get('case')!r} has no "
+                        f"entry in 'shapes'")
+        if not isinstance(rec.get("backend"), str) or not rec["backend"]:
+            _fail(path, f"{where}: missing backend")
+        for key in ("wall_s", "total_evals"):
+            v = rec.get(key)
+            if not isinstance(v, (int, float)) or v <= 0:
+                _fail(path, f"{where}: {key} must be positive, got {v!r}")
+    fit = cal.get("fit")
+    if not isinstance(fit, dict):
+        _fail(path, "missing calibration.fit")
+    for key in ("coeff_a", "coeff_b"):
+        v = fit.get(key)
+        if not isinstance(v, (int, float)) or v < 0:
+            _fail(path, f"calibration.fit.{key} must be >= 0, got {v!r}")
+    acc = cal.get("accuracy")
+    if not isinstance(acc, dict):
+        _fail(path, "missing calibration.accuracy")
+    for key in ("p50_rel_err", "p90_rel_err"):
+        v = acc.get(key)
+        if not isinstance(v, (int, float)) or v < 0:
+            _fail(path, f"calibration.accuracy.{key} must be >= 0, "
+                        f"got {v!r}")
+
+    lat = doc.get("latency")
+    if not isinstance(lat, dict):
+        _fail(path, "missing 'latency' section")
+    n_shards = lat.get("n_shards")
+    if not isinstance(n_shards, int) or n_shards < 1:
+        _fail(path, f"latency.n_shards must be >= 1, got {n_shards!r}")
+    used = lat.get("shards_used")
+    if not isinstance(used, list) or len(used) < min(2, n_shards):
+        _fail(path, f"latency.shards_used must cover >= "
+                    f"{min(2, n_shards)} shards, got {used!r}")
+    epj = lat.get("evals_per_job")
+    if not isinstance(epj, (int, float)) or epj <= 0:
+        _fail(path, f"latency.evals_per_job must be positive, got {epj!r}")
+    quant = lat.get("submit_to_result_s")
+    if not isinstance(quant, dict):
+        _fail(path, "missing latency.submit_to_result_s")
+    for key in ("p50", "p90", "p99", "mean", "max"):
+        v = quant.get(key)
+        if not isinstance(v, (int, float)) or v <= 0:
+            _fail(path, f"latency.submit_to_result_s.{key} must be "
+                        f"positive, got {v!r}")
+    if not quant["p50"] <= quant["p90"] <= quant["p99"] <= quant["max"]:
+        _fail(path, f"latency quantiles out of order: {quant!r}")
+
+
+def gateway_gate(path: str, doc: dict, max_p50_err: float) -> list[str]:
+    """Predictor-accuracy acceptance gate of a gateway bench file."""
+    acc = doc["calibration"]["accuracy"]
+    err = acc["p50_rel_err"]
+    status = "OK" if err <= max_p50_err else "TOO INACCURATE"
+    print(f"  predictor p50 rel err {err:.1%} over {acc.get('n', '?')} "
+          f"traces (need <= {max_p50_err:.0%})  {status}")
+    if status != "OK":
+        return [f"{path}: predictor p50 relative error {err:.1%} exceeds "
+                f"the {max_p50_err:.0%} acceptance gate"]
+    return []
+
+
+def compare_gateway(baseline: dict, fresh: dict,
+                    tolerance: float) -> list[str]:
+    """Machine-normalised per-eval p50 latency regression check.
+
+    Latency scales with machine slowness and per-job budget, so the
+    comparable number is ``p50 / (numpy_ref_s x evals_per_job)`` —
+    calibration units per eval of submit→result time.
+    """
+    def per_eval(doc: dict) -> float:
+        lat = doc["latency"]
+        return (lat["submit_to_result_s"]["p50"]
+                / (doc["machine"]["numpy_ref_s"] * lat["evals_per_job"]))
+
+    base_n, fresh_n = per_eval(baseline), per_eval(fresh)
+    ratio = fresh_n / base_n
+    status = "OK" if ratio <= 1.0 + tolerance else "REGRESSION"
+    print(f"  p50 latency/eval normalised {fresh_n:8.3f} vs "
+          f"baseline {base_n:8.3f}  ({ratio:5.2f}x)  {status}")
+    if status != "OK":
+        return [f"latency: machine-normalised p50 submit→result rose to "
+                f"{ratio:.2f}x of baseline "
+                f"(tolerance {1.0 + tolerance:.2f}x)"]
+    return []
+
+
 def normalised(doc: dict, section: str) -> dict[str, float]:
     """Machine-normalised throughput per backend: evals per calibration
     unit (evals/s x numpy_ref_s)."""
@@ -222,6 +352,37 @@ def cohort_gate(path: str, doc: dict, min_speedup: float) -> list[str]:
     return []
 
 
+def _gateway_main(args: argparse.Namespace, baseline: dict) -> int:
+    """``bench-gateway/v1`` branch of :func:`main` (schema-dispatched)."""
+    try:
+        validate_gateway(args.baseline, baseline)
+        fresh = None
+        if args.fresh:
+            fresh = load(args.fresh)
+            if fresh.get("schema") != GATEWAY_SCHEMA:
+                _fail(args.fresh, f"schema {fresh.get('schema')!r} != "
+                                  f"{GATEWAY_SCHEMA!r} (baseline is a "
+                                  f"gateway file)")
+            validate_gateway(args.fresh, fresh)
+    except BenchError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"OK: {args.baseline}: schema {GATEWAY_SCHEMA} valid")
+    problems = gateway_gate(args.baseline, baseline, args.max_p50_err)
+    if fresh is not None:
+        print(f"OK: {args.fresh}: schema {GATEWAY_SCHEMA} valid")
+        problems += gateway_gate(args.fresh, fresh, args.max_p50_err)
+        problems += compare_gateway(baseline, fresh, args.tolerance)
+    if problems:
+        for msg in problems:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        return 1
+    if fresh is not None:
+        print(f"OK: no regression beyond {args.tolerance:.0%} tolerance")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     p.add_argument("baseline", help="committed BENCH_hot_path.json")
@@ -237,10 +398,15 @@ def main(argv: list[str] | None = None) -> int:
                    help="required cohort-16 speedup over the "
                         "single-ligand baseline backend (files carrying "
                         "both measurements; default 2.0)")
+    p.add_argument("--max-p50-err", type=float, default=0.30,
+                   help="gateway files: max allowed predictor p50 "
+                        "relative error (default 0.30)")
     args = p.parse_args(argv)
 
     try:
         baseline = load(args.baseline)
+        if baseline.get("schema") == GATEWAY_SCHEMA:
+            return _gateway_main(args, baseline)
         validate(args.baseline, baseline)
         fresh = None
         if args.fresh:
