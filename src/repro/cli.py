@@ -93,6 +93,8 @@ def main(argv: list[str] | None = None) -> int:
         return inject_main(argv[1:])
     if argv and argv[0] == "screen":
         return screen_main(argv[1:])
+    if argv and argv[0] == "pack":
+        return pack_main(argv[1:])
     if argv and argv[0] == "stats":
         return stats_main(argv[1:])
     if argv and argv[0] == "gateway":
@@ -288,6 +290,11 @@ def build_screen_parser() -> argparse.ArgumentParser:
                         "ligand; no files needed)")
     p.add_argument("-l", "--ligands", nargs="+", default=None,
                    metavar="PDBQT", help="ligand PDBQT files to screen")
+    p.add_argument("--library", default=None, metavar="RLIG",
+                   help="packed binary ligand library (.rlig, built with "
+                        "the 'pack' subcommand) instead of -l: ligands "
+                        "stream to workers by offset with no per-job "
+                        "text parsing")
     p.add_argument("--workers", type=int, default=2,
                    help="worker processes (0 = run inline)")
     p.add_argument("--cohort-size", type=int, default=1, metavar="N",
@@ -314,6 +321,18 @@ def build_screen_parser() -> argparse.ArgumentParser:
     p.add_argument("--manifest", default="screen_manifest.json",
                    help="resumable ranked manifest path (JSON, written "
                         "atomically after every job)")
+    p.add_argument("--manifest-shards", type=int, default=None,
+                   metavar="N",
+                   help="write the manifest as N per-shard NDJSON append "
+                        "logs under a directory at --manifest (O(record) "
+                        "appends; merge with tools/merge_manifests.py). "
+                        "Default: auto — single-file below 10k ligands, "
+                        "sharded above; 0 forces single-file")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="shared disk cache tier: content-addressed "
+                        "mmap-able blobs (flat grid buffers, assembled "
+                        "cases) under DIR, shared by all workers and "
+                        "reused across screens")
     p.add_argument("--resume", action="store_true",
                    help="skip jobs already completed in --manifest "
                         "(dead-letter records stay terminal)")
@@ -363,9 +382,12 @@ def screen_main(argv: list[str] | None = None) -> int:
         print("error: pass exactly one of -ffile, -case or --cases",
               file=sys.stderr)
         return 2
-    if args.cases is None and not args.ligands:
-        print("error: -ffile/-case need -l <ligand.pdbqt> ...",
-              file=sys.stderr)
+    if args.ligands and args.library:
+        print("error: pass -l or --library, not both", file=sys.stderr)
+        return 2
+    if args.cases is None and not args.ligands and not args.library:
+        print("error: -ffile/-case need -l <ligand.pdbqt> ... or "
+              "--library <pack.rlig>", file=sys.stderr)
         return 2
 
     cfg = DockingConfig(
@@ -374,11 +396,11 @@ def screen_main(argv: list[str] | None = None) -> int:
                       max_gens=max(1, args.evals // args.pop),
                       ls_iters=args.lsit, ls_rate=0.25))
     screen = VirtualScreen(
-        cases=args.cases, ligands=args.ligands, fld=args.ffile,
-        case=args.case, config=cfg, n_runs=args.nrun, seed=args.seed)
+        cases=args.cases, ligands=args.ligands, rlig=args.library,
+        fld=args.ffile, case=args.case, config=cfg, n_runs=args.nrun,
+        seed=args.seed)
 
-    n_jobs = (len(args.cases) if args.cases is not None
-              else len(args.ligands))
+    n_jobs = screen._n_entries()
     print(f"Screening {n_jobs} ligands with backend={args.tensor} on "
           f"{args.device}/{args.nwi}wi, {args.workers} workers, "
           f"{args.nrun} runs each ...")
@@ -407,7 +429,9 @@ def screen_main(argv: list[str] | None = None) -> int:
                         trace=args.trace,
                         cohort_size=args.cohort_size,
                         retry_dead=args.retry_dead,
-                        heartbeat_seconds=args.heartbeat)
+                        heartbeat_seconds=args.heartbeat,
+                        manifest_shards=args.manifest_shards,
+                        store=args.store)
 
     s = report.stats
     print(f"\nScreen finished: {s['jobs_completed']} new, "
@@ -421,6 +445,10 @@ def screen_main(argv: list[str] | None = None) -> int:
     c = s["cache"]
     print(f"Grid cache: {c['hits']} hits / {c['misses']} misses "
           f"(hit rate {c['hit_rate']:.0%})")
+    if args.store:
+        print(f"Disk store: {c.get('disk_hits', 0)} hits / "
+              f"{c.get('disk_misses', 0)} misses / "
+              f"{c.get('disk_writes', 0)} writes under {args.store}")
     print(f"\nTop hits (of {len(report.ranking)} ranked):")
     for hit in report.ranking[: args.top]:
         print(f"  #{hit['rank']:<3} {hit['label']:<24} "
@@ -441,6 +469,55 @@ def screen_main(argv: list[str] | None = None) -> int:
               f"them, or pass --allow-dead to accept partial results",
               file=sys.stderr)
         return 3
+    return 0
+
+
+def build_pack_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="autodock-py pack",
+        description="Pack PDBQT ligands into a .rlig binary library: "
+                    "the text is parsed exactly once, records decode "
+                    "with buffer slices, and the per-record content "
+                    "digests in the index become job identities "
+                    "(screen --library <pack.rlig>).")
+    p.add_argument("inputs", nargs="+", metavar="PDBQT|DIR",
+                   help="ligand PDBQT files and/or directories to scan "
+                        "for *.pdbqt")
+    p.add_argument("--out", required=True, metavar="RLIG",
+                   help="output pack path")
+    return p
+
+
+def pack_main(argv: list[str] | None = None) -> int:
+    """The ``autodock-py pack`` subcommand."""
+    import time as _time
+    from pathlib import Path
+
+    from repro.io import ParseError, pack_rlig
+
+    args = build_pack_parser().parse_args(argv)
+    sources: list[Path] = []
+    for inp in args.inputs:
+        path = Path(inp)
+        if path.is_dir():
+            sources.extend(sorted(path.glob("*.pdbqt")))
+        else:
+            sources.append(path)
+    if not sources:
+        print("error: no ligand files found", file=sys.stderr)
+        return 2
+    t0 = _time.perf_counter()
+    try:
+        n = pack_rlig(args.out, sources)
+    except ParseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    dt = _time.perf_counter() - t0
+    out_bytes = Path(args.out).stat().st_size
+    in_bytes = sum(p.stat().st_size for p in sources)
+    print(f"Packed {n} ligands into {args.out} "
+          f"({out_bytes} bytes from {in_bytes} bytes of PDBQT, "
+          f"{n / dt:.0f} ligands/s)")
     return 0
 
 

@@ -94,6 +94,79 @@ class GridMaps:
         self._chan_base = self._n_voxels * np.arange(
             n_types, n_types + 3, dtype=np.int64)
 
+    @classmethod
+    def from_flat(cls, flat: np.ndarray, *, origin, spacing: float,
+                  type_names: list[str],
+                  shape: tuple[int, int, int]) -> "GridMaps":
+        """Rebuild a map set from its fused flat buffer (zero-copy).
+
+        ``flat`` is the layout :meth:`_build_flat` produces — the affinity
+        stack followed by the elec / desolv_v / desolv_s blocks — e.g. a
+        read-only ``np.load(..., mmap_mode="r")`` view of a stored blob.
+        The four map attributes become *views into that buffer*, and the
+        fused lookup buffer is installed directly, so neither text parsing
+        nor the concatenation in :meth:`_build_flat` runs.
+        """
+        flat = np.asarray(flat)
+        if flat.dtype != np.float64:
+            flat = flat.astype(np.float64)
+        n_types = len(type_names)
+        nx, ny, nz = (int(d) for d in shape)
+        nvox = nx * ny * nz
+        expected = (n_types + 3) * nvox
+        if flat.shape != (expected,):
+            raise ValueError(
+                f"flat buffer has shape {flat.shape}, expected ({expected},) "
+                f"for {n_types} types and grid {shape}")
+        blocks = [flat[k * nvox:(k + 1) * nvox]
+                  for k in range(n_types, n_types + 3)]
+        maps = cls(origin=origin, spacing=float(spacing),
+                   type_names=list(type_names),
+                   affinity=flat[:n_types * nvox].reshape(n_types, nx, ny, nz),
+                   elec=blocks[0].reshape(nx, ny, nz),
+                   desolv_v=blocks[1].reshape(nx, ny, nz),
+                   desolv_s=blocks[2].reshape(nx, ny, nz))
+        maps._flat_maps = flat
+        maps._chan_base = nvox * np.arange(n_types, n_types + 3,
+                                           dtype=np.int64)
+        return maps
+
+    @property
+    def flat_maps(self) -> np.ndarray:
+        """The fused lookup buffer, building it on first access.
+
+        This is what the disk cache tier stores: one contiguous array
+        whose layout :meth:`from_flat` inverts.
+        """
+        if self._flat_maps is None:
+            self._build_flat()
+        return self._flat_maps
+
+    @property
+    def nbytes(self) -> int:
+        """Resident-byte cost including the lazily-built fused buffer.
+
+        The fused buffer duplicates all four map stacks, so a map set is
+        charged for it *up front* — whether or not :meth:`_build_flat` has
+        run yet — keeping cache accounting an upper bound on what the
+        entry can ever grow to.  Instances built by :meth:`from_flat` hold
+        views into one buffer and are charged for that buffer once.
+        """
+        component = (self.affinity.nbytes + self.elec.nbytes
+                     + self.desolv_v.nbytes + self.desolv_s.nbytes)
+        flat = self._flat_maps
+        if flat is not None and np.shares_memory(flat, self.affinity):
+            total = flat.nbytes          # from_flat: maps are views
+        else:
+            total = 2 * component        # built, or will be built lazily
+        # _build_flat always creates the 3-element channel-base table;
+        # charge it up front so the lazy build never grows the entry
+        total += 3 * np.dtype(np.int64).itemsize
+        cached = self._offs_cache
+        if cached is not None:
+            total += cached[2].nbytes
+        return total
+
     # ------------------------------------------------------------------
 
     @property

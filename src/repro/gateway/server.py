@@ -36,8 +36,6 @@ pool inherits the dedup/retry/dead-letter semantics of
 from __future__ import annotations
 
 import asyncio
-import json
-import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -84,6 +82,14 @@ class GatewayConfig:
     heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS
     include_history: bool = False
     manifest: str | None = None
+    #: > 0 writes the manifest as per-shard NDJSON append logs
+    #: (:class:`repro.serve.manifest.ShardedManifest`) instead of
+    #: rewriting one JSON document per completion; ``/v1/manifest``
+    #: still serves the merged in-memory view
+    manifest_shards: int = 0
+    #: shared disk cache tier root (:class:`repro.serve.store.BlobStore`)
+    #: fronted by every shard's worker caches
+    store: str | None = None
     trace: str | None = None
     bench_path: str | None = None       # None = committed default
     poll_s: float = 0.05
@@ -120,6 +126,12 @@ class Gateway:
             from repro.obs import configure
             configure(self.config.trace, source="gateway")
         self._lock = threading.Lock()
+        self._manifest_lock = threading.Lock()
+        self._sharded = None
+        if self.config.manifest and self.config.manifest_shards > 0:
+            from repro.serve.manifest import ShardedManifest
+            self._sharded = ShardedManifest(
+                self.config.manifest, n_shards=self.config.manifest_shards)
         #: job_id -> record dict (see ``_record``); insertion-ordered
         self.jobs: dict[str, dict] = {}
         self._stop = threading.Event()
@@ -184,6 +196,7 @@ class Gateway:
                 job_wall_seconds=cfg.job_wall_seconds,
                 include_history=cfg.include_history,
                 heartbeat_seconds=cfg.heartbeat_seconds,
+                store_root=cfg.store,
                 trace_path=cfg.trace)
             try:
                 for result in pool.map([sj.job for sj in batch]):
@@ -191,15 +204,32 @@ class Gateway:
                         shard, predicted.get(result.job_id, 0.0))
                     with self._lock:
                         rec = self.jobs.get(result.job_id)
-                        if rec is not None:
-                            self._apply_result(rec, result)
+                        staged = dict(rec) if rec is not None else None
+                    if staged is not None:
+                        self._apply_result(staged, result)
+                        # write-ahead: persist the terminal record
+                        # BEFORE it becomes visible to /v1/stream — a
+                        # client acting on a streamed result must find
+                        # it in the on-disk manifest.  Persist and
+                        # publish under one manifest-lock hold, else a
+                        # sibling shard snapshots between our write and
+                        # our publish and its (later) write drops this
+                        # record from the on-disk ranking.
+                        with self._manifest_lock:
+                            if self._sharded is not None:
+                                # O(record) append, not O(jobs) rewrite
+                                self._sharded.append(staged)
+                            elif cfg.manifest:
+                                self._write_manifest_locked(staged)
+                            with self._lock:
+                                live = self.jobs.get(result.job_id)
+                                if live is not None:
+                                    live.update(staged)
                     tracer.event("gateway.done", job_id=result.job_id,
                                  shard=shard, status=result.status,
                                  wall_seconds=result.wall_seconds,
                                  predicted_s=predicted.get(
                                      result.job_id))
-                    if cfg.manifest:
-                        self._write_manifest()
             except Exception as exc:          # pool-level failure: the
                 # whole batch dead-letters so callers are never wedged
                 for sj in batch:
@@ -221,8 +251,9 @@ class Gateway:
     # ------------------------------------------------------------------
     # manifest
 
-    def _ranking(self) -> list[dict]:
-        done = [r for r in self.jobs.values()
+    @staticmethod
+    def _ranking(records) -> list[dict]:
+        done = [r for r in records
                 if r["status"] == "ok" and r["best_score"] is not None]
         done.sort(key=lambda r: r["best_score"])
         return [{"rank": k + 1, "label": r["label"],
@@ -230,10 +261,15 @@ class Gateway:
                  "status": r["status"], "shard": r["shard"]}
                 for k, r in enumerate(done)]
 
-    def _manifest_doc(self) -> dict:
+    def _manifest_doc(self, override: dict | None = None) -> dict:
+        """Snapshot of all job records; ``override`` swaps in a staged
+        terminal record not yet published to ``self.jobs`` (the
+        write-ahead path in the shard runner)."""
         with self._lock:
             jobs = {jid: dict(rec) for jid, rec in self.jobs.items()}
-            ranking = self._ranking()
+        if override is not None:
+            jobs[override["job_id"]] = dict(override)
+        ranking = self._ranking(jobs.values())
         return {"version": MANIFEST_VERSION,
                 "gateway": {"n_shards": self.config.n_shards,
                             "route": self.config.route,
@@ -243,13 +279,23 @@ class Gateway:
                 "ranking": ranking,
                 "scheduler": self.scheduler.snapshot()}
 
-    def _write_manifest(self) -> None:
-        """Atomic manifest write (tmp + ``os.replace``, the repo idiom)."""
-        path = Path(self.config.manifest)
-        doc = self._manifest_doc()
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(doc, indent=2))
-        os.replace(tmp, path)
+    def _write_manifest(self, override: dict | None = None) -> None:
+        """Durable atomic manifest write (fsync + unique tmp +
+        ``os.replace`` — see :func:`repro.serve.manifest
+        .atomic_write_json`).
+
+        Snapshot and write happen under the manifest lock: without it,
+        two shard threads snapshot concurrently and the slower *writer*
+        can publish the older snapshot, dropping the other shard's
+        just-completed job from the on-disk ranking.
+        """
+        with self._manifest_lock:
+            self._write_manifest_locked(override)
+
+    def _write_manifest_locked(self, override: dict | None = None) -> None:
+        from repro.serve.manifest import atomic_write_json
+        atomic_write_json(Path(self.config.manifest),
+                          self._manifest_doc(override))
 
     # ------------------------------------------------------------------
     # HTTP handlers
@@ -439,7 +485,15 @@ class Gateway:
             t.join(timeout)
         if self._loop_thread is not None:
             self._loop_thread.join(timeout)
-        if self.config.manifest:
+        if self._sharded is not None:
+            with self._manifest_lock:
+                doc = self._manifest_doc()
+                self._sharded.write_meta(
+                    screen=doc["gateway"],
+                    stats={"scheduler": doc["scheduler"]})
+                self._sharded.compact()
+                self._sharded.close()
+        elif self.config.manifest:
             self._write_manifest()
         get_tracer().flush()
 

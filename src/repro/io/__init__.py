@@ -10,6 +10,8 @@ from repro.io.autogrid import read_maps, write_maps
 from repro.io.dlg import parse_dlg, write_dlg
 from repro.io.errors import ParseError
 from repro.io.pdbqt import read_pdbqt, write_pdbqt
+from repro.io.rlig import RligReader, decode_ligand, encode_ligand, pack_rlig
 
 __all__ = ["parse_dlg", "write_dlg", "read_pdbqt", "write_pdbqt",
-           "read_maps", "write_maps", "ParseError"]
+           "read_maps", "write_maps", "ParseError",
+           "pack_rlig", "RligReader", "encode_ligand", "decode_ligand"]

@@ -19,9 +19,12 @@ throughput argument is about (screening large ligand libraries):
 """
 
 from repro.serve.cache import ContentCache, file_sha256, maps_digest
+from repro.serve.manifest import (ShardedManifest, atomic_write_json,
+                                  load_manifest_jobs)
 from repro.serve.pool import (DEFAULT_HEARTBEAT_SECONDS, JobResult,
                               WorkerPool, execute_cohort, execute_job,
                               validate_result_payload)
+from repro.serve.store import BlobStore
 from repro.serve.queue import (
     CohortJob,
     DockingJob,
@@ -38,6 +41,7 @@ from repro.serve.queue import (
 from repro.serve.screen import ScreenReport, VirtualScreen
 
 __all__ = [
+    "BlobStore",
     "CohortJob",
     "ContentCache",
     "DEFAULT_HEARTBEAT_SECONDS",
@@ -46,12 +50,15 @@ __all__ = [
     "JobResult",
     "QueueFull",
     "ScreenReport",
+    "ShardedManifest",
     "VirtualScreen",
     "WorkerPool",
     "WrongShard",
+    "atomic_write_json",
     "execute_cohort",
     "execute_job",
     "file_sha256",
+    "load_manifest_jobs",
     "maps_digest",
     "pack_cohorts",
     "seed_from_spec",

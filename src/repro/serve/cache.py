@@ -1,4 +1,4 @@
-"""Content-addressed LRU cache for receptor grids and parsed ligands.
+"""Content-addressed cache for receptor grids and parsed ligands.
 
 A 1000-ligand virtual screen re-uses one receptor: without a cache every
 job re-parses the ``.maps.fld`` index and its per-type ``.map`` files —
@@ -10,6 +10,11 @@ with LRU eviction, so a long-running worker cannot grow without limit.
 
 Workers each own a private cache (caches are process-local; the service
 layer aggregates the per-job hit/miss deltas into screen-level stats).
+Optionally the cache fronts a shared :class:`~repro.serve.store.BlobStore`
+disk tier: on a memory miss the store is consulted first, a stored blob
+is *promoted* (decoded — for grids, mmap'd read-only with zero parsing),
+and freshly built values are *demoted* (written through) so the next
+process, or this one after an eviction, skips the build entirely.
 """
 
 from __future__ import annotations
@@ -21,18 +26,33 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["ContentCache", "file_sha256", "maps_digest",
-           "load_ligand", "load_maps", "load_case"]
+from repro.io.errors import ParseError
+
+__all__ = ["ContentCache", "file_sha256", "maps_digest", "load_ligand",
+           "load_maps", "load_case", "load_rlig_member", "open_rlig"]
 
 #: default worker cache capacity [bytes]
 DEFAULT_CAPACITY = 256 * 1024 * 1024
 
+#: streaming hash chunk [bytes] — bounds memory when digesting blobs of
+#: any size (a multi-GB grid set must never land in the heap just to hash)
+HASH_CHUNK = 1 << 20
+
 
 def file_sha256(*paths: str | Path) -> str:
-    """SHA-256 over the concatenated bytes of one or more files."""
+    """SHA-256 over the concatenated bytes of one or more files.
+
+    Streams in fixed-size chunks; memory use is O(:data:`HASH_CHUNK`)
+    regardless of file size.
+    """
     h = hashlib.sha256()
     for path in paths:
-        h.update(Path(path).read_bytes())
+        with open(path, "rb") as fh:
+            while True:
+                chunk = fh.read(HASH_CHUNK)
+                if not chunk:
+                    break
+                h.update(chunk)
     return h.hexdigest()
 
 
@@ -40,7 +60,9 @@ def maps_digest(fld_path: str | Path) -> str:
     """Content digest of a ``.maps.fld`` grid set.
 
     Covers the index *and* every referenced ``.map`` file, in index
-    order — editing any single grid value changes the digest.
+    order — editing any single grid value changes the digest.  A
+    referenced map that is missing on disk raises a structured
+    :class:`ParseError` naming the index and the missing file.
     """
     fld_path = Path(fld_path)
     referenced = [fld_path]
@@ -49,6 +71,11 @@ def maps_digest(fld_path: str | Path) -> str:
             for token in line.split():
                 if token.startswith("file="):
                     referenced.append(fld_path.parent / token[5:])
+    for ref in referenced[1:]:
+        if not ref.is_file():
+            raise ParseError(
+                fld_path,
+                f"referenced map file {ref.name!r} not found next to index")
     return file_sha256(*referenced)
 
 
@@ -65,12 +92,18 @@ class ContentCache:
         Total size budget.  Entries larger than the whole capacity are
         returned to the caller but never stored (counted under
         ``oversize``).
+    store:
+        Optional :class:`~repro.serve.store.BlobStore` disk tier.  Keys
+        whose kind has a registered spill codec are looked up there on a
+        memory miss and written through after a build.
     """
 
-    def __init__(self, capacity_bytes: int = DEFAULT_CAPACITY) -> None:
+    def __init__(self, capacity_bytes: int = DEFAULT_CAPACITY,
+                 store=None) -> None:
         if capacity_bytes <= 0:
             raise ValueError("capacity_bytes must be positive")
         self.capacity_bytes = int(capacity_bytes)
+        self.store = store
         self._entries: OrderedDict[str, tuple[object, int]] = OrderedDict()
         self._bytes = 0
         self._lock = threading.Lock()
@@ -79,6 +112,9 @@ class ContentCache:
         self.evictions = 0
         self.oversize = 0
         self.races = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
+        self.disk_writes = 0
 
     # ------------------------------------------------------------------
 
@@ -89,12 +125,45 @@ class ContentCache:
     def bytes_used(self) -> int:
         return self._bytes
 
+    def _from_store(self, key: str):
+        """Decode ``key`` from the disk tier; ``None`` on miss/corruption."""
+        from repro.serve.store import codec_for_key
+        codec = codec_for_key(key)
+        if codec is None:
+            return None
+        got = self.store.get(key)
+        if got is None:
+            self.disk_misses += 1
+            return None
+        try:
+            value = codec.decode(*got)
+        except Exception:
+            # unreadable blob: fall back to the builder rather than fail
+            self.disk_misses += 1
+            return None
+        self.disk_hits += 1
+        return value
+
+    def _to_store(self, key: str, value) -> None:
+        """Write a freshly built value through to the disk tier."""
+        from repro.serve.store import codec_for_key
+        codec = codec_for_key(key)
+        if codec is None:
+            return
+        try:
+            arrays, meta = codec.encode(value)
+            if self.store.put(key, arrays, meta):
+                self.disk_writes += 1
+        except Exception:
+            pass    # the store is an optimisation; never fail the job
+
     def get_or_build(self, key: str, builder, size_of=None):
         """Return the cached value for ``key``, building it on a miss.
 
         ``builder()`` produces the value; ``size_of(value)`` its byte
         cost (defaults to :func:`sizeof`).  The LRU order is refreshed on
-        hits.
+        hits.  With a disk tier attached, a memory miss tries the store
+        before the builder, and builder output is written through.
         """
         with self._lock:
             entry = self._entries.get(key)
@@ -103,7 +172,13 @@ class ContentCache:
                 self._entries.move_to_end(key)
                 return entry[0]
             self.misses += 1
-        value = builder()
+        value = None
+        if self.store is not None:
+            value = self._from_store(key)
+        if value is None:
+            value = builder()
+            if self.store is not None:
+                self._to_store(key, value)
         size = int((size_of or sizeof)(value))
         with self._lock:
             entry = self._entries.get(key)
@@ -140,6 +215,9 @@ class ContentCache:
                 "evictions": self.evictions,
                 "oversize": self.oversize,
                 "races": self.races,
+                "disk_hits": self.disk_hits,
+                "disk_misses": self.disk_misses,
+                "disk_writes": self.disk_writes,
                 "entries": len(self._entries),
                 "bytes_used": self._bytes,
                 "capacity_bytes": self.capacity_bytes,
@@ -149,33 +227,45 @@ class ContentCache:
     @staticmethod
     def delta(before: dict, after: dict) -> dict:
         """Per-job counter delta between two :meth:`stats` snapshots."""
-        d = {k: after[k] - before.get(k, 0)
-             for k in ("hits", "misses", "evictions", "oversize", "races")}
+        d = {k: after.get(k, 0) - before.get(k, 0)
+             for k in ("hits", "misses", "evictions", "oversize", "races",
+                       "disk_hits", "disk_misses", "disk_writes")}
         lookups = d["hits"] + d["misses"]
         d["hit_rate"] = d["hits"] / lookups if lookups else 0.0
         return d
 
 
 def sizeof(value) -> int:
-    """Byte-cost estimate for the objects the service layer caches."""
+    """Byte-cost estimate for the objects the service layer caches.
+
+    :class:`~repro.docking.grids.GridMaps` values (bare or nested inside
+    a test case) are charged via :attr:`GridMaps.nbytes`, which includes
+    the lazily-built fused flat buffer *up front* — the estimate is an
+    upper bound on what the entry can grow to, so ``bytes_used`` stays
+    within ``capacity_bytes`` even after post-insert flat-map builds.
+    """
+    from repro.docking.grids import GridMaps
+    total = 1024
+    if isinstance(value, GridMaps):
+        return value.nbytes + total
     arrays = []
     if isinstance(value, np.ndarray):
         arrays.append(value)
-    for attr in ("affinity", "elec", "desolv_v", "desolv_s",
-                 "ref_coords", "charges", "coords",
+    for attr in ("ref_coords", "charges", "coords",
                  "native_genotype", "native_coords"):
         arr = getattr(value, attr, None)
         if isinstance(arr, np.ndarray):
             arrays.append(arr)
     for attr in ("maps", "ligand", "receptor"):
         nested = getattr(value, attr, None)
-        if nested is not None:
+        if isinstance(nested, GridMaps):
+            total += nested.nbytes
+        elif nested is not None:
             arrays.extend(a for a in (
                 getattr(nested, n, None)
-                for n in ("affinity", "elec", "desolv_v", "desolv_s",
-                          "ref_coords", "charges", "coords"))
+                for n in ("ref_coords", "charges", "coords"))
                 if isinstance(a, np.ndarray))
-    return sum(a.nbytes for a in arrays) + 1024
+    return sum(a.nbytes for a in arrays) + total
 
 
 # ---------------------------------------------------------------------------
@@ -204,7 +294,9 @@ def load_maps(fld_path: str | Path, cache: ContentCache | None = None,
 
     The key covers the bytes of the index and every referenced map file
     — i.e. the full grid content including spacing/shape parameters,
-    which live in the map headers.
+    which live in the map headers.  When the cache fronts a disk store,
+    a warm store serves the grid as an mmap'd flat buffer with *no*
+    ``parse.maps`` span at all.
     """
     from repro.io import read_maps
     from repro.obs import get_tracer
@@ -219,6 +311,55 @@ def load_maps(fld_path: str | Path, cache: ContentCache | None = None,
     return cache.get_or_build(f"maps/{digest}", build)
 
 
+# per-process pack reader table: one mmap per pack file, shared by every
+# job in the worker (readers are cheap, but the index parse is not free)
+_RLIG_READERS: dict[tuple, object] = {}
+_RLIG_LOCK = threading.Lock()
+
+
+def open_rlig(path: str | Path):
+    """Process-wide shared :class:`~repro.io.rlig.RligReader` for a pack.
+
+    Keyed by ``(realpath, mtime_ns, size)`` so a repacked file is
+    re-opened, not served stale.
+    """
+    from repro.io.rlig import RligReader
+    p = Path(path)
+    st = p.stat()
+    key = (str(p.resolve()), st.st_mtime_ns, st.st_size)
+    with _RLIG_LOCK:
+        reader = _RLIG_READERS.get(key)
+        if reader is None:
+            reader = RligReader(p)
+            stale = [k for k in _RLIG_READERS if k[0] == key[0]]
+            for k in stale:
+                _RLIG_READERS.pop(k).close()
+            _RLIG_READERS[key] = reader
+        return reader
+
+
+def load_rlig_member(pack: str | Path, index: int,
+                     cache: ContentCache | None = None,
+                     digest: str | None = None):
+    """Decode ligand ``index`` from a ``.rlig`` pack through the cache.
+
+    No ``parse.ligand`` span is emitted — the text parse happened once,
+    at pack time; decoding is a couple of buffer slices (traced as
+    ``pack.read``).
+    """
+    from repro.obs import get_tracer
+    reader = open_rlig(pack)
+
+    def build():
+        with get_tracer().span("pack.read", pack=str(pack), index=index):
+            return reader.read(index)
+
+    if cache is None:
+        return build()
+    digest = digest or reader.sha256(index)
+    return cache.get_or_build(f"ligand/{digest}", build)
+
+
 def load_case(spec: dict, cache: ContentCache | None = None):
     """Assemble the :class:`~repro.testcases.generator.TestCase` a job
     spec describes, sharing parsed receptors/ligands via the cache.
@@ -229,7 +370,10 @@ def load_case(spec: dict, cache: ContentCache | None = None):
     * ``{"kind": "case-ligand", "case": name, "ligand": path}`` — an
       external PDBQT ligand docked into a library case's maps;
     * ``{"kind": "files", "fld": path, "ligand": path}`` — AutoGrid maps
-      plus a PDBQT ligand, fully file-based.
+      plus a PDBQT ligand, fully file-based;
+    * ``{"kind": "rlig", "pack": path, "index": i, "fld": path}`` — a
+      ligand streamed by offset from a ``.rlig`` pack, docked into
+      AutoGrid maps (or a library case's maps via ``"case"``).
 
     ``*_sha256`` entries (stamped by the screen layer at submit time) are
     reused as cache keys so workers skip re-hashing.
@@ -260,6 +404,15 @@ def load_case(spec: dict, cache: ContentCache | None = None):
         ligand = load_ligand(spec["ligand"], cache,
                              spec.get("ligand_sha256"))
         return _assemble_file_case(maps, ligand)
+    if kind == "rlig":
+        ligand = load_rlig_member(spec["pack"], spec["index"], cache,
+                                  spec.get("ligand_sha256"))
+        if "fld" in spec:
+            maps = load_maps(spec["fld"], cache, spec.get("fld_sha256"))
+            return _assemble_file_case(maps, ligand)
+        from repro.cli import replace_case_ligand
+        base = load_case({"kind": "case", "case": spec["case"]}, cache)
+        return replace_case_ligand(base, ligand)
     raise ValueError(f"unknown job spec kind {kind!r}")
 
 

@@ -327,11 +327,19 @@ def _heartbeat(worker_id: int, jobs_done: int, jobs_failed: int,
     }
 
 
+def _make_store(store_root: str | None):
+    """Open the shared disk cache tier for a worker (``None`` = no tier)."""
+    if store_root is None:
+        return None
+    from repro.serve.store import BlobStore
+    return BlobStore(store_root)
+
+
 def _worker_main(task_q, result_q, worker_id: int, cache_bytes: int,
                  wall_seconds: float | None, include_history: bool,
                  trace_path: str | None = None,
-                 heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS
-                 ) -> None:
+                 heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS,
+                 store_root: str | None = None) -> None:
     """Worker loop: steal a job, ack, execute, report; ``None`` drains.
 
     Heartbeats are emitted after every job *and* whenever the queue stays
@@ -344,7 +352,7 @@ def _worker_main(task_q, result_q, worker_id: int, cache_bytes: int,
     if trace_path is not None:
         from repro.obs import configure
         tracer = configure(trace_path, source=f"worker-{worker_id}")
-    cache = ContentCache(cache_bytes)
+    cache = ContentCache(cache_bytes, store=_make_store(store_root))
     jobs_done = jobs_failed = 0
     tracer.event("worker.start", worker_id=worker_id, pid=os.getpid())
     while True:
@@ -416,6 +424,11 @@ class WorkerPool:
         ``4 * job_wall_seconds`` when a watchdog budget is set.
     cache_bytes:
         Per-worker :class:`ContentCache` capacity.
+    store_root:
+        Optional shared disk cache tier root
+        (:class:`~repro.serve.store.BlobStore`): every worker fronts its
+        in-memory cache with the same content-addressed blob directory,
+        so grids are parsed once per *fleet*, not once per process.
     start_method:
         ``multiprocessing`` start method; ``"spawn"`` (default) is the
         portable, state-leak-free choice.
@@ -451,8 +464,8 @@ class WorkerPool:
                  stall_seconds: float = 10.0,
                  max_respawns: int | None = None,
                  trace_path: str | None = None,
-                 heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS
-                 ) -> None:
+                 heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS,
+                 store_root: str | None = None) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers
@@ -470,6 +483,7 @@ class WorkerPool:
         self.max_respawns = (max_respawns if max_respawns is not None
                              else 8 * max(workers, 1))
         self.trace_path = trace_path
+        self.store_root = str(store_root) if store_root is not None else None
         if heartbeat_seconds <= 0:
             raise ValueError("heartbeat_seconds must be > 0")
         self.heartbeat_seconds = heartbeat_seconds
@@ -541,7 +555,8 @@ class WorkerPool:
         monotone across recursion, and a job can never complete twice
         (idempotent completion, same contract as the process pool).
         """
-        cache = ContentCache(self.cache_bytes)
+        cache = ContentCache(self.cache_bytes,
+                             store=_make_store(self.store_root))
         state = {"done": 0, "failed": 0, "completed": set(),
                  "history": {}}
         yield from self._run_inline(list(jobs), cache, state)
@@ -672,7 +687,8 @@ class WorkerPool:
             target=_worker_main,
             args=(task_q, result_q, worker_id, self.cache_bytes,
                   self.job_wall_seconds, self.include_history,
-                  self.trace_path, self.heartbeat_seconds),
+                  self.trace_path, self.heartbeat_seconds,
+                  self.store_root),
             daemon=True, name=f"repro-serve-worker-{worker_id}")
         proc.start()
         return proc

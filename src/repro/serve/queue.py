@@ -89,11 +89,21 @@ def canonical_spec(spec: dict) -> dict:
 
     File paths are transport, content digests are identity: when a spec
     carries ``ligand_sha256``/``fld_sha256``, the corresponding path is
-    dropped so the same bytes under two names hash to the same job.
+    dropped so the same bytes under two names hash to the same job.  A
+    ``"rlig"`` spec (ligand streamed from a binary pack) likewise drops
+    the pack path and record offset: identity is the record's content
+    digest, so repacking the library — different pack file, different
+    record order — preserves every job id and manifests resume across
+    repacks.
     """
     out = dict(spec)
     if "ligand_sha256" in out:
         out.pop("ligand", None)
+        if out.get("kind") == "rlig":
+            out.pop("pack", None)
+            out.pop("index", None)
+            out["kind"] = "files" if "fld" in out or "fld_sha256" in out \
+                else "case-ligand"
     if "fld_sha256" in out:
         out.pop("fld", None)
     return out

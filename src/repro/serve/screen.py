@@ -24,7 +24,6 @@ without re-docking anything already finished.
 from __future__ import annotations
 
 import json
-import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -32,6 +31,9 @@ from pathlib import Path
 from repro.core.config import DockingConfig
 from repro.obs import get_tracer
 from repro.serve.cache import DEFAULT_CAPACITY, file_sha256, maps_digest
+from repro.serve.manifest import (DEFAULT_MANIFEST_SHARDS,
+                                  SHARD_AUTO_THRESHOLD, ShardedManifest,
+                                  atomic_write_json, load_manifest_jobs)
 from repro.serve.pool import JobResult, WorkerPool
 from repro.serve.queue import (DockingJob, JobQueue, canonical_spec,
                                pack_cohorts, spawn_seed)
@@ -80,6 +82,12 @@ class VirtualScreen:
       library case's maps;
     * ``fld`` + ``ligands`` — AutoGrid map files plus PDBQT ligands.
 
+    Instead of a PDBQT ``ligands`` list, ``case``/``fld`` screens can
+    take ``rlig`` — a packed binary ligand library (see
+    :mod:`repro.io.rlig`): ligands stream to workers by offset, and the
+    per-record content digests precomputed at pack time become the job
+    identities, so submit-time hashing is an index lookup.
+
     Parameters
     ----------
     config:
@@ -107,6 +115,7 @@ class VirtualScreen:
 
     cases: list[str] | None = None
     ligands: list[str | Path] | None = None
+    rlig: str | Path | None = None
     fld: str | Path | None = None
     case: str | None = None
     config: DockingConfig = field(default_factory=DockingConfig)
@@ -124,12 +133,27 @@ class VirtualScreen:
         if sum(styles) != 1:
             raise ValueError(
                 "give exactly one of cases=, case=+ligands=, fld=+ligands=")
+        if self.ligands is not None and self.rlig is not None:
+            raise ValueError("give ligands= or rlig=, not both")
         if (self.case is not None or self.fld is not None) \
-                and not self.ligands:
+                and not self.ligands and self.rlig is None:
             raise ValueError("ligand file list must not be empty")
-        n = len(self.cases) if self.cases is not None else len(self.ligands)
-        if self.priorities is not None and len(self.priorities) != n:
+        self._rlig_index: list[dict] | None = None
+        if self.rlig is not None:
+            from repro.serve.cache import open_rlig
+            self._rlig_index = list(open_rlig(self.rlig).index)
+            if not self._rlig_index:
+                raise ValueError(f"ligand pack {self.rlig} is empty")
+        if self.priorities is not None \
+                and len(self.priorities) != self._n_entries():
             raise ValueError("priorities length must match the library")
+
+    def _n_entries(self) -> int:
+        if self.cases is not None:
+            return len(self.cases)
+        if self._rlig_index is not None:
+            return len(self._rlig_index)
+        return len(self.ligands)
 
     # ------------------------------------------------------------------
 
@@ -141,6 +165,18 @@ class VirtualScreen:
                 out.append((name, {"kind": "case", "case": name}))
             return self._with_chaos(out)
         fld_digest = maps_digest(self.fld) if self.fld is not None else None
+        if self._rlig_index is not None:
+            pack = str(self.rlig)
+            for i, ent in enumerate(self._rlig_index):
+                spec = {"kind": "rlig", "pack": pack, "index": i,
+                        "ligand_sha256": ent["sha256"]}
+                if self.case is not None:
+                    spec["case"] = self.case
+                else:
+                    spec["fld"] = str(self.fld)
+                    spec["fld_sha256"] = fld_digest
+                out.append((ent["name"], spec))
+            return self._with_chaos(out)
         for path in self.ligands:
             path = str(path)
             label = Path(path).stem
@@ -199,7 +235,9 @@ class VirtualScreen:
             trace: str | Path | None = None,
             cohort_size: int = 1,
             retry_dead: bool = False,
-            heartbeat_seconds: float | None = None) -> ScreenReport:
+            heartbeat_seconds: float | None = None,
+            manifest_shards: int | None = None,
+            store: str | Path | None = None) -> ScreenReport:
         """Execute the screen; returns the final :class:`ScreenReport`.
 
         ``cohort_size > 1`` packs compatible jobs into lock-step cohorts
@@ -220,6 +258,23 @@ class VirtualScreen:
         names a JSONL event log: the parent *and every worker* append
         spans/events to it (``repro stats <log>`` renders the summary
         afterwards).
+
+        ``manifest_shards`` selects the large-screen manifest format:
+        the manifest path becomes a *directory* of per-shard NDJSON
+        append logs (:class:`~repro.serve.manifest.ShardedManifest`) —
+        appending a result is O(record), not O(screen).  ``None`` picks
+        automatically (sharded above
+        :data:`~repro.serve.manifest.SHARD_AUTO_THRESHOLD` library
+        entries, single-file below); an existing manifest's format
+        always wins so resumes stay stable.  Resume and dead-letter
+        semantics are identical shard-wise, and
+        ``tools/merge_manifests.py`` merges/ranks shard directories.
+
+        ``store`` names a shared disk cache tier root
+        (:class:`~repro.serve.store.BlobStore`): workers front their
+        in-memory caches with content-addressed mmap-able blobs, so a
+        warm store serves grids with zero text parsing or flat-buffer
+        rebuilds, across processes and across screens.
         """
         if resume and manifest is None:
             raise ValueError("resume=True requires a manifest path")
@@ -233,9 +288,9 @@ class VirtualScreen:
 
         results: dict[str, JobResult] = {}
         if resume and manifest is not None and Path(manifest).exists():
-            for job_id, rd in self._load_manifest(manifest).items():
+            for job_id, rd in load_manifest_jobs(manifest).items():
                 prior = JobResult.from_dict(rd)
-                if prior.status == "ok":
+                if prior.status in ("ok", "cached"):
                     prior.status = "cached"
                     results[prior.job_id] = prior
                 elif prior.status in ("dead", "failed") and not retry_dead:
@@ -243,6 +298,8 @@ class VirtualScreen:
                     # a job that already exhausted its budget unless the
                     # operator explicitly re-admits it
                     results[prior.job_id] = prior
+        sharded = (self._open_sharded(manifest, manifest_shards)
+                   if manifest is not None else None)
 
         span = tracer.span("screen.run", workers=workers, resume=resume)
         heartbeats: dict = {}
@@ -268,6 +325,7 @@ class VirtualScreen:
                     lease_seconds=lease_seconds, cache_bytes=cache_bytes,
                     start_method=start_method,
                     include_history=include_history,
+                    store_root=(str(store) if store is not None else None),
                     trace_path=(str(trace) if trace is not None
                                 else None))
                 if heartbeat_seconds is not None:
@@ -280,7 +338,15 @@ class VirtualScreen:
                     pool_stats = self._pool_stats(pool)
                     # persist before notifying: a crash in the consumer
                     # must not lose a job that already finished
-                    if manifest is not None:
+                    if sharded is not None:
+                        sharded.append(result.to_dict())
+                        if len(new_results) % 100 == 0:
+                            sharded.write_meta(
+                                self._screen_header(),
+                                self._stats(results, new_results, queue,
+                                            t0, workers, heartbeats,
+                                            pool_stats))
+                    elif manifest is not None:
                         self._save_manifest(manifest, results, queue,
                                             t0, workers, heartbeats,
                                             pool_stats)
@@ -299,7 +365,11 @@ class VirtualScreen:
             stats=self._stats(results, new_results, queue, t0, workers,
                               heartbeats, pool_stats),
             manifest_path=str(manifest) if manifest is not None else None)
-        if manifest is not None:
+        if sharded is not None:
+            sharded.write_meta(self._screen_header(), report.stats)
+            sharded.compact()
+            sharded.close()
+        elif manifest is not None:
             self._save_manifest(manifest, results, queue, t0, workers,
                                 heartbeats, pool_stats)
         tracer.flush()
@@ -330,7 +400,8 @@ class VirtualScreen:
                workers: int, heartbeats: dict | None = None,
                pool_stats: dict | None = None) -> dict:
         wall = time.monotonic() - t0
-        cache = {"hits": 0, "misses": 0, "evictions": 0, "races": 0}
+        cache = {"hits": 0, "misses": 0, "evictions": 0, "races": 0,
+                 "disk_hits": 0, "disk_misses": 0, "disk_writes": 0}
         for r in new_results:
             if r.cache:
                 for key in cache:
@@ -362,35 +433,57 @@ class VirtualScreen:
                            for k, v in (heartbeats or {}).items()},
         }
 
+    def _screen_header(self) -> dict:
+        return {"seed": self.seed, "n_runs": self.n_runs,
+                "config": self.config.to_dict(),
+                "written_at": time.time()}
+
+    def _open_sharded(self, manifest: str | Path,
+                      manifest_shards: int | None) -> ShardedManifest | None:
+        """Pick the manifest format; ``None`` means single-file JSON.
+
+        An existing manifest's on-disk format always wins (resume must
+        keep appending where the first run wrote); otherwise an explicit
+        ``manifest_shards`` decides, and ``None`` auto-shards at
+        :data:`SHARD_AUTO_THRESHOLD` library entries.
+        """
+        path = Path(manifest)
+        if ShardedManifest.is_sharded(path):
+            return ShardedManifest(path)
+        if path.is_file():
+            if manifest_shards:
+                raise ValueError(
+                    f"{path} is a single-file manifest; cannot resume it "
+                    f"with manifest_shards={manifest_shards}")
+            return None
+        if manifest_shards is None:
+            if self._n_entries() < SHARD_AUTO_THRESHOLD:
+                return None
+            manifest_shards = DEFAULT_MANIFEST_SHARDS
+        if manifest_shards <= 0:
+            return None
+        return ShardedManifest(path, n_shards=manifest_shards)
+
     def _save_manifest(self, path: str | Path,
                        results: dict[str, JobResult], queue: JobQueue,
                        t0: float, workers: int,
                        heartbeats: dict | None = None,
                        pool_stats: dict | None = None) -> None:
-        """Atomic write: a killed screen never leaves a torn manifest."""
-        path = Path(path)
+        """Durable atomic write: fsynced before the rename and tmp-named
+        per PID, so neither a power cut nor a concurrent screen on the
+        same path can leave a torn or empty manifest."""
         payload = {
             "version": MANIFEST_VERSION,
-            "screen": {
-                "seed": self.seed, "n_runs": self.n_runs,
-                "config": self.config.to_dict(),
-                "written_at": time.time(),
-            },
+            "screen": self._screen_header(),
             "jobs": {jid: r.to_dict() for jid, r in results.items()},
             "ranking": self._ranking(results),
             "stats": self._stats(results, list(results.values()),
                                  queue, t0, workers, heartbeats,
                                  pool_stats),
         }
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(payload, indent=2))
-        os.replace(tmp, path)
+        atomic_write_json(path, payload)
 
     @staticmethod
     def _load_manifest(path: str | Path) -> dict:
         """job_id -> JobResult dict from a manifest written by run()."""
-        payload = json.loads(Path(path).read_text())
-        if payload.get("version") != MANIFEST_VERSION:
-            raise ValueError(
-                f"unsupported manifest version {payload.get('version')!r}")
-        return payload.get("jobs", {})
+        return load_manifest_jobs(path)

@@ -1,0 +1,143 @@
+"""Tests for the ``.rlig`` binary ligand-library pack format."""
+
+import hashlib
+import struct
+
+import numpy as np
+import pytest
+
+from repro.docking import Ligand, TorsionBond
+from repro.io import (RligReader, decode_ligand, encode_ligand, pack_rlig,
+                      read_pdbqt, write_pdbqt)
+from repro.io.errors import ParseError
+
+
+def _random_ligand(rng, i):
+    n = int(rng.integers(5, 12))
+    coords = np.cumsum(rng.normal(0.0, 1.0, size=(n, 3)), axis=0)
+    return Ligand(name=f"r{i}",
+                  atom_types=list(rng.choice(["C", "OA", "N", "HD"],
+                                             size=n)),
+                  ref_coords=coords,
+                  charges=rng.normal(0.0, 0.2, size=n),
+                  bonds=[(j, j + 1) for j in range(n - 1)],
+                  torsions=[TorsionBond(atom_a=1, atom_b=2,
+                                        moved=tuple(range(3, n)))])
+
+
+class TestRecordCodec:
+    def test_round_trip_preserves_everything(self, butane_like):
+        lig = decode_ligand(encode_ligand(butane_like))
+        assert lig.name == butane_like.name
+        assert lig.atom_types == butane_like.atom_types
+        np.testing.assert_array_equal(lig.ref_coords,
+                                      butane_like.ref_coords)
+        np.testing.assert_array_equal(lig.charges, butane_like.charges)
+        assert lig.bonds == [tuple(b) for b in butane_like.bonds]
+        assert [(t.atom_a, t.atom_b, t.moved) for t in lig.torsions] == \
+            [(t.atom_a, t.atom_b, t.moved) for t in butane_like.torsions]
+
+    def test_encode_is_deterministic_and_reencode_stable(self, butane_like):
+        first = encode_ligand(butane_like)
+        assert first == encode_ligand(butane_like)
+        # decode -> encode must be byte-stable even though the Ligand
+        # constructor re-centres coordinates (not idempotent in float)
+        assert encode_ligand(decode_ligand(first)) == first
+
+    @pytest.mark.parametrize("cut", [0, 2, 10, -30, -8, -1])
+    def test_truncated_record_raises_parse_error(self, butane_like, cut):
+        buf = encode_ligand(butane_like)
+        assert len(buf) > 40
+        with pytest.raises(ParseError, match="truncated"):
+            decode_ligand(buf[:cut], "unit-test-record")
+
+    def test_malformed_meta_raises_parse_error(self):
+        junk = struct.pack("<I", 8) + b"not json"
+        with pytest.raises(ParseError, match="meta JSON"):
+            decode_ligand(junk)
+
+
+class TestPack:
+    def test_pack_from_pdbqt_matches_text_parser(self, butane_like,
+                                                 tmp_path):
+        pdbqt = tmp_path / "lig.pdbqt"
+        write_pdbqt(butane_like, pdbqt)
+        golden = read_pdbqt(pdbqt)
+
+        pack = tmp_path / "lib.rlig"
+        assert pack_rlig(pack, [pdbqt]) == 1
+        with RligReader(pack) as reader:
+            lig = reader.read(0)
+        np.testing.assert_array_equal(lig.ref_coords, golden.ref_coords)
+        np.testing.assert_array_equal(lig.charges, golden.charges)
+        assert lig.atom_types == golden.atom_types
+        assert [(t.atom_a, t.atom_b, t.moved) for t in lig.torsions] == \
+            [(t.atom_a, t.atom_b, t.moved) for t in golden.torsions]
+
+    def test_pack_read_repack_is_byte_stable(self, tmp_path):
+        rng = np.random.default_rng(3)
+        ligands = [_random_ligand(rng, i) for i in range(12)]
+        first = tmp_path / "a.rlig"
+        second = tmp_path / "b.rlig"
+        pack_rlig(first, ligands)
+        with RligReader(first) as reader:
+            pack_rlig(second, list(reader))
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_index_digests_match_record_bytes(self, tmp_path):
+        rng = np.random.default_rng(4)
+        pack = tmp_path / "lib.rlig"
+        pack_rlig(pack, [_random_ligand(rng, i) for i in range(4)])
+        with RligReader(pack) as reader:
+            assert len(reader) == 4
+            for i in range(4):
+                assert reader.sha256(i) == hashlib.sha256(
+                    reader.read_bytes(i)).hexdigest()
+
+    def test_names_override(self, butane_like, tmp_path):
+        pack = tmp_path / "lib.rlig"
+        pack_rlig(pack, [butane_like, butane_like], names=["x0", "x1"])
+        with RligReader(pack) as reader:
+            assert reader.names == ["x0", "x1"]
+            assert reader.read(1).name == "x1"
+
+
+class TestPackCorruption:
+    @pytest.fixture()
+    def pack(self, butane_like, tmp_path):
+        path = tmp_path / "lib.rlig"
+        pack_rlig(path, [butane_like] * 3)
+        return path
+
+    def test_bad_magic(self, pack):
+        raw = bytearray(pack.read_bytes())
+        raw[:4] = b"NOPE"
+        pack.write_bytes(raw)
+        with pytest.raises(ParseError, match="bad magic"):
+            RligReader(pack)
+
+    def test_unsupported_version(self, pack):
+        raw = bytearray(pack.read_bytes())
+        raw[4] = 99
+        pack.write_bytes(raw)
+        with pytest.raises(ParseError, match="version"):
+            RligReader(pack)
+
+    @pytest.mark.parametrize("keep", [0, 8, 31])
+    def test_truncated_before_header(self, pack, keep):
+        pack.write_bytes(pack.read_bytes()[:keep])
+        with pytest.raises(ParseError, match="truncated"):
+            RligReader(pack)
+
+    def test_truncated_index(self, pack):
+        pack.write_bytes(pack.read_bytes()[:-10])
+        with pytest.raises(ParseError, match="truncated"):
+            RligReader(pack)
+
+    def test_header_count_mismatch(self, pack):
+        raw = bytearray(pack.read_bytes())
+        # n_ligands lives at offset 8 of the <4sB3xQQQ header
+        raw[8:16] = struct.pack("<Q", 7)
+        pack.write_bytes(raw)
+        with pytest.raises(ParseError, match="header says 7"):
+            RligReader(pack)

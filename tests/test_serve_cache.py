@@ -183,3 +183,39 @@ class TestCachedMapsFidelity:
         s_cached = ScoringFunction(case_small.ligand, cached).score(genes)
         s_fresh = ScoringFunction(case_small.ligand, fresh).score(genes)
         np.testing.assert_array_equal(s_cached, s_fresh)
+
+
+class TestHashingRobustness:
+    def test_file_sha256_streams_in_chunks(self, tmp_path):
+        """The digest must match a whole-file hash while reading in
+        bounded chunks (multi-chunk files exercise the loop)."""
+        import hashlib
+
+        from repro.serve import cache as cache_mod
+        payload = bytes(range(256)) * 40_000        # ~10 MB, > HASH_CHUNK
+        path = tmp_path / "blob.bin"
+        path.write_bytes(payload)
+        assert file_sha256(path) == hashlib.sha256(payload).hexdigest()
+        assert len(payload) > cache_mod.HASH_CHUNK  # loop actually ran
+
+    def test_file_sha256_concatenates_multiple_files(self, tmp_path):
+        import hashlib
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.write_bytes(b"first")
+        b.write_bytes(b"second")
+        assert file_sha256(a, b) == \
+            hashlib.sha256(b"firstsecond").hexdigest()
+
+    def test_maps_digest_missing_map_raises_parse_error(self, case_small,
+                                                        tmp_path):
+        """A .fld referencing a deleted .map must raise a structured
+        ParseError naming the index and the missing file, not a bare
+        FileNotFoundError from deep inside the hasher."""
+        from repro.io.errors import ParseError
+        fld = write_maps(case_small.maps, tmp_path, stem="r")
+        victim = next(tmp_path.glob("r.*.map"))
+        victim.unlink()
+        with pytest.raises(ParseError) as exc:
+            maps_digest(fld)
+        assert exc.value.path == fld
+        assert victim.name in str(exc.value)

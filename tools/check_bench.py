@@ -38,6 +38,14 @@ traces well-formed, the runtime predictor's p50 relative error within
 quantiles ordered, and (with ``--fresh``) machine-normalised p50
 submit→result latency within tolerance of the committed baseline.
 
+``bench-store-io/v1`` files (``BENCH_store_io.json`` from
+``benchmarks/bench_store_io.py``) get their own gates: a warm
+store-backed screen must show zero ``parse.*`` / ``grid.build`` spans
+(with the cold run showing the contrast), the sharded warm manifest must
+merge to the single-file ranking, sharded appends must beat full-rewrite
+per completion by ``--manifest-min-speedup``, and (with ``--fresh``)
+pack/read/append/screen rates are compared machine-normalised.
+
 Pure stdlib, so it runs before any project dependency is importable.
 """
 
@@ -50,6 +58,10 @@ from pathlib import Path
 
 SCHEMA = "bench-hot-path/v2"
 GATEWAY_SCHEMA = "bench-gateway/v1"
+STORE_SCHEMA = "bench-store-io/v1"
+
+#: span names that must not fire on a warm store-backed worker
+_WARM_FORBIDDEN_SPANS = ("parse.ligand", "parse.maps", "grid.build")
 
 _SHAPE_KEYS = ("n_atoms", "n_rot", "n_rotlist", "n_intra", "n_genes")
 
@@ -267,6 +279,176 @@ def compare_gateway(baseline: dict, fresh: dict,
     return []
 
 
+def validate_store(path: str, doc: dict) -> None:
+    """Schema gate of a ``bench-store-io/v1`` file."""
+    machine = doc.get("machine")
+    if not isinstance(machine, dict):
+        _fail(path, "missing 'machine' section")
+    ref_s = machine.get("numpy_ref_s")
+    if not isinstance(ref_s, (int, float)) or ref_s <= 0:
+        _fail(path, f"machine.numpy_ref_s must be positive, got {ref_s!r}")
+
+    pack = doc.get("pack")
+    if not isinstance(pack, dict):
+        _fail(path, "missing 'pack' section")
+    if not isinstance(pack.get("n_ligands"), int) or pack["n_ligands"] < 1:
+        _fail(path, f"pack.n_ligands must be a positive integer, "
+                    f"got {pack.get('n_ligands')!r}")
+    for key in ("pack_s", "pack_ligands_per_s", "read_s",
+                "read_ligands_per_s", "pack_bytes", "bytes_per_ligand"):
+        v = pack.get(key)
+        if not isinstance(v, (int, float)) or v <= 0:
+            _fail(path, f"pack.{key} must be positive, got {v!r}")
+
+    man = doc.get("manifest")
+    if not isinstance(man, dict):
+        _fail(path, "missing 'manifest' section")
+    if not isinstance(man.get("n_jobs"), int) or man["n_jobs"] < 1:
+        _fail(path, f"manifest.n_jobs must be a positive integer, "
+                    f"got {man.get('n_jobs')!r}")
+    if not isinstance(man.get("n_shards"), int) or man["n_shards"] < 1:
+        _fail(path, f"manifest.n_shards must be >= 1, "
+                    f"got {man.get('n_shards')!r}")
+    for key in ("sharded_append_s", "sharded_s_per_job",
+                "sharded_jobs_per_s", "single_s_per_job",
+                "append_vs_rewrite_speedup"):
+        v = man.get(key)
+        if not isinstance(v, (int, float)) or v <= 0:
+            _fail(path, f"manifest.{key} must be positive, got {v!r}")
+
+    store = doc.get("store")
+    if not isinstance(store, dict):
+        _fail(path, "missing 'store' section")
+    for key in ("cold_load_s", "warm_load_s", "speedup", "grid_bytes"):
+        v = store.get(key)
+        if not isinstance(v, (int, float)) or v <= 0:
+            _fail(path, f"store.{key} must be positive, got {v!r}")
+
+    screen = doc.get("screen")
+    if not isinstance(screen, dict):
+        _fail(path, "missing 'screen' section")
+    if not isinstance(screen.get("rankings_identical"), bool):
+        _fail(path, "screen.rankings_identical must be a boolean")
+    for sname in ("cold", "warm"):
+        section = screen.get(sname)
+        if not isinstance(section, dict):
+            _fail(path, f"missing screen.{sname} section")
+        for key in ("wall_s", "jobs_per_s"):
+            v = section.get(key)
+            if not isinstance(v, (int, float)) or v <= 0:
+                _fail(path, f"screen.{sname}.{key} must be positive, "
+                            f"got {v!r}")
+        spans = section.get("spans")
+        if not isinstance(spans, dict):
+            _fail(path, f"missing screen.{sname}.spans")
+        for name in _WARM_FORBIDDEN_SPANS:
+            v = spans.get(name)
+            if not isinstance(v, int) or v < 0:
+                _fail(path, f"screen.{sname}.spans.{name} must be a "
+                            f"non-negative integer, got {v!r}")
+
+
+def store_gate(path: str, doc: dict, min_speedup: float) -> list[str]:
+    """Acceptance gates of a store bench file.
+
+    * a warm store-backed screen must never re-parse inputs or rebuild
+      grids (the disk tier's reason to exist);
+    * the cold screen must show the contrast (``grid.build`` fired), or
+      the trace plumbing silently broke and the zero above means
+      nothing;
+    * the sharded warm manifest must merge to the same ranking as the
+      single-file path;
+    * sharded appends must beat full-document rewrites per completion.
+    """
+    problems = []
+    screen = doc["screen"]
+    warm = screen["warm"]["spans"]
+    hot = {k: v for k, v in warm.items()
+           if k in _WARM_FORBIDDEN_SPANS and v}
+    status = "OK" if not hot else "NOT WARM"
+    print(f"  warm screen spans {warm}  {status}")
+    if hot:
+        problems.append(f"{path}: warm screen fired cold-path spans "
+                        f"{hot} (must all be zero)")
+    if not any(screen["cold"]["spans"].get(name, 0)
+               for name in _WARM_FORBIDDEN_SPANS):
+        problems.append(f"{path}: cold screen fired none of "
+                        f"{list(_WARM_FORBIDDEN_SPANS)} — trace counting "
+                        f"is broken, the warm zeros prove nothing")
+    if not screen["rankings_identical"]:
+        problems.append(f"{path}: sharded-manifest ranking differs from "
+                        f"the single-file ranking")
+    speedup = doc["manifest"]["append_vs_rewrite_speedup"]
+    status = "OK" if speedup >= min_speedup else "TOO SLOW"
+    print(f"  manifest append-vs-rewrite speedup {speedup:6.1f}x "
+          f"(need >= {min_speedup:.1f}x)  {status}")
+    if status != "OK":
+        problems.append(
+            f"{path}: sharded append is only {speedup:.2f}x faster than "
+            f"a full rewrite per job (need >= {min_speedup:.1f}x)")
+    return problems
+
+
+def compare_store(baseline: dict, fresh: dict,
+                  tolerance: float) -> list[str]:
+    """Machine-normalised regression check of the store throughputs.
+
+    Rates scale inversely with machine slowness, so the comparable
+    number is ``rate x numpy_ref_s`` — work units per calibration unit.
+    """
+    metrics = (("pack lig/s", lambda d: d["pack"]["pack_ligands_per_s"]),
+               ("read lig/s", lambda d: d["pack"]["read_ligands_per_s"]),
+               ("append/s", lambda d: d["manifest"]["sharded_jobs_per_s"]),
+               ("warm jobs/s",
+                lambda d: d["screen"]["warm"]["jobs_per_s"]))
+    problems = []
+    for label, get in metrics:
+        base_n = get(baseline) * baseline["machine"]["numpy_ref_s"]
+        fresh_n = get(fresh) * fresh["machine"]["numpy_ref_s"]
+        ratio = fresh_n / base_n
+        status = "OK" if ratio >= 1.0 - tolerance else "REGRESSION"
+        print(f"  {label:12s} normalised {fresh_n:10.1f} vs "
+              f"baseline {base_n:10.1f}  ({ratio:5.2f}x)  {status}")
+        if status != "OK":
+            problems.append(
+                f"{label}: machine-normalised rate fell to {ratio:.2f}x "
+                f"of baseline (tolerance {1.0 - tolerance:.2f}x)")
+    return problems
+
+
+def _store_main(args: argparse.Namespace, baseline: dict) -> int:
+    """``bench-store-io/v1`` branch of :func:`main` (schema-dispatched)."""
+    try:
+        validate_store(args.baseline, baseline)
+        fresh = None
+        if args.fresh:
+            fresh = load(args.fresh)
+            if fresh.get("schema") != STORE_SCHEMA:
+                _fail(args.fresh, f"schema {fresh.get('schema')!r} != "
+                                  f"{STORE_SCHEMA!r} (baseline is a "
+                                  f"store file)")
+            validate_store(args.fresh, fresh)
+    except BenchError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"OK: {args.baseline}: schema {STORE_SCHEMA} valid")
+    problems = store_gate(args.baseline, baseline,
+                          args.manifest_min_speedup)
+    if fresh is not None:
+        print(f"OK: {args.fresh}: schema {STORE_SCHEMA} valid")
+        problems += store_gate(args.fresh, fresh,
+                               args.manifest_min_speedup)
+        problems += compare_store(baseline, fresh, args.tolerance)
+    if problems:
+        for msg in problems:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        return 1
+    if fresh is not None:
+        print(f"OK: no regression beyond {args.tolerance:.0%} tolerance")
+    return 0
+
+
 def normalised(doc: dict, section: str) -> dict[str, float]:
     """Machine-normalised throughput per backend: evals per calibration
     unit (evals/s x numpy_ref_s)."""
@@ -401,12 +583,17 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--max-p50-err", type=float, default=0.30,
                    help="gateway files: max allowed predictor p50 "
                         "relative error (default 0.30)")
+    p.add_argument("--manifest-min-speedup", type=float, default=2.0,
+                   help="store files: required sharded-append speedup "
+                        "over single-file rewrite per job (default 2.0)")
     args = p.parse_args(argv)
 
     try:
         baseline = load(args.baseline)
         if baseline.get("schema") == GATEWAY_SCHEMA:
             return _gateway_main(args, baseline)
+        if baseline.get("schema") == STORE_SCHEMA:
+            return _store_main(args, baseline)
         validate(args.baseline, baseline)
         fresh = None
         if args.fresh:
